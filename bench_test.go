@@ -1,0 +1,140 @@
+// Package repro's top-level benchmarks regenerate the paper's
+// evaluation: one testing.B entry point per figure and table of
+// Section 5 (DESIGN.md §4 maps each to its implementation). Each
+// benchmark runs its experiment end-to-end per iteration and reports
+// the headline quantity as a custom metric, printing the full report
+// once. Run them all with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// printOnce prints each experiment's report a single time, however many
+// benchmark iterations run.
+var printOnce sync.Map
+
+func report(b *testing.B, r *bench.Report, err error) *bench.Report {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, done := printOnce.LoadOrStore(r.Title, true); !done {
+		fmt.Println(r)
+	}
+	return r
+}
+
+// BenchmarkFigure8 regenerates the operator scalability curves
+// (filter / hash aggregation / hash join speedup vs parallelism).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure8(), nil)
+	}
+}
+
+// BenchmarkFigure9 measures expansion and shrinkage delays of the real
+// elastic iterators.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure9(), nil)
+	}
+}
+
+// BenchmarkFigure10 traces SSE-Q9's per-segment parallelism dynamics.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure10()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkFigure11 reproduces the sorted-trade_date selectivity swing.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure11()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkFigure12 reproduces the interfering-program adaptivity run.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure12()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkFigure13 sweeps the initial parallelism assignment.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure13()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkTable4 measures memory consumption under EP / SP / ME.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table4()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkTable5 compares EP with IS / MDP / MDP+ across concurrency
+// levels over the full query set.
+func BenchmarkTable5(b *testing.B) {
+	if testing.Short() {
+		b.Skip("runs ~200 cluster simulations")
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table5()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkTable6 measures high-utilization rates on TPC-H Q1/Q9/Q14.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table6()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkTable7 compares ME / SP / EP / shark-sim / impala-sim
+// response times over all evaluated queries.
+func BenchmarkTable7(b *testing.B) {
+	if testing.Short() {
+		b.Skip("runs ~300 cluster simulations (static sweeps)")
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table7()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkAblationPartialAgg quantifies the planner's partial-
+// aggregation option (plan.Options.PartialAgg) on SSE-Q9 — the design
+// choice DESIGN.md calls out: the paper's plan ships raw join output
+// (Figure 1b); partial aggregation trades hash state for network volume.
+func BenchmarkAblationPartialAgg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.AblationPartialAgg()
+		report(b, r, err)
+	}
+}
+
+// BenchmarkMultiQuery exercises the Section 7 future-work extension:
+// two queries sharing the cluster under one dynamic scheduler.
+func BenchmarkMultiQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.MultiQuery()
+		report(b, r, err)
+	}
+}

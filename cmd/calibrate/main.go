@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/iterator"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Command calibrate measures the per-tuple cost of this engine's
+// physical operators; the results anchor the simulator's cost constants
+// (internal/sim/compile.go). Blocking operators (aggregation, join
+// build) do their work in Open, so the timer covers Open and the Next
+// drain together.
+func main() {
+	sch := types.NewSchema(
+		types.Col("k", types.Int64), types.Col("v", types.Float64),
+		types.Char("s", 44), types.Col("d", types.Date))
+	st := storage.NewStore(1)
+	p := st.CreatePartition("t", sch)
+	l := storage.NewLoader(p, 65536)
+	const N = 2_000_000
+	for i := 0; i < N; i++ {
+		r := l.Row()
+		types.PutValue(r, sch, 0, types.IntVal(int64(i%100000)))
+		types.PutValue(r, sch, 1, types.FloatVal(float64(i)))
+		types.PutValue(r, sch, 2, types.StrVal("carefully final deposits boldly quick"))
+		types.PutValue(r, sch, 3, types.DateVal(int64(i%2500)))
+	}
+	l.Close()
+
+	run := func(name string, mk func() iterator.Iterator) {
+		it := mk()
+		ctx := &iterator.Ctx{Term: &iterator.TermFlag{}}
+		start := time.Now()
+		it.Open(ctx)
+		for {
+			_, s := it.Next(ctx)
+			if s != iterator.OK {
+				break
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%-22s %6.0f ns/tuple\n", name, float64(el.Nanoseconds())/N)
+	}
+
+	run("scan", func() iterator.Iterator { return iterator.NewScan(p) })
+	run("filter-date", func() iterator.Iterator {
+		return iterator.NewFilter(iterator.NewScan(p), sch,
+			expr.NewCmp(expr.LT, expr.NewCol(3, "d"), expr.NewConst(types.IntVal(1250))))
+	})
+	run("filter-notlike", func() iterator.Iterator {
+		return iterator.NewFilter(iterator.NewScan(p), sch,
+			expr.NewLike(expr.NewCol(2, "s"), "%special%requests%", true))
+	})
+	run("agg-shared-large", func() iterator.Iterator {
+		return iterator.NewHashAgg(iterator.NewScan(p), sch,
+			[]expr.Expr{expr.NewCol(0, "k")}, []string{"k"},
+			[]iterator.AggSpec{{Func: iterator.Sum, Arg: expr.NewCol(1, "v"), Name: "s"}},
+			iterator.SharedAgg)
+	})
+	// join build+probe: self join on k
+	run("join-build-probe", func() iterator.Iterator {
+		st2 := storage.NewStore(1)
+		bp := st2.CreatePartition("b", sch)
+		bl := storage.NewLoader(bp, 65536)
+		for i := 0; i < 200000; i++ {
+			r := bl.Row()
+			types.PutValue(r, sch, 0, types.IntVal(int64(i)))
+		}
+		bl.Close()
+		return iterator.NewHashJoin(iterator.NewScan(bp), iterator.NewScan(p), sch, sch,
+			[]expr.Expr{expr.NewCol(0, "k")}, []expr.Expr{expr.NewCol(0, "k")})
+	})
+}

@@ -1,0 +1,159 @@
+// Command claims-node runs one node of a TCP-connected exchange mesh —
+// the network substrate of a multi-process cluster. It demonstrates and
+// stress-tests the block wire protocol (internal/network): every node
+// listens for inbound streams, dials its peers lazily, and (optionally)
+// drives a throughput test shipping hash-partitioned blocks to every
+// peer, reporting the achieved exchange bandwidth.
+//
+// Start a 3-node mesh on one machine:
+//
+//	claims-node -id 0 -listen :7100 -peers 0=localhost:7100,1=localhost:7101,2=localhost:7102 &
+//	claims-node -id 1 -listen :7101 -peers 0=localhost:7100,1=localhost:7101,2=localhost:7102 &
+//	claims-node -id 2 -listen :7102 -peers 0=localhost:7100,1=localhost:7101,2=localhost:7102 -drive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/iterator"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "this node's id")
+		listen  = flag.String("listen", ":7100", "listen address")
+		peerStr = flag.String("peers", "", "comma-separated id=host:port list (all nodes)")
+		drive   = flag.Bool("drive", false, "drive a throughput test against the mesh")
+		rows    = flag.Int("rows", 2_000_000, "rows to ship in the throughput test")
+	)
+	flag.Parse()
+
+	peers := map[int]string{}
+	for _, p := range strings.Split(*peerStr, ",") {
+		if p == "" {
+			continue
+		}
+		kv := strings.SplitN(p, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad peer %q", p)
+		}
+		pid, err := strconv.Atoi(kv[0])
+		if err != nil {
+			log.Fatalf("bad peer id %q", kv[0])
+		}
+		peers[pid] = kv[1]
+	}
+	if len(peers) == 0 {
+		log.Fatal("at least one peer (this node) is required")
+	}
+
+	node, err := network.NewTCPNode(*id, *listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	log.Printf("node %d listening on %s, %d peers", *id, node.Addr(), len(peers))
+
+	sch := types.NewSchema(
+		types.Col("k", types.Int64),
+		types.Col("payload", types.Float64),
+	)
+
+	// Every node registers an inbox for exchange 1 and counts arrivals.
+	const exchangeID = 1
+	inbox := node.RegisterInbox(exchangeID, *id, len(peers), sch, 256, nil)
+	recvDone := make(chan int64)
+	go func() {
+		var tuples int64
+		for {
+			b, st := inbox.Recv(nil)
+			if st != iterator.RecvOK {
+				recvDone <- tuples
+				return
+			}
+			tuples += int64(b.NumTuples())
+		}
+	}()
+
+	if !*drive {
+		log.Printf("serving; ^C to stop")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		select {
+		case <-sig:
+		case n := <-recvDone:
+			log.Printf("received %d tuples, all producers closed", n)
+		}
+		return
+	}
+
+	// Driver: every peer is a destination instance; hash-partition the
+	// stream across them (instance i lives on node i).
+	dests := make([]int, 0, len(peers))
+	for pid := range peers {
+		dests = append(dests, pid)
+	}
+	sortInts(dests)
+	outbox := node.NewOutbox(exchangeID, dests)
+
+	log.Printf("driving %d rows across %d destinations...", *rows, len(dests))
+	part := expr.NewKeyEncoder([]expr.Expr{expr.NewCol(0, "k")})
+	start := time.Now()
+	cur := block.New(sch, 64*1024, nil)
+	byDest := make([]*block.Block, len(dests))
+	var sent int64
+	flush := func(d int) {
+		if byDest[d] == nil || byDest[d].NumTuples() == 0 {
+			return
+		}
+		if err := outbox.Send(d, byDest[d]); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		sent += int64(byDest[d].NumTuples())
+		byDest[d] = nil
+	}
+	rec := make([]byte, sch.Stride())
+	for i := 0; i < *rows; i++ {
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i)))
+		types.PutValue(rec, sch, 1, types.FloatVal(float64(i)))
+		d := int(part.Hash(rec, sch) % uint64(len(dests)))
+		if byDest[d] == nil {
+			byDest[d] = block.New(sch, 64*1024, nil)
+		}
+		byDest[d].AppendRow(rec)
+		if byDest[d].Full() {
+			flush(d)
+		}
+	}
+	for d := range dests {
+		flush(d)
+	}
+	if err := outbox.CloseSend(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	bytes := float64(sent) * float64(sch.Stride())
+	fmt.Printf("shipped %d tuples (%.1f MB) in %v — %.1f MB/s\n",
+		sent, bytes/1e6, elapsed.Round(time.Millisecond),
+		bytes/1e6/elapsed.Seconds())
+	_ = cur
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

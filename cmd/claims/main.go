@@ -1,0 +1,140 @@
+// Command claims is an interactive SQL shell over an in-process
+// elastic-pipelining cluster: it boots k virtual nodes, loads a chosen
+// workload (TPC-H or SSE), and executes queries under the EP, SP or ME
+// execution mode.
+//
+//	claims -workload tpch -sf 0.01 -nodes 4 -mode EP
+//	claims -workload sse -rows 200000 -q "SELECT count(*) FROM trades"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/sse"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "tpch", "tpch | sse")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		rows     = flag.Int("rows", 100_000, "SSE rows per table")
+		nodes    = flag.Int("nodes", 4, "slave nodes")
+		cores    = flag.Int("cores", 4, "cores per node")
+		mode     = flag.String("mode", "EP", "EP | SP | ME")
+		par      = flag.Int("p", 2, "fixed parallelism for SP/ME")
+		netBps   = flag.Float64("net", 0, "NIC bytes/sec per node (0 = unlimited)")
+		query    = flag.String("q", "", "run one query and exit")
+	)
+	flag.Parse()
+
+	var m engine.Mode
+	switch strings.ToUpper(*mode) {
+	case "EP":
+		m = engine.EP
+	case "SP":
+		m = engine.SP
+	case "ME":
+		m = engine.ME
+	default:
+		fmt.Fprintf(os.Stderr, "claims: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cat := catalog.New(*nodes)
+	c := engine.NewCluster(engine.Config{
+		Nodes:            *nodes,
+		CoresPerNode:     *cores,
+		Mode:             m,
+		FixedParallelism: *par,
+		NetBytesPerSec:   *netBps,
+	}, cat)
+
+	fmt.Printf("loading %s workload onto %d nodes...\n", *workload, *nodes)
+	start := time.Now()
+	switch *workload {
+	case "tpch":
+		tpch.RegisterTables(cat, *sf)
+		if err := tpch.Load(c, *sf, 1); err != nil {
+			fatal(err)
+		}
+	case "sse":
+		sse.RegisterTables(cat, int64(*rows))
+		if err := sse.Load(c, sse.GenConfig{Rows: *rows, Seed: 1}); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "claims: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	fmt.Printf("loaded in %v; tables: %s\n", time.Since(start).Round(time.Millisecond),
+		strings.Join(cat.Names(), ", "))
+
+	if *query != "" {
+		runQuery(c, *query)
+		return
+	}
+
+	fmt.Println(`type SQL terminated by ';' — \q quits, \mode shows the execution mode`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("claims> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch strings.TrimSpace(line) {
+		case `\q`, "exit", "quit":
+			return
+		case `\mode`:
+			fmt.Printf("%s\n", c.Config().Mode)
+			fmt.Print("claims> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			runQuery(c, buf.String())
+			buf.Reset()
+			fmt.Print("claims> ")
+		}
+	}
+}
+
+func runQuery(c *engine.Cluster, q string) {
+	res, err := c.Run(strings.TrimSuffix(strings.TrimSpace(q), ";"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Println(strings.Join(res.Names, " | "))
+	const maxShow = 40
+	rows := res.Rows()
+	for i, row := range rows {
+		if i == maxShow {
+			fmt.Printf("... (%d more rows)\n", len(rows)-maxShow)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows, %v, peak mem %.1f MB, network %.1f MB, sched overhead %v)\n",
+		res.NumRows(), res.Stats.Duration.Round(time.Millisecond),
+		float64(res.Stats.PeakMemoryBytes)/1e6,
+		float64(res.Stats.NetworkBytes)/1e6,
+		res.Stats.SchedOverhead.Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "claims:", err)
+	os.Exit(1)
+}

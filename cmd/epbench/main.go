@@ -1,0 +1,60 @@
+// Command epbench regenerates the paper's evaluation: every figure and
+// table of Section 5. Run all experiments or a single one:
+//
+//	epbench -exp all
+//	epbench -exp fig10
+//	epbench -exp table7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: fig8|fig9|fig10|fig11|fig12|fig13|table4|table5|table6|table7|ablation|multiquery|all")
+	flag.Parse()
+
+	type entry struct {
+		name string
+		run  func() (*bench.Report, error)
+	}
+	experiments := []entry{
+		{"fig8", func() (*bench.Report, error) { return bench.Figure8(), nil }},
+		{"fig9", func() (*bench.Report, error) { return bench.Figure9(), nil }},
+		{"fig10", bench.Figure10},
+		{"fig11", bench.Figure11},
+		{"fig12", bench.Figure12},
+		{"fig13", bench.Figure13},
+		{"table4", bench.Table4},
+		{"table5", bench.Table5},
+		{"table6", bench.Table6},
+		{"table7", bench.Table7},
+		{"ablation", bench.AblationPartialAgg},
+		{"multiquery", bench.MultiQuery},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		rep, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "epbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: boot a 3-node in-process cluster, define a table, load a
+// few thousand rows, and run SQL under elastic pipelining.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func main() {
+	// 1. Describe the schema: an events table hash-partitioned on
+	// user_id across the slave nodes.
+	sch := types.NewSchema(
+		types.Col("user_id", types.Int64),
+		types.Char("action", 8),
+		types.Col("amount", types.Float64),
+		types.Col("day", types.Date),
+	)
+	cat := catalog.New(3)
+	cat.MustAdd(&catalog.Table{Name: "events", Schema: sch, PartKey: []int{0}})
+
+	// 2. Boot the cluster: 3 slave nodes, 2 cores each, elastic
+	// pipelining mode.
+	cluster := engine.NewCluster(engine.Config{
+		Nodes:        3,
+		CoresPerNode: 2,
+		Mode:         engine.EP,
+	}, cat)
+
+	// 3. Load data through the partitioned loader.
+	loader, err := cluster.NewTableLoader("events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	actions := []string{"view", "cart", "buy"}
+	day0 := types.MustParseDate("2026-07-01")
+	for i := 0; i < 30_000; i++ {
+		rec := loader.Row()
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i%500)))
+		types.PutValue(rec, sch, 1, types.StrVal(actions[i%3]))
+		types.PutValue(rec, sch, 2, types.FloatVal(float64(i%97)+0.5))
+		types.PutValue(rec, sch, 3, types.DateVal(day0+int64(i%5)))
+		loader.Add()
+	}
+	loader.Close()
+
+	// 4. Run SQL. The engine parses, plans, decomposes the plan into
+	// segments, runs them with elastic worker pools, and gathers the
+	// result on the master.
+	queries := []string{
+		`SELECT count(*) FROM events`,
+		`SELECT action, count(*) AS n, sum(amount) AS total
+		 FROM events GROUP BY action ORDER BY total DESC`,
+		`SELECT day, sum(amount) AS revenue FROM events
+		 WHERE action = 'buy' GROUP BY day ORDER BY day`,
+	}
+	for _, q := range queries {
+		res, err := cluster.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n> %s\n", strings.Join(strings.Fields(q), " "))
+		fmt.Println(strings.Join(res.Names, " | "))
+		for _, row := range res.Rows() {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows in %v)\n", res.NumRows(), res.Stats.Duration)
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// simMetricsStub feeds convergenceDelay a synthetic ramp.
+var simMetricsStub = sim.Metrics{Trace: []sim.TraceSample{
+	{At: 100 * time.Millisecond, Parallelism: map[string]int{"S0": 1}},
+	{At: 200 * time.Millisecond, Parallelism: map[string]int{"S0": 6}},
+	{At: 300 * time.Millisecond, Parallelism: map[string]int{"S0": 12}},
+	{At: 400 * time.Millisecond, Parallelism: map[string]int{"S0": 12}},
+}}
+
+func TestFigure8ReportShapes(t *testing.T) {
+	r := Figure8()
+	if len(r.Rows) != 9 { // header + 8 operator cases
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The compute-bound case must scale far better than the
+	// memory-bound one at p=24 (paper Figure 8a).
+	var likeRow, dateRow string
+	for _, row := range r.Rows {
+		if strings.Contains(row, "S-Q1") {
+			likeRow = row
+		}
+		if strings.Contains(row, "S-Q2") {
+			dateRow = row
+		}
+	}
+	if likeRow == "" || dateRow == "" {
+		t.Fatal("missing operator rows")
+	}
+	lastField := func(s string) float64 {
+		f := strings.Fields(s)
+		var v float64
+		if _, err := fmt.Sscan(f[len(f)-1], &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if lastField(likeRow) <= lastField(dateRow) {
+		t.Fatalf("compute-bound (%.1f) should out-scale memory-bound (%.1f)",
+			lastField(likeRow), lastField(dateRow))
+	}
+}
+
+func TestFigure10Dynamics(t *testing.T) {
+	r, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 10 {
+		t.Fatalf("trace too short: %d rows", len(r.Rows))
+	}
+}
+
+func TestConvergenceDelayHelper(t *testing.T) {
+	if d := convergenceDelay(&simMetricsStub); d <= 0 {
+		t.Fatalf("convergence delay = %v", d)
+	}
+}
+
+func TestTable4ShowsMaterializationBlowup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple cluster simulations")
+	}
+	r, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one SSE query must show ME well above EP.
+	blowup := false
+	for _, row := range r.Rows[1:] {
+		f := strings.Fields(row)
+		if len(f) != 4 {
+			continue
+		}
+		var ep, me float64
+		if _, err := parseF(f[1], &ep); err != nil {
+			continue
+		}
+		if _, err := parseF(f[3], &me); err != nil {
+			continue
+		}
+		if me > 2*ep {
+			blowup = true
+		}
+	}
+	if !blowup {
+		t.Fatalf("no ME memory blow-up visible:\n%s", r)
+	}
+}
+
+func parseF(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}
+
+func TestRunModeUnknown(t *testing.T) {
+	if _, err := runMode("SELECT 1", "tpch", "nope"); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestMeasureExpandIsFast(t *testing.T) {
+	d := measureExpand(2)
+	if d <= 0 || d > 500*time.Millisecond {
+		t.Fatalf("expansion delay = %v", d)
+	}
+}

@@ -1,0 +1,254 @@
+// Package block implements the engine's unit of data flow: fixed-capacity
+// data blocks of tuples, sized to fit the L2 cache (64 KB by default, as
+// in the paper, Section 5.1).
+//
+// A block carries two pieces of tail metadata on top of its tuples:
+//
+//   - the average visit rate of its tuples (Section 4.3): the scheduler's
+//     V_i statistic is propagated through the dataflow by piggybacking it
+//     on blocks instead of with explicit control messages;
+//   - a sequence number assigned by the stage beginner, used by elastic
+//     iterators to preserve tuple order across a variable worker pool
+//     (Section 3.2, Order Preservation).
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// DefaultSize is the default payload capacity of a block in bytes. 64 KB
+// matches the paper's choice, tuned to the per-core L2 cache.
+const DefaultSize = 64 * 1024
+
+// Block is a batch of fixed-stride tuples plus tail metadata. Blocks are
+// not safe for concurrent mutation; ownership passes along the dataflow.
+type Block struct {
+	sch *types.Schema
+	buf []byte
+	n   int
+	cap int // max tuples
+
+	// VisitRate is the average visit rate of the tuples in this block
+	// relative to the pipeline's input group (Section 4.3). The input
+	// group stamps 1.0; every operator multiplies by its selectivity and
+	// partitioning fraction as the block flows downstream.
+	VisitRate float64
+
+	// Seq is the order-preservation sequence number assigned by the
+	// stage beginner that produced the tuples in this block.
+	Seq uint64
+
+	// Socket is the (emulated) NUMA socket the block's memory belongs
+	// to; stage beginners prefer handing workers local blocks.
+	Socket int
+
+	tracker *Tracker
+}
+
+// New allocates an empty block for the schema with the given payload
+// capacity in bytes. A nil tracker disables memory accounting.
+func New(sch *types.Schema, sizeBytes int, tr *Tracker) *Block {
+	if sizeBytes <= 0 {
+		sizeBytes = DefaultSize
+	}
+	capTuples := sizeBytes / sch.Stride()
+	if capTuples < 1 {
+		capTuples = 1
+	}
+	b := &Block{
+		sch:       sch,
+		buf:       make([]byte, capTuples*sch.Stride()),
+		cap:       capTuples,
+		VisitRate: 1.0,
+		tracker:   tr,
+	}
+	if tr != nil {
+		tr.Alloc(int64(len(b.buf)))
+	}
+	return b
+}
+
+// Release returns the block's bytes to the tracker. The block must not be
+// used afterwards.
+func (b *Block) Release() {
+	if b.tracker != nil {
+		b.tracker.Free(int64(len(b.buf)))
+		b.tracker = nil
+	}
+}
+
+// Schema returns the block's schema.
+func (b *Block) Schema() *types.Schema { return b.sch }
+
+// NumTuples returns the number of tuples currently in the block.
+func (b *Block) NumTuples() int { return b.n }
+
+// Cap returns the tuple capacity.
+func (b *Block) Cap() int { return b.cap }
+
+// Full reports whether no more tuples fit.
+func (b *Block) Full() bool { return b.n >= b.cap }
+
+// Bytes returns the used payload region (n tuples worth of bytes).
+func (b *Block) Bytes() []byte { return b.buf[:b.n*b.sch.Stride()] }
+
+// Row returns the i-th tuple as a byte slice view into the block.
+func (b *Block) Row(i int) []byte {
+	st := b.sch.Stride()
+	return b.buf[i*st : (i+1)*st]
+}
+
+// AppendRow copies a record into the block. It panics if the block is
+// full; callers check Full first.
+func (b *Block) AppendRow(rec []byte) {
+	if b.n >= b.cap {
+		panic("block: append to full block")
+	}
+	copy(b.Row(b.n), rec)
+	b.n++
+}
+
+// AppendRowTo reserves the next row slot and returns it for in-place
+// construction.
+func (b *Block) AppendRowTo() []byte {
+	if b.n >= b.cap {
+		panic("block: append to full block")
+	}
+	r := b.Row(b.n)
+	b.n++
+	return r
+}
+
+// EnsureRoom grows the block's payload so at least n more tuples fit.
+// Operators with data-dependent fan-out (join probe, aggregation
+// emission) use it to stay single-block per call.
+func (b *Block) EnsureRoom(n int) {
+	need := b.n + n
+	if need <= b.cap {
+		return
+	}
+	newCap := b.cap * 2
+	if newCap < need {
+		newCap = need
+	}
+	buf := make([]byte, newCap*b.sch.Stride())
+	copy(buf, b.buf)
+	if b.tracker != nil {
+		b.tracker.Alloc(int64(len(buf) - len(b.buf)))
+	}
+	b.buf = buf
+	b.cap = newCap
+}
+
+// Reset empties the block for reuse, keeping metadata defaults.
+func (b *Block) Reset() {
+	b.n = 0
+	b.VisitRate = 1.0
+	b.Seq = 0
+}
+
+// Get reads column col of tuple row.
+func (b *Block) Get(row, col int) types.Value {
+	return types.GetValue(b.Row(row), b.sch, col)
+}
+
+// Set writes column col of tuple row.
+func (b *Block) Set(row, col int, v types.Value) {
+	types.PutValue(b.Row(row), b.sch, col, v)
+}
+
+// SizeBytes returns the allocated payload size.
+func (b *Block) SizeBytes() int { return len(b.buf) }
+
+// WireSize returns the number of bytes Encode will produce.
+func (b *Block) WireSize() int { return headerLen + b.n*b.sch.Stride() }
+
+// --- wire format ----------------------------------------------------------
+
+// headerLen is the fixed encoded header: numTuples(4) visitRate(8) seq(8)
+// socket(4).
+const headerLen = 4 + 8 + 8 + 4
+
+// Encode serializes the block (header + used payload) into dst, which
+// must have capacity WireSize. It returns the encoded slice.
+func (b *Block) Encode(dst []byte) []byte {
+	need := b.WireSize()
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	binary.LittleEndian.PutUint32(dst[0:], uint32(b.n))
+	binary.LittleEndian.PutUint64(dst[4:], mathFloat64bits(b.VisitRate))
+	binary.LittleEndian.PutUint64(dst[12:], b.Seq)
+	binary.LittleEndian.PutUint32(dst[20:], uint32(b.Socket))
+	copy(dst[headerLen:], b.Bytes())
+	return dst
+}
+
+// Decode parses an encoded block for the given schema. The payload is
+// copied so src may be reused.
+func Decode(sch *types.Schema, src []byte, tr *Tracker) (*Block, error) {
+	if len(src) < headerLen {
+		return nil, fmt.Errorf("block: short frame (%d bytes)", len(src))
+	}
+	n := int(binary.LittleEndian.Uint32(src[0:]))
+	payload := src[headerLen:]
+	if want := n * sch.Stride(); len(payload) < want {
+		return nil, fmt.Errorf("block: truncated payload: have %d want %d", len(payload), want)
+	}
+	size := n * sch.Stride()
+	if size == 0 {
+		size = sch.Stride()
+	}
+	b := New(sch, size, tr)
+	if n > b.cap {
+		// Re-allocate exactly; New rounds down by stride so this only
+		// trips when stride rounding lost a slot.
+		b = &Block{sch: sch, buf: make([]byte, n*sch.Stride()), cap: n, tracker: tr}
+		if tr != nil {
+			tr.Alloc(int64(len(b.buf)))
+		}
+	}
+	copy(b.buf, payload[:n*sch.Stride()])
+	b.n = n
+	b.VisitRate = mathFloat64frombits(binary.LittleEndian.Uint64(src[4:]))
+	b.Seq = binary.LittleEndian.Uint64(src[12:])
+	b.Socket = int(int32(binary.LittleEndian.Uint32(src[20:])))
+	return b, nil
+}
+
+// --- memory tracking -------------------------------------------------------
+
+// Tracker accounts live block bytes for a query, recording the peak. It
+// backs the paper's Table 4 (memory consumption under EP/SP/ME).
+type Tracker struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// NewTracker returns a fresh tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Alloc records an allocation of n bytes.
+func (t *Tracker) Alloc(n int64) {
+	c := t.cur.Add(n)
+	for {
+		p := t.peak.Load()
+		if c <= p || t.peak.CompareAndSwap(p, c) {
+			return
+		}
+	}
+}
+
+// Free records a release of n bytes.
+func (t *Tracker) Free(n int64) { t.cur.Add(-n) }
+
+// Current returns the live byte count.
+func (t *Tracker) Current() int64 { return t.cur.Load() }
+
+// Peak returns the high-water mark.
+func (t *Tracker) Peak() int64 { return t.peak.Load() }

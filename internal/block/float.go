@@ -1,0 +1,9 @@
+package block
+
+import "math"
+
+// Thin indirections so the wire codec reads uniformly; inlined by the
+// compiler.
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(u uint64) float64 { return math.Float64frombits(u) }

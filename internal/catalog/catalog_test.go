@@ -1,0 +1,70 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func table(name string) *Table {
+	return &Table{
+		Name:    name,
+		Schema:  types.NewSchema(types.Col("id", types.Int64)),
+		PartKey: []int{0},
+		Stats:   TableStats{Rows: 100},
+	}
+}
+
+func TestAddLookup(t *testing.T) {
+	c := New(4)
+	if err := c.Add(table("Orders")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("ORDERS") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "Orders" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if _, err := c.Lookup("missing"); err == nil {
+		t.Fatal("lookup of unknown table should fail")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	c := New(2)
+	c.MustAdd(table("t"))
+	if err := c.Add(table("T")); err == nil {
+		t.Fatal("case-insensitive duplicate should be rejected")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New(2)
+	c.MustAdd(table("zeta"))
+	c.MustAdd(table("alpha"))
+	names := c.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPartCols(t *testing.T) {
+	tbl := &Table{
+		Name: "t",
+		Schema: types.NewSchema(
+			types.Col("a", types.Int64), types.Col("b", types.Int64)),
+		PartKey: []int{1},
+	}
+	cols := tbl.PartCols()
+	if len(cols) != 1 || cols[0] != "b" {
+		t.Fatalf("part cols = %v", cols)
+	}
+}
+
+func TestNodesFloor(t *testing.T) {
+	if c := New(0); c.Nodes != 1 {
+		t.Fatalf("nodes = %d, want floor of 1", c.Nodes)
+	}
+}

@@ -1,0 +1,290 @@
+// Package elastic implements the elastic iterator model of Section 3:
+// a segment's iterator chain is driven by a dynamically sized pool of
+// worker threads that share all iterator state, so the scheduler can
+// expand or shrink a running segment's intra-node parallelism in
+// milliseconds without state migration.
+package elastic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+)
+
+// Config configures an elastic iterator.
+type Config struct {
+	// BufferCap bounds the joint data buffer, in blocks (0 → 64).
+	BufferCap int
+	// OrderPreserving releases output blocks in stage-beginner sequence
+	// order (Section 3.2(2)). Requires a 1:1 block-preserving chain.
+	OrderPreserving bool
+	// Tracker accounts block memory, if non-nil.
+	Tracker *block.Tracker
+	// MaxWorkers caps Expand (0 → unlimited).
+	MaxWorkers int
+}
+
+// Elastic wraps a segment's iterator chain with an elastic worker pool
+// and joint output buffer. It itself satisfies iterator.Iterator so the
+// segment's sender (or a parent operator) can consume it with plain
+// open-next-close calls.
+type Elastic struct {
+	child iterator.Iterator
+	cfg   Config
+	buf   *Buffer
+
+	mu        sync.Mutex
+	workers   map[int]*worker
+	order     []int // worker ids in creation order (shrink picks newest)
+	nextWID   int
+	active    int
+	sawEnd    bool
+	closed    bool
+
+	inTuples  atomic.Int64 // stage-beginner tuples processed
+	outTuples atomic.Int64
+	outBlocks atomic.Int64
+
+	expandDelays delayRecorder
+	shrinkDelays delayRecorder
+}
+
+type worker struct {
+	id      int
+	ctx     *iterator.Ctx
+	started time.Time     // when Expand was called
+	began   atomic.Int64  // ns timestamp when data processing began
+	termAt  atomic.Int64  // ns timestamp when termination was requested
+	done    chan struct{} // closed when the goroutine exits
+}
+
+// delayRecorder keeps the most recent delays for Figure 9 measurements.
+type delayRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (d *delayRecorder) add(v time.Duration) {
+	d.mu.Lock()
+	d.delays = append(d.delays, v)
+	d.mu.Unlock()
+}
+
+// Take returns and clears the recorded delays.
+func (d *delayRecorder) Take() []time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.delays
+	d.delays = nil
+	return out
+}
+
+// New wraps child in an elastic iterator.
+func New(child iterator.Iterator, cfg Config) *Elastic {
+	if cfg.BufferCap <= 0 {
+		cfg.BufferCap = 64
+	}
+	return &Elastic{
+		child:   child,
+		cfg:     cfg,
+		buf:     NewBuffer(cfg.BufferCap, cfg.OrderPreserving),
+		workers: make(map[int]*worker),
+	}
+}
+
+// Expand adds one worker thread pinned to the given emulated core and
+// socket (Section 3.1, Expand). It returns the worker id, or -1 if the
+// pool is at MaxWorkers or the iterator is closed.
+func (e *Elastic) Expand(core, socket int) int {
+	e.mu.Lock()
+	if e.closed || (e.cfg.MaxWorkers > 0 && len(e.workers) >= e.cfg.MaxWorkers) {
+		e.mu.Unlock()
+		return -1
+	}
+	id := e.nextWID
+	e.nextWID++
+	w := &worker{
+		id:      id,
+		started: time.Now(),
+		done:    make(chan struct{}),
+		ctx: &iterator.Ctx{
+			WorkerID: id,
+			Core:     core,
+			Socket:   socket,
+			Term:     &iterator.TermFlag{},
+			Tracker:  e.cfg.Tracker,
+		},
+	}
+	w.ctx.OnBlockDone = func(tuples int) {
+		e.inTuples.Add(int64(tuples))
+		if w.began.Load() == 0 {
+			w.began.Store(time.Now().UnixNano())
+		}
+	}
+	e.workers[id] = w
+	e.order = append(e.order, id)
+	e.active++
+	e.mu.Unlock()
+	go e.run(w)
+	return id
+}
+
+// Shrink requests termination of the most recently added worker
+// (Section 3.1, Shrink). It returns a channel that delivers the
+// shrinkage delay — termination request to complete exit — when the
+// worker has detached, or nil if there is no worker to shrink.
+func (e *Elastic) Shrink() <-chan time.Duration {
+	e.mu.Lock()
+	var victim *worker
+	for i := len(e.order) - 1; i >= 0; i-- {
+		if w, ok := e.workers[e.order[i]]; ok {
+			victim = w
+			e.order = e.order[:i]
+			break
+		}
+	}
+	e.mu.Unlock()
+	if victim == nil {
+		return nil
+	}
+	victim.termAt.Store(time.Now().UnixNano())
+	victim.ctx.Term.Request()
+	out := make(chan time.Duration, 1)
+	go func() {
+		<-victim.done
+		d := time.Duration(time.Now().UnixNano() - victim.termAt.Load())
+		e.shrinkDelays.add(d)
+		out <- d
+	}()
+	return out
+}
+
+// run is the worker thread's main loop (Appendix Algorithm 2).
+func (e *Elastic) run(w *worker) {
+	defer e.finish(w)
+	st := e.child.Open(w.ctx)
+	if w.began.Load() == 0 {
+		w.began.Store(time.Now().UnixNano())
+	}
+	e.expandDelays.add(time.Duration(w.began.Load() - w.started.UnixNano()))
+	if st == iterator.Terminated {
+		return
+	}
+	for {
+		b, st := e.child.Next(w.ctx)
+		switch st {
+		case iterator.OK:
+			e.outTuples.Add(int64(b.NumTuples()))
+			e.outBlocks.Add(1)
+			e.buf.Insert(b)
+		case iterator.Terminated:
+			return
+		case iterator.End:
+			e.mu.Lock()
+			e.sawEnd = true
+			e.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (e *Elastic) finish(w *worker) {
+	e.mu.Lock()
+	delete(e.workers, w.id)
+	e.active--
+	lastOut := e.active == 0 && e.sawEnd
+	e.mu.Unlock()
+	close(w.done)
+	if lastOut {
+		e.buf.CloseEOF()
+	}
+}
+
+// Parallelism returns the current worker count.
+func (e *Elastic) Parallelism() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.workers)
+}
+
+// Finished reports whether the dataflow ended and all workers exited.
+func (e *Elastic) Finished() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sawEnd && e.active == 0
+}
+
+// ExpandDelays drains the recorded expansion delays (Figure 9a).
+func (e *Elastic) ExpandDelays() []time.Duration { return e.expandDelays.Take() }
+
+// ShrinkDelays drains the recorded shrinkage delays (Figure 9b).
+func (e *Elastic) ShrinkDelays() []time.Duration { return e.shrinkDelays.Take() }
+
+// Probe is a point-in-time metrics snapshot consumed by the dynamic
+// scheduler (Section 4.3-4.4).
+type Probe struct {
+	Parallelism int
+	InTuples    int64 // cumulative stage-beginner tuples processed
+	OutTuples   int64
+	BufferLen   int
+	BufferCap   int
+	InsertWaits int64 // workers blocked on full buffer (over-producing)
+	RemoveWaits int64 // consumer blocked on empty buffer (under-producing)
+	Finished    bool
+}
+
+// Snapshot returns current metrics.
+func (e *Elastic) Snapshot() Probe {
+	_, iw, rw := e.buf.Stats()
+	return Probe{
+		Parallelism: e.Parallelism(),
+		InTuples:    e.inTuples.Load(),
+		OutTuples:   e.outTuples.Load(),
+		BufferLen:   e.buf.Len(),
+		BufferCap:   e.buf.Cap(),
+		InsertWaits: iw,
+		RemoveWaits: rw,
+		Finished:    e.Finished(),
+	}
+}
+
+// --- iterator.Iterator ------------------------------------------------------
+
+// Open implements iterator.Iterator for the consuming parent; the worker
+// pool is managed via Expand/Shrink, so Open itself is a no-op.
+func (e *Elastic) Open(ctx *iterator.Ctx) iterator.Status { return iterator.OK }
+
+// Next returns the next buffered output block, blocking until one is
+// available or the dataflow ends.
+func (e *Elastic) Next(ctx *iterator.Ctx) (*block.Block, iterator.Status) {
+	b, ok := e.buf.Remove()
+	if !ok {
+		return nil, iterator.End
+	}
+	return b, iterator.OK
+}
+
+// Close terminates all workers, waits for them, and closes the child.
+func (e *Elastic) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var pending []*worker
+	for _, w := range e.workers {
+		w.termAt.Store(time.Now().UnixNano())
+		w.ctx.Term.Request()
+		pending = append(pending, w)
+	}
+	e.mu.Unlock()
+	e.buf.CloseEOF() // release workers blocked on a full buffer
+	for _, w := range pending {
+		<-w.done
+	}
+	e.child.Close()
+}

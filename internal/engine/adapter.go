@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// segAdapter exposes a running segment instance to the dynamic
+// scheduler (sched.SegmentHandle): it derives the Section 4 metrics —
+// instantaneous processing rate, visit rate from block tails,
+// starvation and blockage flags — from the elastic iterator's counters,
+// and maps Expand/Shrink onto the worker pool.
+type segAdapter struct {
+	e    *exec
+	inst *segInst
+	name string
+
+	lastAt          time.Time
+	lastIn          int64
+	lastInsertWaits int64
+}
+
+func newSegAdapter(e *exec, inst *segInst) *segAdapter {
+	return &segAdapter{
+		e:      e,
+		inst:   inst,
+		name:   fmt.Sprintf("S%d@%d", inst.seg.ID, inst.node),
+		lastAt: time.Now(),
+	}
+}
+
+// Name implements sched.SegmentHandle.
+func (a *segAdapter) Name() string { return a.name }
+
+// Metrics implements sched.SegmentHandle.
+func (a *segAdapter) Metrics() sched.Metrics {
+	now := time.Now()
+	snap := a.inst.el.Snapshot()
+	dt := now.Sub(a.lastAt).Seconds()
+	if dt <= 0 {
+		dt = 1e-9
+	}
+	rate := float64(snap.InTuples-a.lastIn) / dt
+	blocked := snap.InsertWaits > a.lastInsertWaits
+
+	// Starved: nothing processed, upstream still open, and every inbox
+	// empty — the segment cannot use more cores (Figure 11's S2 while
+	// the filter selectivity is zero). Scan-rooted segments without
+	// mergers are never starved: their input is resident.
+	starved := false
+	if rate == 0 && !snap.Finished && len(a.inst.inboxes) > 0 && !a.inst.hasScan {
+		starved = true
+		for _, in := range a.inst.inboxes {
+			if in.Len() > 0 || in.AllProducersDone() {
+				starved = false
+				break
+			}
+		}
+	}
+
+	visit := 1.0
+	for _, m := range a.inst.mergers {
+		if v := m.VisitRate(); v > 0 {
+			visit = v
+		}
+	}
+
+	a.lastAt = now
+	a.lastIn = snap.InTuples
+	a.lastInsertWaits = snap.InsertWaits
+
+	return sched.Metrics{
+		Parallelism: snap.Parallelism,
+		Rate:        rate,
+		VisitRate:   visit,
+		Starved:     starved,
+		Blocked:     blocked,
+		Done:        snap.Finished,
+	}
+}
+
+// Expand implements sched.SegmentHandle.
+func (a *segAdapter) Expand() bool {
+	if a.inst.el.Finished() {
+		return false
+	}
+	return a.e.expand(a.inst)
+}
+
+// Shrink implements sched.SegmentHandle. The last worker is never
+// shrunk away: a zero-worker segment would never drive its dataflow to
+// end-of-file.
+func (a *segAdapter) Shrink() bool {
+	if a.inst.el.Parallelism() <= 1 {
+		return false
+	}
+	return a.inst.el.Shrink() != nil
+}
+
+// runSchedulers drives one NodeScheduler per node (plus the master)
+// until the query completes, accumulating the measured scheduling
+// overhead (Table 5's "scheduling overhead" row).
+func (e *exec) runSchedulers(stop chan struct{}) {
+	bus := sched.NewMasterBus()
+	byNode := make(map[int]*sched.NodeScheduler)
+	for _, inst := range e.insts {
+		ns, ok := byNode[inst.node]
+		if !ok {
+			ns = sched.NewNodeScheduler(inst.node, sched.Config{
+				Cores: e.c.cfg.CoresPerNode,
+			}, bus)
+			byNode[inst.node] = ns
+		}
+		ns.Attach(newSegAdapter(e, inst))
+	}
+	tick := time.NewTicker(e.c.cfg.SchedTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			t0 := time.Now()
+			for _, ns := range byNode {
+				ns.Tick(now)
+			}
+			e.schedNs.Add(time.Since(t0).Nanoseconds())
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package engine executes distributed plans on a real in-process
+// cluster: k slave nodes plus a master, each slave holding one hash
+// partition of every table, segments instantiated per node with elastic
+// worker pools, exchanges wired over the network transport, and — in EP
+// mode — a dynamic scheduler per node reprovisioning cores at runtime.
+//
+// Three execution modes reproduce the paper's Section 5.4 comparison:
+//
+//	EP — elastic pipelining (elastic iterators + dynamic scheduler)
+//	SP — static pipelining (fixed parallelism chosen at plan time)
+//	ME — materialized execution (stage-at-a-time, full intermediate
+//	     result staging between segments)
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// EP is elastic pipelining, the paper's contribution.
+	EP Mode = iota
+	// SP is static pipelining with fixed parallelism.
+	SP
+	// ME is materialized execution.
+	ME
+)
+
+// String renders the mode.
+func (m Mode) String() string { return [...]string{"EP", "SP", "ME"}[m] }
+
+// Config configures a cluster.
+type Config struct {
+	// Nodes is the number of slave nodes (data holders).
+	Nodes int
+	// CoresPerNode is m, the per-node core budget for the scheduler.
+	CoresPerNode int
+	// Sockets emulates NUMA sockets per node.
+	Sockets int
+	// NetBytesPerSec limits each node's NIC (0 = unlimited).
+	NetBytesPerSec float64
+	// Mode selects EP / SP / ME.
+	Mode Mode
+	// FixedParallelism is the per-segment worker count in SP and ME
+	// mode, and the initial parallelism in EP mode (default 1).
+	FixedParallelism int
+	// SchedTick is the EP scheduler period (default 20ms).
+	SchedTick time.Duration
+	// ExchangeBuffer bounds exchange inboxes in pipelined modes, in
+	// blocks (default 128). ME mode always uses unbounded inboxes.
+	ExchangeBuffer int
+	// BlockSize is the storage block payload size (default 64 KB).
+	BlockSize int
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 4
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = 1
+	}
+	if c.FixedParallelism <= 0 {
+		c.FixedParallelism = 1
+	}
+	if c.SchedTick <= 0 {
+		c.SchedTick = 20 * time.Millisecond
+	}
+	if c.ExchangeBuffer <= 0 {
+		c.ExchangeBuffer = 128
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = block.DefaultSize
+	}
+}
+
+// Cluster is an in-process cluster: data stores per slave node plus the
+// exchange fabric. Create one, load tables, then Run queries.
+type Cluster struct {
+	cfg    Config
+	cat    *catalog.Catalog
+	stores []*storage.Store
+	fabric network.Fabric
+	// tcpNodes holds the sockets of a TCP-backed cluster, for Close.
+	tcpNodes map[int]*network.TCPNode
+}
+
+// NewCluster creates a cluster with empty stores over the in-process
+// exchange fabric (optionally bandwidth-limited via NetBytesPerSec).
+func NewCluster(cfg Config, cat *catalog.Catalog) *Cluster {
+	cfg.defaults()
+	c := &Cluster{cfg: cfg, cat: cat,
+		fabric: network.InProcFabric{T: network.NewInProc(cfg.NetBytesPerSec)}}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.stores = append(c.stores, storage.NewStore(cfg.Sockets))
+	}
+	return c
+}
+
+// NewClusterTCP creates a cluster whose exchanges run over real TCP
+// sockets on loopback — one listener per node including the master —
+// so every repartitioned block passes through the wire codec. Close the
+// cluster to release the sockets.
+func NewClusterTCP(cfg Config, cat *catalog.Catalog) (*Cluster, error) {
+	cfg.defaults()
+	nodes := make(map[int]*network.TCPNode)
+	peers := make(map[int]string)
+	for i := 0; i <= cfg.Nodes; i++ { // slaves + master
+		n, err := network.NewTCPNode(i, "127.0.0.1:0", peers)
+		if err != nil {
+			for _, prev := range nodes {
+				prev.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = n
+		peers[i] = n.Addr() // the shared map is read lazily on dial
+	}
+	c := &Cluster{cfg: cfg, cat: cat,
+		fabric:   network.NewTCPFabric(nodes),
+		tcpNodes: nodes,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.stores = append(c.stores, storage.NewStore(cfg.Sockets))
+	}
+	return c, nil
+}
+
+// Close releases a TCP-backed cluster's sockets; it is a no-op for
+// in-process clusters.
+func (c *Cluster) Close() {
+	for _, n := range c.tcpNodes {
+		n.Close()
+	}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Catalog returns the cluster catalog.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
+
+// master returns the master node id (one past the slaves).
+func (c *Cluster) master() int { return c.cfg.Nodes }
+
+// TableLoader routes rows to slave nodes by the table's hash partition
+// key, the distribution scheme of Section 5.1.
+type TableLoader struct {
+	table   *catalog.Table
+	loaders []*storage.Loader
+	keyEnc  *expr.KeyEncoder
+	scratch []byte
+	rows    int64
+}
+
+// NewTableLoader prepares loading for a registered table.
+func (c *Cluster) NewTableLoader(name string) (*TableLoader, error) {
+	tbl, err := c.cat.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	tl := &TableLoader{
+		table:   tbl,
+		scratch: make([]byte, tbl.Schema.Stride()),
+	}
+	var keyExprs []expr.Expr
+	for _, idx := range tbl.PartKey {
+		keyExprs = append(keyExprs, expr.NewCol(idx, tbl.Schema.Cols[idx].Name))
+	}
+	tl.keyEnc = expr.NewKeyEncoder(keyExprs)
+	for _, st := range c.stores {
+		p := st.CreatePartition(name, tbl.Schema)
+		tl.loaders = append(tl.loaders, storage.NewLoader(p, c.cfg.BlockSize))
+	}
+	return tl, nil
+}
+
+// Row returns a scratch record to fill; commit it with Add.
+func (l *TableLoader) Row() []byte { return l.scratch }
+
+// Add routes the filled scratch record to its node.
+func (l *TableLoader) Add() {
+	node := 0
+	if len(l.loaders) > 1 {
+		h := l.keyEnc.Hash(l.scratch, l.table.Schema)
+		node = int(h % uint64(len(l.loaders)))
+	}
+	copy(l.loaders[node].Row(), l.scratch)
+	l.rows++
+}
+
+// Close seals all partitions and refreshes the table row statistics.
+func (l *TableLoader) Close() {
+	for _, ld := range l.loaders {
+		ld.Close()
+	}
+	l.table.Stats.Rows = l.rows
+}
+
+// Result is a completed query's output.
+type Result struct {
+	Names  []string
+	Schema *types.Schema
+	Blocks []*block.Block
+	Stats  ExecStats
+}
+
+// NumRows returns the result cardinality.
+func (r *Result) NumRows() int {
+	n := 0
+	for _, b := range r.Blocks {
+		n += b.NumTuples()
+	}
+	return n
+}
+
+// Rows materializes the result as value rows, for display and tests.
+func (r *Result) Rows() [][]types.Value {
+	var out [][]types.Value
+	for _, b := range r.Blocks {
+		for i := 0; i < b.NumTuples(); i++ {
+			row := make([]types.Value, r.Schema.NumCols())
+			for c := range row {
+				row[c] = b.Get(i, c)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// ExecStats reports measured execution characteristics.
+type ExecStats struct {
+	// Duration is the wall-clock query response time.
+	Duration time.Duration
+	// PeakMemoryBytes is the high-water mark of materialized state:
+	// exchange staging plus hash-table arenas across all nodes.
+	PeakMemoryBytes int64
+	// NetworkBytes counts bytes that crossed the emulated NICs.
+	NetworkBytes int64
+	// SchedOverhead is the cumulative time spent inside scheduler ticks.
+	SchedOverhead time.Duration
+	// Trace samples per-segment parallelism over time (EP mode).
+	Trace []TraceSample
+}
+
+// TraceSample is one point of the parallelism timeline (Figure 10).
+type TraceSample struct {
+	At          time.Duration
+	Parallelism map[string]int // segment name → workers (node 0 instance)
+}
+
+func (c *Cluster) store(node int) *storage.Store { return c.stores[node] }
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{nodes: %d, cores: %d, mode: %s}",
+		c.cfg.Nodes, c.cfg.CoresPerNode, c.cfg.Mode)
+}

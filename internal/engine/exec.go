@@ -1,0 +1,474 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/elastic"
+	"repro/internal/iterator"
+	"repro/internal/network"
+	"repro/internal/plan"
+)
+
+// resultExchangeID is the reserved exchange id of the master-side
+// result collector.
+const resultExchangeID = 1 << 20
+
+// Run compiles and executes a SQL query.
+func (c *Cluster) Run(query string) (*Result, error) {
+	p, err := plan.Compile(query, c.cat)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunPlan(p)
+}
+
+// segInst is one segment instance: the iterator tree of a segment on
+// one node, wrapped in an elastic worker pool and driven by a sender.
+type segInst struct {
+	seg     *plan.Segment
+	node    int
+	el      *elastic.Elastic
+	sender  *iterator.Sender
+	mergers []*iterator.Merger
+	inboxes []*network.Inbox
+	joins   []*iterator.HashJoin
+	aggs    []*iterator.HashAgg
+	hasScan bool
+	done    chan struct{}
+}
+
+// exec carries one query's runtime state.
+type exec struct {
+	c        *Cluster
+	p        *plan.Plan
+	tracker  *block.Tracker
+	exchanges map[int]network.FabricExchange
+	consNodes map[int][]int
+	insts    []*segInst
+	resultEx network.FabricExchange
+	coreCur  []atomic.Int64 // per node, for core id assignment
+	peakMem  atomic.Int64
+	schedNs  atomic.Int64
+	stop     chan struct{}
+	traceMu  sync.Mutex
+	trace    []TraceSample
+	start    time.Time
+}
+
+// nodesOf lists the nodes a segment group is instantiated on.
+func (e *exec) nodesOf(seg *plan.Segment) []int {
+	if seg.OnMaster {
+		return []int{e.c.master()}
+	}
+	nodes := make([]int, e.c.cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+// RunPlan executes a compiled plan under the cluster's mode.
+func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
+	e := &exec{
+		c: c, p: p,
+		tracker:   block.NewTracker(),
+		exchanges: make(map[int]network.FabricExchange),
+		consNodes: make(map[int][]int),
+		coreCur:   make([]atomic.Int64, c.cfg.Nodes+1),
+		stop:      make(chan struct{}),
+		start:     time.Now(),
+	}
+
+	segByID := make(map[int]*plan.Segment)
+	for _, s := range p.Segments {
+		segByID[s.ID] = s
+	}
+
+	// Wire exchanges. ME mode stages entire intermediate results in
+	// unbounded inboxes (the materialization of Section 5.4).
+	buf := c.cfg.ExchangeBuffer
+	if c.cfg.Mode == ME {
+		buf = 0
+	}
+	for _, ex := range p.Exchanges {
+		prod, okP := segByID[ex.Producer]
+		cons, okC := segByID[ex.Consumer]
+		if !okP || !okC {
+			return nil, fmt.Errorf("engine: exchange %d is dangling", ex.ID)
+		}
+		prodNodes := e.nodesOf(prod)
+		consNodes := e.nodesOf(cons)
+		e.consNodes[ex.ID] = consNodes
+		e.exchanges[ex.ID] = c.fabric.NewExchange(ex.ID, len(prodNodes), consNodes,
+			ex.Sch, buf, e.tracker)
+	}
+
+	// The result collector: final segment gathers to the master. Its
+	// exchange id sits far above any plan exchange id (TCP frames carry
+	// unsigned ids).
+	finalNodes := e.nodesOf(p.Final)
+	e.resultEx = c.fabric.NewExchange(resultExchangeID, len(finalNodes),
+		[]int{c.master()}, p.Final.Root.Schema(), buf, e.tracker)
+
+	// Instantiate all segments on their nodes.
+	for _, seg := range p.Segments {
+		for _, node := range e.nodesOf(seg) {
+			inst, err := e.instantiate(seg, node)
+			if err != nil {
+				return nil, err
+			}
+			e.insts = append(e.insts, inst)
+		}
+	}
+
+	// Result reader drains the collector concurrently so bounded
+	// buffers never stall the final senders.
+	var resBlocks []*block.Block
+	resDone := make(chan struct{})
+	go func() {
+		defer close(resDone)
+		in := e.resultEx.Inbox(0)
+		for {
+			b, st := in.Recv(nil)
+			if st != iterator.RecvOK {
+				return
+			}
+			resBlocks = append(resBlocks, b)
+		}
+	}()
+
+	// Memory/trace sampler.
+	samplerDone := make(chan struct{})
+	go e.sampler(samplerDone)
+
+	// Execute under the selected mode.
+	var err error
+	switch c.cfg.Mode {
+	case ME:
+		err = e.runMaterialized()
+	default:
+		err = e.runPipelined()
+	}
+	close(e.stop)
+	<-samplerDone
+	<-resDone
+	if err != nil {
+		return nil, err
+	}
+
+	var netBytes int64
+	for n := 0; n <= c.cfg.Nodes; n++ {
+		netBytes += c.fabric.NodeEgressBytes(n)
+	}
+	// Final peak estimate: the exchange tracker records its own
+	// high-water mark (covering sub-sampling-interval queries), and
+	// hash-table state peaks at completion.
+	finalMem := e.tracker.Peak()
+	for _, inst := range e.insts {
+		for _, j := range inst.joins {
+			finalMem += j.MemBytes()
+		}
+		for _, a := range inst.aggs {
+			finalMem += a.Groups() * 64
+		}
+	}
+	if finalMem > e.peakMem.Load() {
+		e.peakMem.Store(finalMem)
+	}
+	res := &Result{
+		Names:  p.OutputNames,
+		Schema: p.Final.Root.Schema(),
+		Blocks: resBlocks,
+		Stats: ExecStats{
+			Duration:        time.Since(e.start),
+			PeakMemoryBytes: e.peakMem.Load(),
+			NetworkBytes:    netBytes,
+			SchedOverhead:   time.Duration(e.schedNs.Load()),
+			Trace:           e.trace,
+		},
+	}
+	return res, nil
+}
+
+// instantiate builds one segment instance on a node.
+func (e *exec) instantiate(seg *plan.Segment, node int) (*segInst, error) {
+	inst := &segInst{seg: seg, node: node, done: make(chan struct{})}
+	root, err := e.buildOp(seg.Root, node, inst)
+	if err != nil {
+		return nil, err
+	}
+	maxW := 0
+	if seg.OrderPreserving {
+		maxW = 1 // ordered emission requires a single worker
+	}
+	inst.el = elastic.New(root, elastic.Config{
+		BufferCap:       64,
+		OrderPreserving: seg.OrderPreserving,
+		MaxWorkers:      maxW,
+	})
+
+	// Output: the segment's exchange, or the result collector.
+	var outbox iterator.Outbox
+	var part iterator.PartitionFn
+	sch := seg.Root.Schema()
+	if seg.Out != nil {
+		ex := e.exchanges[seg.Out.Exchange]
+		outbox = ex.Outbox(node)
+		if seg.Out.PartKeys != nil {
+			part = iterator.HashPartitioner(seg.Out.PartKeys)
+		} else {
+			part = iterator.GatherPartitioner()
+		}
+	} else {
+		outbox = e.resultEx.Outbox(node)
+		part = iterator.GatherPartitioner()
+	}
+	inst.sender = iterator.NewSender(inst.el, sch, outbox, part)
+	inst.sender.SetBlockSize(e.c.cfg.BlockSize)
+	return inst, nil
+}
+
+// buildOp lowers a physical operator template into iterators on a node.
+func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterator, error) {
+	switch n := op.(type) {
+	case *plan.PScan:
+		part, err := e.c.store(node).Partition(n.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		inst.hasScan = true
+		var it iterator.Iterator = iterator.NewScanWithSchema(part, n.Sch)
+		if n.Pred != nil {
+			it = iterator.NewFilter(it, n.Sch, n.Pred)
+		}
+		return it, nil
+
+	case *plan.PMerger:
+		consNodes := e.consNodes[n.Exchange]
+		instIdx := -1
+		for i, cn := range consNodes {
+			if cn == node {
+				instIdx = i
+			}
+		}
+		if instIdx < 0 {
+			return nil, fmt.Errorf("engine: node %d is not a consumer of exchange %d", node, n.Exchange)
+		}
+		inbox := e.exchanges[n.Exchange].Inbox(instIdx)
+		m := iterator.NewMerger(inbox, n.Sch)
+		inst.mergers = append(inst.mergers, m)
+		inst.inboxes = append(inst.inboxes, inbox)
+		return m, nil
+
+	case *plan.PFilter:
+		child, err := e.buildOp(n.Child, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		return iterator.NewFilter(child, n.Child.Schema(), n.Pred), nil
+
+	case *plan.PProject:
+		child, err := e.buildOp(n.Child, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		return iterator.NewProject(child, n.Child.Schema(), n.Sch, n.Exprs), nil
+
+	case *plan.PHashJoin:
+		build, err := e.buildOp(n.Build, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := e.buildOp(n.Probe, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		hj := iterator.NewHashJoin(build, probe, n.Build.Schema(), n.Probe.Schema(),
+			n.BuildKeys, n.ProbeKeys)
+		inst.joins = append(inst.joins, hj)
+		return hj, nil
+
+	case *plan.PHashAgg:
+		child, err := e.buildOp(n.Child, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		ha := iterator.NewHashAgg(child, n.Child.Schema(), n.Keys, n.KeyNames, n.Specs, n.Algo)
+		inst.aggs = append(inst.aggs, ha)
+		return ha, nil
+
+	case *plan.PSort:
+		child, err := e.buildOp(n.Child, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		return iterator.NewSort(child, n.Child.Schema(), n.Keys), nil
+
+	case *plan.PTopN:
+		child, err := e.buildOp(n.Child, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		return iterator.NewTopN(child, n.Child.Schema(), n.Keys, int(n.N)), nil
+
+	case *plan.PLimit:
+		child, err := e.buildOp(n.Child, node, inst)
+		if err != nil {
+			return nil, err
+		}
+		return iterator.NewLimit(child, n.Child.Schema(), n.N), nil
+	}
+	return nil, fmt.Errorf("engine: cannot instantiate %T", op)
+}
+
+// startInst launches a segment instance with the given parallelism and
+// its sender driver.
+func (e *exec) startInst(inst *segInst, parallelism int) {
+	for i := 0; i < parallelism; i++ {
+		e.expand(inst)
+	}
+	go func() {
+		defer close(inst.done)
+		ctx := &iterator.Ctx{Term: &iterator.TermFlag{}}
+		_ = inst.sender.Run(ctx)
+		inst.el.Close()
+	}()
+}
+
+// expand adds one worker to an instance, assigning a core and socket.
+func (e *exec) expand(inst *segInst) bool {
+	core := int(e.coreCur[inst.node].Add(1)-1) % e.c.cfg.CoresPerNode
+	socket := 0
+	if e.c.cfg.Sockets > 1 {
+		socket = core * e.c.cfg.Sockets / e.c.cfg.CoresPerNode
+	}
+	return inst.el.Expand(core, socket) >= 0
+}
+
+// runPipelined starts every segment at once (EP and SP).
+func (e *exec) runPipelined() error {
+	initial := 1
+	if e.c.cfg.Mode == SP {
+		initial = e.c.cfg.FixedParallelism
+	} else if e.c.cfg.FixedParallelism > 1 {
+		initial = e.c.cfg.FixedParallelism
+	}
+	for _, inst := range e.insts {
+		e.startInst(inst, initial)
+	}
+
+	var schedStop chan struct{}
+	if e.c.cfg.Mode == EP {
+		schedStop = make(chan struct{})
+		go e.runSchedulers(schedStop)
+	}
+	for _, inst := range e.insts {
+		<-inst.done
+	}
+	if schedStop != nil {
+		close(schedStop)
+	}
+	return nil
+}
+
+// runMaterialized executes segments stage-at-a-time in topological
+// order: a consumer starts only after all its producers finished, with
+// the full intermediate result staged in the exchange inbox.
+func (e *exec) runMaterialized() error {
+	order, err := e.topoOrder()
+	if err != nil {
+		return err
+	}
+	instsBySeg := make(map[int][]*segInst)
+	for _, inst := range e.insts {
+		instsBySeg[inst.seg.ID] = append(instsBySeg[inst.seg.ID], inst)
+	}
+	for _, segID := range order {
+		for _, inst := range instsBySeg[segID] {
+			e.startInst(inst, e.c.cfg.FixedParallelism)
+		}
+		for _, inst := range instsBySeg[segID] {
+			<-inst.done
+		}
+	}
+	return nil
+}
+
+// topoOrder sorts segment ids producers-first.
+func (e *exec) topoOrder() ([]int, error) {
+	indeg := make(map[int]int)
+	succ := make(map[int][]int)
+	for _, s := range e.p.Segments {
+		indeg[s.ID] += 0
+	}
+	for _, ex := range e.p.Exchanges {
+		succ[ex.Producer] = append(succ[ex.Producer], ex.Consumer)
+		indeg[ex.Consumer]++
+	}
+	var queue, order []int
+	for _, s := range e.p.Segments {
+		if indeg[s.ID] == 0 {
+			queue = append(queue, s.ID)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(e.p.Segments) {
+		return nil, fmt.Errorf("engine: cyclic segment graph")
+	}
+	return order, nil
+}
+
+// sampler records peak materialized memory and the parallelism trace.
+func (e *exec) sampler(done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+		}
+		mem := e.tracker.Current()
+		for _, inst := range e.insts {
+			for _, j := range inst.joins {
+				mem += j.MemBytes()
+			}
+			for _, a := range inst.aggs {
+				mem += a.Groups() * 64 // approximate per-group footprint
+			}
+		}
+		for {
+			p := e.peakMem.Load()
+			if mem <= p || e.peakMem.CompareAndSwap(p, mem) {
+				break
+			}
+		}
+		sample := TraceSample{
+			At:          time.Since(e.start),
+			Parallelism: make(map[string]int),
+		}
+		for _, inst := range e.insts {
+			if inst.node == 0 || inst.seg.OnMaster {
+				sample.Parallelism[fmt.Sprintf("S%d", inst.seg.ID)] = inst.el.Parallelism()
+			}
+		}
+		e.traceMu.Lock()
+		e.trace = append(e.trace, sample)
+		e.traceMu.Unlock()
+	}
+}

@@ -1,0 +1,279 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+var testSch = types.NewSchema(
+	types.Col("a", types.Int64),
+	types.Col("b", types.Float64),
+	types.Char("s", 16),
+	types.Col("d", types.Date),
+)
+
+func testRec(a int64, b float64, s string, d string) []byte {
+	rec := make([]byte, testSch.Stride())
+	types.PutValue(rec, testSch, 0, types.IntVal(a))
+	types.PutValue(rec, testSch, 1, types.FloatVal(b))
+	types.PutValue(rec, testSch, 2, types.StrVal(s))
+	types.PutValue(rec, testSch, 3, types.DateVal(types.MustParseDate(d)))
+	return rec
+}
+
+func TestArith(t *testing.T) {
+	rec := testRec(10, 2.5, "x", "2010-10-30")
+	cases := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{NewArith(Add, NewCol(0, "a"), NewConst(types.IntVal(5))), types.IntVal(15)},
+		{NewArith(Sub, NewCol(0, "a"), NewConst(types.IntVal(3))), types.IntVal(7)},
+		{NewArith(Mul, NewCol(0, "a"), NewCol(1, "b")), types.FloatVal(25)},
+		{NewArith(Div, NewCol(0, "a"), NewConst(types.IntVal(4))), types.FloatVal(2.5)},
+		{NewArith(Sub, NewCol(3, "d"), NewConst(types.IntVal(1))),
+			types.DateVal(types.MustParseDate("2010-10-29"))},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(rec, testSch)
+		if got.Compare(c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroIsNull(t *testing.T) {
+	rec := testRec(1, 0, "", "1970-01-01")
+	v := NewArith(Div, NewCol(0, "a"), NewCol(1, "b")).Eval(rec, testSch)
+	if !v.Null {
+		t.Fatalf("1/0 = %v, want NULL", v)
+	}
+}
+
+func TestCmpAndLogic(t *testing.T) {
+	rec := testRec(10, 2.5, "hello", "2010-10-30")
+	tru := NewCmp(GT, NewCol(0, "a"), NewConst(types.IntVal(5)))
+	fls := NewCmp(EQ, NewCol(2, "s"), NewConst(types.StrVal("world")))
+	if !Truthy(tru.Eval(rec, testSch)) {
+		t.Error("a > 5 should hold")
+	}
+	if Truthy(fls.Eval(rec, testSch)) {
+		t.Error("s = world should not hold")
+	}
+	if Truthy(NewAnd(tru, fls).Eval(rec, testSch)) {
+		t.Error("AND failed")
+	}
+	if !Truthy(NewOr(fls, tru).Eval(rec, testSch)) {
+		t.Error("OR failed")
+	}
+	if Truthy(NewNot(tru).Eval(rec, testSch)) {
+		t.Error("NOT failed")
+	}
+}
+
+func TestAndFlattening(t *testing.T) {
+	a := NewCmp(GT, NewCol(0, "a"), NewConst(types.IntVal(1)))
+	nested := NewAnd(NewAnd(a, a), a)
+	and, ok := nested.(*And)
+	if !ok || len(and.Terms) != 3 {
+		t.Fatalf("NewAnd did not flatten: %v", nested)
+	}
+	if NewAnd(a) != a {
+		t.Fatal("single-term AND should collapse")
+	}
+}
+
+func TestBetweenIn(t *testing.T) {
+	rec := testRec(7, 0, "FOB", "1994-06-15")
+	bt := NewBetween(NewCol(3, "d"),
+		NewConst(types.DateVal(types.MustParseDate("1994-01-01"))),
+		NewConst(types.DateVal(types.MustParseDate("1994-12-31"))))
+	if !Truthy(bt.Eval(rec, testSch)) {
+		t.Error("BETWEEN failed")
+	}
+	in := NewIn(NewCol(2, "s"), []types.Value{
+		types.StrVal("MAIL"), types.StrVal("FOB"),
+	})
+	if !Truthy(in.Eval(rec, testSch)) {
+		t.Error("IN failed")
+	}
+	notIn := NewIn(NewCol(2, "s"), []types.Value{types.StrVal("AIR")})
+	if Truthy(notIn.Eval(rec, testSch)) {
+		t.Error("IN should not match")
+	}
+}
+
+func TestCase(t *testing.T) {
+	rec := testRec(10, 0, "PROMO ANODIZED", "1995-09-17")
+	c := NewCase([]When{{
+		Cond: NewLike(NewCol(2, "s"), "PROMO%", false),
+		Then: NewCol(0, "a"),
+	}}, NewConst(types.IntVal(0)))
+	if got := c.Eval(rec, testSch); got.I != 10 {
+		t.Errorf("CASE = %v", got)
+	}
+	rec2 := testRec(10, 0, "STANDARD", "1995-09-17")
+	if got := c.Eval(rec2, testSch); got.I != 0 {
+		t.Errorf("CASE else = %v", got)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	rec := testRec(0, 0, "", "1996-03-13")
+	if got := NewExtract(Year, NewCol(3, "d")).Eval(rec, testSch); got.I != 1996 {
+		t.Errorf("EXTRACT(YEAR) = %v", got)
+	}
+	if got := NewExtract(Month, NewCol(3, "d")).Eval(rec, testSch); got.I != 3 {
+		t.Errorf("EXTRACT(MONTH) = %v", got)
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello world", "%world", true},
+		{"hello world", "hello%", true},
+		{"hello world", "%lo wo%", true},
+		{"hello world", "%xyz%", false},
+		{"special requests", "%special%requests%", true},
+		{"special requests deposits", "%special%deposits", true},
+		{"abc", "abc", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "", false},
+		{"aXbYc", "a%b%c", true},
+		{"green apple", "%green%", true},
+		{"ab", "a%b%c", false},
+		{"mississippi", "%iss%ippi", true},
+		{"prefix only", "prefix%", true},
+		{"not prefix only", "prefix%", false},
+	}
+	for _, c := range cases {
+		l := NewLike(NewCol(2, "s"), c.p, false)
+		if got := l.Match(c.s); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestNotLike(t *testing.T) {
+	rec := testRec(0, 0, "ordinary text", "1970-01-01")
+	nl := NewLike(NewCol(2, "s"), "%special%requests%", true)
+	if !Truthy(nl.Eval(rec, testSch)) {
+		t.Error("NOT LIKE should hold")
+	}
+}
+
+// Property: the segment fast path agrees with the general matcher on
+// %-only patterns.
+func TestLikeFastPathAgreesWithGeneral(t *testing.T) {
+	f := func(s string, rawSegs []string) bool {
+		if len(rawSegs) > 4 {
+			rawSegs = rawSegs[:4]
+		}
+		p := "%"
+		for _, seg := range rawSegs {
+			clean := ""
+			for _, r := range seg {
+				if r != '%' && r != '_' && r < 128 {
+					clean += string(r)
+				}
+			}
+			p += clean + "%"
+		}
+		l := NewLike(nil, p, false)
+		return l.Match(s) == likeGeneral(s, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyEncoder(t *testing.T) {
+	enc := NewKeyEncoder([]Expr{NewCol(0, "a"), NewCol(2, "s")})
+	r1 := testRec(5, 0, "alpha", "1970-01-01")
+	r2 := testRec(5, 9, "alpha", "1999-01-01") // same key cols, different rest
+	r3 := testRec(5, 0, "beta", "1970-01-01")
+
+	k1 := string(enc.Encode(r1, testSch))
+	k2 := string(enc.Encode(r2, testSch))
+	k3 := string(enc.Encode(r3, testSch))
+	if k1 != k2 {
+		t.Error("equal key columns must encode equal")
+	}
+	if k1 == k3 {
+		t.Error("different key columns must encode different")
+	}
+}
+
+// Property: string keys never collide via concatenation ambiguity.
+func TestKeyEncodingUnambiguous(t *testing.T) {
+	sch := types.NewSchema(types.Char("x", 8), types.Char("y", 8))
+	enc := NewKeyEncoder([]Expr{NewCol(0, "x"), NewCol(1, "y")})
+	f := func(a, b, c, d string) bool {
+		trim := func(s string) string {
+			out := ""
+			for _, r := range s {
+				if r != 0 && r < 128 && len(out) < 8 {
+					out += string(r)
+				}
+			}
+			return out
+		}
+		a, b, c, d = trim(a), trim(b), trim(c), trim(d)
+		mk := func(x, y string) string {
+			rec := make([]byte, sch.Stride())
+			types.PutValue(rec, sch, 0, types.StrVal(x))
+			types.PutValue(rec, sch, 1, types.StrVal(y))
+			return string(enc.Encode(rec, sch))
+		}
+		if a == c && b == d {
+			return mk(a, b) == mk(c, d)
+		}
+		return mk(a, b) != mk(c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashInt64Distribution(t *testing.T) {
+	// Sequential keys must spread across buckets (no trivial clustering).
+	const buckets = 16
+	var counts [buckets]int
+	for i := int64(0); i < 16000; i++ {
+		counts[HashInt64(i)%buckets]++
+	}
+	for b, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("bucket %d has %d of 16000 keys; poor distribution", b, c)
+		}
+	}
+}
+
+func BenchmarkLikeMatcher(b *testing.B) {
+	l := NewLike(nil, "%special%requests%", false)
+	s := "the quick brown fox handles special delivery requests gracefully"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.Match(s) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkKeyEncoderHash(b *testing.B) {
+	enc := NewKeyEncoder([]Expr{NewCol(0, "a"), NewCol(2, "s")})
+	rec := testRec(42, 1.5, "hello world", "2010-10-30")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Hash(rec, testSch)
+	}
+}

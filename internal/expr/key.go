@@ -1,0 +1,95 @@
+package expr
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Key extraction shared by hash join, hash aggregation and hash
+// repartitioning: a list of expressions is evaluated over a record and
+// encoded into a compact byte key. Equal tuples produce identical keys;
+// the FNV-1a hash of the key drives both hash-table placement and
+// partition routing, so co-partitioned tables route identically.
+
+// KeyEncoder encodes the values of Exprs over records into reusable key
+// buffers. Not safe for concurrent use; each worker owns one.
+type KeyEncoder struct {
+	Exprs []Expr
+	buf   []byte
+}
+
+// NewKeyEncoder builds an encoder over the given key expressions.
+func NewKeyEncoder(exprs []Expr) *KeyEncoder {
+	return &KeyEncoder{Exprs: exprs, buf: make([]byte, 0, 64)}
+}
+
+// Encode evaluates the key expressions over rec and returns the encoded
+// key. The returned slice is valid until the next Encode call.
+func (k *KeyEncoder) Encode(rec []byte, sch *types.Schema) []byte {
+	k.buf = k.buf[:0]
+	for _, e := range k.Exprs {
+		v := e.Eval(rec, sch)
+		k.buf = appendValue(k.buf, v)
+	}
+	return k.buf
+}
+
+// Hash returns the 64-bit FNV-1a hash of the encoded key for rec.
+func (k *KeyEncoder) Hash(rec []byte, sch *types.Schema) uint64 {
+	return Hash64(k.Encode(rec, sch))
+}
+
+func appendValue(buf []byte, v types.Value) []byte {
+	if v.Null {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	switch v.Kind {
+	case types.Int64, types.Date:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+		return append(buf, tmp[:]...)
+	case types.Float64:
+		var tmp [8]byte
+		// Normalize -0.0 to +0.0 so equal floats hash equally.
+		f := v.F
+		if f == 0 {
+			f = 0
+		}
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+		return append(buf, tmp[:]...)
+	case types.String:
+		buf = append(buf, v.S...)
+		return append(buf, 0xFF) // terminator disambiguates concatenations
+	}
+	return buf
+}
+
+// Hash64 is FNV-1a over b.
+func Hash64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// HashInt64 hashes a single int64 key without encoding, a fast path for
+// the common single-integer join/partition keys (acct_id, orderkey).
+func HashInt64(v int64) uint64 {
+	// Fibonacci/splitmix-style finalizer: cheap and well distributed.
+	x := uint64(v)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,122 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Like implements SQL LIKE / NOT LIKE against a pre-compiled pattern.
+// Patterns support '%' (any run) and '_' (any single byte). The matcher
+// is allocation-free per row: S-Q1 in the paper uses a double-wildcard
+// NOT LIKE as its compute-intensive workload, so this path is hot.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+
+	segs     []string // literal segments between %s
+	leadPct  bool     // pattern starts with %
+	trailPct bool     // pattern ends with %
+	hasUnder bool     // pattern contains _, forcing the general matcher
+}
+
+// NewLike compiles a LIKE pattern.
+func NewLike(e Expr, pattern string, negate bool) *Like {
+	l := &Like{E: e, Pattern: pattern, Negate: negate}
+	l.hasUnder = strings.ContainsRune(pattern, '_')
+	if !l.hasUnder {
+		l.leadPct = strings.HasPrefix(pattern, "%")
+		l.trailPct = strings.HasSuffix(pattern, "%")
+		for _, s := range strings.Split(pattern, "%") {
+			if s != "" {
+				l.segs = append(l.segs, s)
+			}
+		}
+	}
+	return l
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(rec []byte, sch *types.Schema) types.Value {
+	v := l.E.Eval(rec, sch)
+	if v.Null {
+		return types.NullVal(types.Int64)
+	}
+	ok := l.Match(v.S)
+	if l.Negate {
+		ok = !ok
+	}
+	return boolVal(ok)
+}
+
+// Match reports whether s matches the compiled pattern.
+func (l *Like) Match(s string) bool {
+	if l.hasUnder {
+		return likeGeneral(s, l.Pattern)
+	}
+	// Fast path: ordered substring search over literal segments.
+	if len(l.segs) == 0 {
+		// Pattern is only % runs (or empty): empty pattern matches only
+		// the empty string; any % matches everything.
+		if l.Pattern == "" {
+			return s == ""
+		}
+		return true
+	}
+	rest := s
+	for i, seg := range l.segs {
+		idx := strings.Index(rest, seg)
+		if idx < 0 {
+			return false
+		}
+		if i == 0 && !l.leadPct && idx != 0 {
+			return false
+		}
+		rest = rest[idx+len(seg):]
+	}
+	if !l.trailPct && rest != "" {
+		return false
+	}
+	return true
+}
+
+// likeGeneral is the full wildcard matcher handling '_' via iterative
+// backtracking (the classic two-pointer glob algorithm).
+func likeGeneral(s, p string) bool {
+	si, pi := 0, 0
+	star, sStar := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sStar = si
+			pi++
+		case star >= 0:
+			sStar++
+			si = sStar
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// Kind implements Expr.
+func (l *Like) Kind(*types.Schema) types.Kind { return types.Int64 }
+
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", l.E, op, l.Pattern)
+}

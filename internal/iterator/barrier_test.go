@@ -1,0 +1,171 @@
+package iterator
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBarrierBasic(t *testing.T) {
+	b := NewBarrier()
+	const n = 5
+	var wg sync.WaitGroup
+	var passed sync.WaitGroup
+	passed.Add(n)
+	for i := 0; i < n; i++ {
+		if !b.register() {
+			t.Fatal("register on fresh barrier failed")
+		}
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Arrive()
+			passed.Done()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { passed.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier deadlocked")
+	}
+	wg.Wait()
+	if !b.Passed() {
+		t.Fatal("barrier should be passed")
+	}
+}
+
+func TestBarrierPassedFallsThrough(t *testing.T) {
+	b := NewBarrier()
+	b.register()
+	b.Arrive()
+	if !b.Passed() {
+		t.Fatal("single-member barrier should pass")
+	}
+	// A late (expanded) worker must not block and must not re-arm.
+	if b.register() {
+		t.Fatal("register on passed barrier should be a no-op")
+	}
+	doneCh := make(chan struct{})
+	go func() { b.Arrive(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("late arrival blocked on passed barrier")
+	}
+}
+
+func TestBarrierDeregisterReleasesWaiters(t *testing.T) {
+	b := NewBarrier()
+	b.register() // waiter
+	b.register() // the one that will leave
+	released := make(chan struct{})
+	go func() {
+		b.Arrive()
+		close(released)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	b.deregister()                    // departing worker broadcasts exit
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deregister did not release waiting worker")
+	}
+}
+
+func TestBarrierDeregisterBeforeAnyArrive(t *testing.T) {
+	b := NewBarrier()
+	b.register()
+	b.deregister()
+	if !b.Passed() {
+		// With zero members remaining and zero arrived, the phase
+		// completes vacuously.
+		t.Fatal("lone member leaving should complete the phase")
+	}
+}
+
+// Fuzzed join/leave/arrive schedules must never deadlock (DESIGN.md
+// invariant: barrier liveness).
+func TestBarrierFuzzedMembership(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		b := NewBarrier()
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := rng.Intn(8) + 1
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			if !b.register() {
+				continue
+			}
+			wg.Add(1)
+			leave := rng.Intn(3) == 0
+			delay := time.Duration(rng.Intn(3)) * time.Millisecond
+			go func(leave bool, delay time.Duration) {
+				defer wg.Done()
+				time.Sleep(delay)
+				if leave {
+					b.deregister()
+					return
+				}
+				b.Arrive()
+			}(leave, delay)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("trial %d deadlocked", trial)
+		}
+	}
+}
+
+func TestContextPoolModes(t *testing.T) {
+	core0 := &Ctx{Core: 0, Socket: 0}
+	core1 := &Ctx{Core: 1, Socket: 0}
+	sock1 := &Ctx{Core: 2, Socket: 1}
+
+	// Core mode: only the same core gets the context back.
+	p := NewContextPool(CoreMode)
+	p.Put(core0, "ctx0")
+	if v := p.Get(core1); v != nil {
+		t.Fatal("core mode leaked across cores")
+	}
+	if v := p.Get(core0); v != "ctx0" {
+		t.Fatalf("core mode Get = %v", v)
+	}
+
+	// Processor mode: same socket only.
+	p = NewContextPool(ProcessorMode)
+	p.Put(core0, "s0")
+	if v := p.Get(sock1); v != nil {
+		t.Fatal("processor mode leaked across sockets")
+	}
+	if v := p.Get(core1); v != "s0" {
+		t.Fatalf("processor mode Get = %v", v)
+	}
+
+	// Void mode: anyone.
+	p = NewContextPool(VoidMode)
+	p.Put(core0, "any")
+	if v := p.Get(sock1); v != "any" {
+		t.Fatalf("void mode Get = %v", v)
+	}
+}
+
+func TestContextPoolDrain(t *testing.T) {
+	p := NewContextPool(CoreMode)
+	p.Put(&Ctx{Core: 0}, 1)
+	p.Put(&Ctx{Core: 1}, 2)
+	p.Put(&Ctx{Core: 2}, 3)
+	got := p.Drain()
+	if len(got) != 3 {
+		t.Fatalf("drained %d contexts, want 3", len(got))
+	}
+	if len(p.Drain()) != 0 {
+		t.Fatal("second drain should be empty")
+	}
+}

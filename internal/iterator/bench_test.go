@@ -1,0 +1,100 @@
+package iterator
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Operator micro-benchmarks: per-tuple throughput of the hot paths.
+// cmd/calibrate reports the same quantities as a standalone tool; these
+// keep them visible in `go test -bench`.
+
+func benchPartition(b *testing.B, rows int) (sch *types.Schema, mk func() Iterator) {
+	sch = types.NewSchema(
+		types.Col("k", types.Int64),
+		types.Col("v", types.Float64),
+		types.Char("s", 24),
+	)
+	p := buildPartition(sch, rows, 64*1024, func(i int, rec []byte) {
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i%10000)))
+		types.PutValue(rec, sch, 1, types.FloatVal(float64(i)))
+		types.PutValue(rec, sch, 2, types.StrVal("carefully final deposits"))
+	})
+	return sch, func() Iterator { return NewScan(p) }
+}
+
+func drainAll(b *testing.B, it Iterator) {
+	ctx := &Ctx{Term: &TermFlag{}}
+	if st := it.Open(ctx); st != OK {
+		b.Fatal(st)
+	}
+	for {
+		if _, st := it.Next(ctx); st != OK {
+			return
+		}
+	}
+}
+
+func BenchmarkFilterDatePredicate(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	pred := expr.NewCmp(expr.LT, expr.NewCol(0, "k"), expr.NewConst(types.IntVal(5000)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainAll(b, NewFilter(mk(), sch, pred))
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkFilterNotLike(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	pred := expr.NewLike(expr.NewCol(2, "s"), "%special%requests%", true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainAll(b, NewFilter(mk(), sch, pred))
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkHashAggShared(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainAll(b, NewHashAgg(mk(), sch,
+			[]expr.Expr{expr.NewCol(0, "k")}, []string{"k"},
+			[]AggSpec{{Func: Sum, Arg: expr.NewCol(1, "v"), Name: "s"}},
+			SharedAgg))
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkHashJoinBuildProbe(b *testing.B) {
+	const buildRows, probeRows = 20_000, 200_000
+	sch, _ := benchPartition(b, 1)
+	bp := buildPartition(sch, buildRows, 64*1024, func(i int, rec []byte) {
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i)))
+	})
+	pp := buildPartition(sch, probeRows, 64*1024, func(i int, rec []byte) {
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i%(buildRows*2))))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainAll(b, NewHashJoin(NewScan(bp), NewScan(pp), sch, sch,
+			[]expr.Expr{expr.NewCol(0, "k")}, []expr.Expr{expr.NewCol(0, "k")}))
+	}
+	b.ReportMetric(float64(b.N)*probeRows/b.Elapsed().Seconds(), "probe-tuples/s")
+}
+
+func BenchmarkSort(b *testing.B) {
+	const rows = 100_000
+	sch, mk := benchPartition(b, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainAll(b, NewSort(mk(), sch, []SortKey{{E: expr.NewCol(0, "k")}}))
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}

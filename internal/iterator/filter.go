@@ -1,0 +1,167 @@
+package iterator
+
+import (
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Filter drops tuples failing a predicate. Its state (the compiled
+// predicate) is read-only after Open, so Next needs no synchronization
+// (Appendix A.2.3). The operator keeps cumulative input/output counters
+// to stamp downstream visit rates with its running selectivity
+// (Section 4.3).
+type Filter struct {
+	child Iterator
+	sch   *types.Schema
+	pred  expr.Expr
+
+	// BlockPerBlock, when set, makes Next consume exactly one child
+	// block per output block (possibly emitting an empty block). This
+	// 1:1 mode preserves the child's sequence numbering and is required
+	// when the filter feeds an order-preserving elastic buffer
+	// (Section 3.2(2)). The default compacting mode refills output
+	// blocks across child blocks for density.
+	BlockPerBlock bool
+
+	in, out atomic.Int64
+	opened  once
+	barrier *Barrier
+}
+
+// NewFilter builds a filter over child with the given predicate.
+func NewFilter(child Iterator, sch *types.Schema, pred expr.Expr) *Filter {
+	return &Filter{child: child, sch: sch, pred: pred, barrier: NewBarrier()}
+}
+
+// Schema returns the (unchanged) output schema.
+func (f *Filter) Schema() *types.Schema { return f.sch }
+
+// Selectivity returns the running output/input tuple ratio, 1 until the
+// first input arrives.
+func (f *Filter) Selectivity() float64 {
+	in := f.in.Load()
+	if in == 0 {
+		return 1
+	}
+	return float64(f.out.Load()) / float64(in)
+}
+
+// Open initializes the predicate reference (first worker) and opens the
+// child recursively from every worker.
+func (f *Filter) Open(ctx *Ctx) Status {
+	ctx.RegisterBarrier(f.barrier)
+	if st := f.child.Open(ctx); st == Terminated {
+		ctx.BroadcastExit()
+		return Terminated
+	}
+	f.opened.First() // predicate is pre-compiled; nothing to build
+	f.barrier.Arrive()
+	return OK
+}
+
+// Next pulls child blocks and emits the qualifying tuples.
+func (f *Filter) Next(ctx *Ctx) (*block.Block, Status) {
+	var outB *block.Block
+	target := 0
+	for {
+		in, st := f.child.Next(ctx)
+		if st != OK {
+			// Flush the partial block gathered so far; on Terminated the
+			// shrink protocol requires completely-processed input blocks
+			// to reach the output before the worker exits (Section 3.1).
+			if outB != nil && outB.NumTuples() > 0 {
+				return outB, OK
+			}
+			return nil, st
+		}
+		if outB == nil {
+			outB = block.New(f.sch, in.SizeBytes(), ctx.Tracker)
+			outB.Seq = in.Seq
+			outB.Socket = in.Socket
+			target = outB.Cap()/2 + 1
+		}
+		n := in.NumTuples()
+		outB.EnsureRoom(n)
+		kept := 0
+		for i := 0; i < n; i++ {
+			rec := in.Row(i)
+			if expr.Truthy(f.pred.Eval(rec, f.sch)) {
+				outB.AppendRow(rec)
+				kept++
+			}
+		}
+		f.in.Add(int64(n))
+		f.out.Add(int64(kept))
+		outB.VisitRate = in.VisitRate * f.Selectivity()
+		if f.BlockPerBlock {
+			outB.Seq = in.Seq
+			return outB, OK
+		}
+		// Compacting mode: keep pulling until the output block reaches
+		// half its original capacity, then emit.
+		if outB.NumTuples() >= target {
+			return outB, OK
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *Filter) Close() { f.child.Close() }
+
+// Project evaluates an expression list per tuple, producing a new
+// schema. Like Filter, its state is read-only after construction.
+type Project struct {
+	child  Iterator
+	inSch  *types.Schema
+	outSch *types.Schema
+	exprs  []expr.Expr
+	opened once
+	barrier *Barrier
+}
+
+// NewProject builds a projection. outSch must have one column per
+// expression, with kinds matching the expressions' result kinds.
+func NewProject(child Iterator, inSch, outSch *types.Schema, exprs []expr.Expr) *Project {
+	return &Project{child: child, inSch: inSch, outSch: outSch, exprs: exprs,
+		barrier: NewBarrier()}
+}
+
+// Schema returns the projected schema.
+func (p *Project) Schema() *types.Schema { return p.outSch }
+
+// Open implements Iterator.
+func (p *Project) Open(ctx *Ctx) Status {
+	ctx.RegisterBarrier(p.barrier)
+	if st := p.child.Open(ctx); st == Terminated {
+		ctx.BroadcastExit()
+		return Terminated
+	}
+	p.barrier.Arrive()
+	return OK
+}
+
+// Next implements Iterator.
+func (p *Project) Next(ctx *Ctx) (*block.Block, Status) {
+	in, st := p.child.Next(ctx)
+	if st != OK {
+		return nil, st
+	}
+	out := block.New(p.outSch, in.NumTuples()*p.outSch.Stride(), ctx.Tracker)
+	out.Seq = in.Seq
+	out.Socket = in.Socket
+	out.VisitRate = in.VisitRate
+	for i := 0; i < in.NumTuples(); i++ {
+		rec := in.Row(i)
+		dst := out.AppendRowTo()
+		for c, e := range p.exprs {
+			types.PutValue(dst, p.outSch, c, e.Eval(rec, p.inSch))
+		}
+	}
+	return out, OK
+}
+
+// Close implements Iterator.
+func (p *Project) Close() { p.child.Close() }

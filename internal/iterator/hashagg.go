@@ -1,0 +1,453 @@
+package iterator
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	Sum AggFunc = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// String renders the function name.
+func (f AggFunc) String() string {
+	return [...]string{"sum", "count", "avg", "min", "max"}[f]
+}
+
+// AggSpec describes one aggregate in the SELECT list. A nil Arg means
+// COUNT(*).
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+	Name string
+}
+
+// ResultKind reports the output column kind of the aggregate given the
+// input schema.
+func (a AggSpec) ResultKind(sch *types.Schema) types.Kind {
+	switch a.Func {
+	case Count:
+		return types.Int64
+	case Avg:
+		return types.Float64
+	case Sum:
+		if a.Arg.Kind(sch) == types.Int64 {
+			return types.Int64
+		}
+		return types.Float64
+	default: // Min, Max
+		return a.Arg.Kind(sch)
+	}
+}
+
+// AggAlgorithm selects the hash-aggregation strategy the paper evaluates
+// in Figure 8(b) and Appendix Algorithm 7.
+type AggAlgorithm uint8
+
+const (
+	// SharedAgg lets every worker update one global hash table directly;
+	// efficient for large group-by cardinality, contended for small.
+	SharedAgg AggAlgorithm = iota
+	// IndependentAgg gives each worker an unbounded private table merged
+	// into the global table at the end of input.
+	IndependentAgg
+	// HybridAgg gives each worker a bounded private table that absorbs
+	// hot groups; on overflow, entries flush straight to the global
+	// table. Private tables are parked in a core-mode context pool on
+	// shrink and reused on expand (Section 3.2(1)).
+	HybridAgg
+)
+
+// aggCell accumulates one aggregate for one group.
+type aggCell struct {
+	sumF float64
+	sumI int64
+	cnt  int64
+	min  types.Value
+	max  types.Value
+	init bool
+}
+
+func (c *aggCell) update(f AggFunc, v types.Value) {
+	switch f {
+	case Count:
+		if !v.Null {
+			c.cnt++
+		}
+	case Sum, Avg:
+		if v.Null {
+			return
+		}
+		c.cnt++
+		if v.Kind == types.Int64 {
+			c.sumI += v.I
+		}
+		c.sumF += v.AsFloat()
+	case Min:
+		if v.Null {
+			return
+		}
+		if !c.init || v.Compare(c.min) < 0 {
+			c.min = copyVal(v)
+		}
+	case Max:
+		if v.Null {
+			return
+		}
+		if !c.init || v.Compare(c.max) > 0 {
+			c.max = copyVal(v)
+		}
+	}
+	c.init = true
+}
+
+func (c *aggCell) merge(f AggFunc, o *aggCell) {
+	if !o.init {
+		return
+	}
+	switch f {
+	case Count, Sum, Avg:
+		c.cnt += o.cnt
+		c.sumI += o.sumI
+		c.sumF += o.sumF
+	case Min:
+		if !c.init || o.min.Compare(c.min) < 0 {
+			c.min = o.min
+		}
+	case Max:
+		if !c.init || o.max.Compare(c.max) > 0 {
+			c.max = o.max
+		}
+	}
+	c.init = true
+}
+
+func (c *aggCell) result(f AggFunc, kind types.Kind) types.Value {
+	switch f {
+	case Count:
+		return types.IntVal(c.cnt)
+	case Sum:
+		if !c.init || c.cnt == 0 {
+			return types.NullVal(kind)
+		}
+		if kind == types.Int64 {
+			return types.IntVal(c.sumI)
+		}
+		return types.FloatVal(c.sumF)
+	case Avg:
+		if c.cnt == 0 {
+			return types.NullVal(types.Float64)
+		}
+		return types.FloatVal(c.sumF / float64(c.cnt))
+	case Min:
+		if !c.init {
+			return types.NullVal(kind)
+		}
+		return c.min
+	default:
+		if !c.init {
+			return types.NullVal(kind)
+		}
+		return c.max
+	}
+}
+
+// copyVal detaches a string value from its backing block so it survives
+// beyond the row's lifetime.
+func copyVal(v types.Value) types.Value {
+	if v.Kind == types.String {
+		v.S = string(append([]byte(nil), v.S...))
+	}
+	return v
+}
+
+// group holds the key values and aggregate cells of one group.
+type group struct {
+	keyVals []types.Value
+	cells   []aggCell
+}
+
+type aggShard struct {
+	mu     sync.Mutex
+	groups map[string]*group
+}
+
+const aggShards = 64
+
+// maxPrivateGroups bounds hybrid aggregation's private tables.
+const maxPrivateGroups = 4096
+
+// privTable is the per-worker context of hybrid aggregation.
+type privTable struct {
+	groups map[string]*group
+}
+
+// HashAgg is the hash aggregation iterator (Appendix Algorithm 7):
+// Open consumes the entire child dataflow, updating the hash table(s)
+// under the configured algorithm; Next emits result blocks from the
+// global table behind an atomic shard cursor.
+type HashAgg struct {
+	child    Iterator
+	inSch    *types.Schema
+	outSch   *types.Schema
+	keys     []expr.Expr
+	specs    []AggSpec
+	algo     AggAlgorithm
+	shards    []aggShard
+	mask      uint64
+	done      *Barrier
+	flushed   *Barrier
+	drainOnce once
+	pool      *ContextPool
+	emitCur   atomic.Int64
+	rowsIn    atomic.Int64
+	memGroups atomic.Int64
+	lastVR    atomicFloat
+}
+
+// NewHashAgg builds a hash aggregation. The output schema is the group
+// key columns followed by one column per aggregate.
+func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
+	keyNames []string, specs []AggSpec, algo AggAlgorithm) *HashAgg {
+	cols := make([]types.Column, 0, len(keys)+len(specs))
+	for i, k := range keys {
+		kind := k.Kind(inSch)
+		w := 8
+		if kind == types.String {
+			// Width of the source column when the key is a plain column
+			// reference; otherwise a generous default.
+			w = 32
+			if c, ok := k.(*expr.Col); ok {
+				w = inSch.Cols[c.Idx].Width
+			}
+		}
+		cols = append(cols, types.Column{Name: keyNames[i], Kind: kind, Width: w})
+	}
+	for _, s := range specs {
+		cols = append(cols, types.Col(s.Name, s.ResultKind(inSch)))
+	}
+	ha := &HashAgg{
+		child: child, inSch: inSch,
+		outSch: types.NewSchema(cols...),
+		keys:   keys, specs: specs, algo: algo,
+		shards: make([]aggShard, aggShards),
+		mask:    aggShards - 1,
+		done:    NewBarrier(),
+		flushed: NewBarrier(),
+		pool:    NewContextPool(CoreMode),
+	}
+	for i := range ha.shards {
+		ha.shards[i].groups = make(map[string]*group)
+	}
+	if len(keys) == 0 {
+		// Scalar aggregation returns exactly one row even on empty
+		// input (COUNT(*) of nothing is 0): pre-seed the single group.
+		h := expr.Hash64(nil)
+		sh := &ha.shards[h&ha.mask]
+		sh.groups[""] = &group{cells: make([]aggCell, len(specs))}
+		ha.memGroups.Store(1)
+	}
+	return ha
+}
+
+// Schema returns the aggregation output schema.
+func (ha *HashAgg) Schema() *types.Schema { return ha.outSch }
+
+// Groups returns the current number of groups in the global table.
+func (ha *HashAgg) Groups() int64 { return ha.memGroups.Load() }
+
+// Open runs the parallel aggregation phase.
+func (ha *HashAgg) Open(ctx *Ctx) Status {
+	ctx.RegisterBarrier(ha.done)
+	ctx.RegisterBarrier(ha.flushed)
+	if st := ha.child.Open(ctx); st == Terminated {
+		ctx.BroadcastExit()
+		return Terminated
+	}
+
+	var priv *privTable
+	if ha.algo != SharedAgg {
+		if v := ha.pool.Get(ctx); v != nil {
+			priv = v.(*privTable)
+		} else {
+			priv = &privTable{groups: make(map[string]*group)}
+		}
+	}
+
+	enc := expr.NewKeyEncoder(ha.keys)
+	for {
+		b, st := ha.child.Next(ctx)
+		if st == Terminated {
+			// Park the private table for reuse by a future worker
+			// before detaching (Algorithm 7 lines 9-13).
+			if priv != nil {
+				ha.pool.Put(ctx, priv)
+			}
+			ctx.BroadcastExit()
+			return Terminated
+		}
+		if st == End {
+			break
+		}
+		if b.VisitRate > 0 {
+			ha.lastVR.Store(b.VisitRate)
+		}
+		n := b.NumTuples()
+		for i := 0; i < n; i++ {
+			rec := b.Row(i)
+			key := enc.Encode(rec, ha.inSch)
+			switch ha.algo {
+			case SharedAgg:
+				ha.updateGlobal(key, rec)
+			default:
+				ha.updatePrivate(priv, key, rec)
+			}
+		}
+		ha.rowsIn.Add(int64(n))
+	}
+	// Flush this worker's private table, then synchronize. Tables parked
+	// by terminated workers are drained by exactly one worker *after*
+	// the done barrier: only then is it certain no further worker will
+	// park one (termination deregisters from the barrier after parking).
+	if priv != nil {
+		ha.flushPrivate(priv)
+	}
+	ha.done.Arrive()
+	if ha.drainOnce.First() {
+		for _, v := range ha.pool.Drain() {
+			ha.flushPrivate(v.(*privTable))
+		}
+	}
+	ha.flushed.Arrive()
+	return OK
+}
+
+func (ha *HashAgg) updateGlobal(key []byte, rec []byte) {
+	h := expr.Hash64(key)
+	sh := &ha.shards[h&ha.mask]
+	sh.mu.Lock()
+	g, ok := sh.groups[string(key)]
+	if !ok {
+		g = ha.newGroup(rec)
+		sh.groups[string(key)] = g
+		ha.memGroups.Add(1)
+	}
+	for j := range ha.specs {
+		v := ha.evalArg(j, rec)
+		g.cells[j].update(ha.specs[j].Func, v)
+	}
+	sh.mu.Unlock()
+}
+
+func (ha *HashAgg) updatePrivate(priv *privTable, key []byte, rec []byte) {
+	g, ok := priv.groups[string(key)]
+	if !ok {
+		if ha.algo == HybridAgg && len(priv.groups) >= maxPrivateGroups {
+			// Private table full: route this tuple straight to the
+			// global table (overflow flush).
+			ha.updateGlobal(key, rec)
+			return
+		}
+		g = ha.newGroup(rec)
+		priv.groups[string(key)] = g
+	}
+	for j := range ha.specs {
+		v := ha.evalArg(j, rec)
+		g.cells[j].update(ha.specs[j].Func, v)
+	}
+}
+
+func (ha *HashAgg) newGroup(rec []byte) *group {
+	g := &group{
+		keyVals: make([]types.Value, len(ha.keys)),
+		cells:   make([]aggCell, len(ha.specs)),
+	}
+	for i, k := range ha.keys {
+		g.keyVals[i] = copyVal(k.Eval(rec, ha.inSch))
+	}
+	return g
+}
+
+func (ha *HashAgg) evalArg(j int, rec []byte) types.Value {
+	if ha.specs[j].Arg == nil {
+		return types.IntVal(1) // COUNT(*)
+	}
+	return ha.specs[j].Arg.Eval(rec, ha.inSch)
+}
+
+// flushPrivate merges a private table into the global shards.
+func (ha *HashAgg) flushPrivate(priv *privTable) {
+	for key, g := range priv.groups {
+		h := expr.Hash64([]byte(key))
+		sh := &ha.shards[h&ha.mask]
+		sh.mu.Lock()
+		dst, ok := sh.groups[key]
+		if !ok {
+			sh.groups[key] = g
+			ha.memGroups.Add(1)
+		} else {
+			for j := range ha.specs {
+				dst.cells[j].merge(ha.specs[j].Func, &g.cells[j])
+			}
+		}
+		sh.mu.Unlock()
+	}
+	priv.groups = make(map[string]*group)
+}
+
+// Next emits one shard's groups per call, claimed via an atomic cursor
+// so concurrent workers never emit the same group twice.
+func (ha *HashAgg) Next(ctx *Ctx) (*block.Block, Status) {
+	for {
+		if ctx.Term.Requested() {
+			ctx.BroadcastExit()
+			return nil, Terminated
+		}
+		idx := ha.emitCur.Add(1) - 1
+		if idx >= int64(len(ha.shards)) {
+			return nil, End
+		}
+		sh := &ha.shards[idx]
+		if len(sh.groups) == 0 {
+			continue
+		}
+		out := block.New(ha.outSch, len(sh.groups)*ha.outSch.Stride(), ctx.Tracker)
+		// Propagate the visit rate with this operator's group-reduction
+		// selectivity (Section 4.3): δ_agg = groups / input tuples.
+		if in := ha.rowsIn.Load(); in > 0 {
+			vr := ha.lastVR.Load()
+			if vr <= 0 {
+				vr = 1
+			}
+			out.VisitRate = vr * float64(ha.memGroups.Load()) / float64(in)
+		}
+		nk := len(ha.keys)
+		for _, g := range sh.groups {
+			dst := out.AppendRowTo()
+			for i, v := range g.keyVals {
+				types.PutValue(dst, ha.outSch, i, v)
+			}
+			for j := range ha.specs {
+				kind := ha.outSch.Cols[nk+j].Kind
+				types.PutValue(dst, ha.outSch, nk+j,
+					g.cells[j].result(ha.specs[j].Func, kind))
+			}
+		}
+		return out, OK
+	}
+}
+
+// Close implements Iterator.
+func (ha *HashAgg) Close() { ha.child.Close() }

@@ -1,0 +1,110 @@
+package iterator
+
+import (
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Scan reads the local partition of a table (Appendix Algorithm 3). All
+// workers share per-socket read cursors; a worker prefers blocks on its
+// own NUMA socket and steals from other sockets once its own are
+// exhausted (Section 3.2(3), NUMA awareness). As a stage beginner, Scan
+// stamps order-preservation sequence numbers and the visit rate 1.0, and
+// honors termination requests at Next.
+type Scan struct {
+	part    *storage.Partition
+	sch     *types.Schema // optional display-name override
+	bySock  [][]*block.Block
+	cursors []atomic.Int64
+	seq     atomic.Uint64
+	opened  once
+	barrier *Barrier
+}
+
+// NewScan builds a scan over a node-local partition.
+func NewScan(part *storage.Partition) *Scan {
+	s := &Scan{part: part, barrier: NewBarrier()}
+	n := part.Sockets
+	if n < 1 {
+		n = 1
+	}
+	s.bySock = make([][]*block.Block, n)
+	for _, b := range part.Blocks {
+		sock := b.Socket % n
+		s.bySock[sock] = append(s.bySock[sock], b)
+	}
+	s.cursors = make([]atomic.Int64, n)
+	return s
+}
+
+// NewScanWithSchema builds a scan whose reported schema carries
+// plan-qualified column names. The record layout is identical to the
+// partition's schema; only display names differ.
+func NewScanWithSchema(part *storage.Partition, sch *types.Schema) *Scan {
+	s := NewScan(part)
+	s.sch = sch
+	return s
+}
+
+// Schema returns the scan output schema.
+func (s *Scan) Schema() *types.Schema {
+	if s.sch != nil {
+		return s.sch
+	}
+	return s.part.Schema
+}
+
+// Open initializes the shared read cursors; only the first worker does
+// the (trivial) work, later workers pass the barrier immediately.
+func (s *Scan) Open(ctx *Ctx) Status {
+	ctx.RegisterBarrier(s.barrier)
+	if s.opened.First() {
+		// Cursors are zero-valued and ready; nothing further to build.
+	}
+	s.barrier.Arrive()
+	return OK
+}
+
+// Next returns the next unread block, preferring the caller's socket.
+// The returned block is owned by storage and must be treated as
+// read-only; it carries a fresh sequence number and visit rate 1.
+func (s *Scan) Next(ctx *Ctx) (*block.Block, Status) {
+	if ctx.Term.Requested() {
+		ctx.BroadcastExit()
+		return nil, Terminated
+	}
+	n := len(s.bySock)
+	for probe := 0; probe < n; probe++ {
+		sock := (ctx.Socket + probe) % n
+		idx := s.cursors[sock].Add(1) - 1
+		if idx < int64(len(s.bySock[sock])) {
+			src := s.bySock[sock][idx]
+			out := shallowStamp(src, s.seq.Add(1)-1)
+			// Stage beginners report consumed tuples: this feeds the
+			// scheduler's processing-rate measurement (Section 4.4).
+			if ctx.OnBlockDone != nil {
+				ctx.OnBlockDone(out.NumTuples())
+			}
+			return out, OK
+		}
+		// Socket exhausted; undo is unnecessary (cursor past end is
+		// fine) and we fall through to steal from the next socket.
+	}
+	return nil, End
+}
+
+// Close implements Iterator.
+func (s *Scan) Close() {}
+
+// shallowStamp wraps a storage block for the dataflow: same payload,
+// fresh metadata. Storage blocks are immutable in the pipeline, so
+// sharing the payload is safe; metadata lives on the wrapper.
+func shallowStamp(src *block.Block, seq uint64) *block.Block {
+	out := *src
+	out.Seq = seq
+	out.VisitRate = 1.0
+	return &out
+}

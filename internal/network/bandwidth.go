@@ -1,0 +1,78 @@
+package network
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket bandwidth limiter emulating a NIC: Take
+// blocks the caller until the requested bytes fit the configured rate.
+// A zero rate means unlimited. The paper's testbed interconnect is
+// Gigabit Ethernet (Section 5.1); the in-process transport uses one
+// limiter per node NIC so that network-bound pipelines exhibit the
+// saturation behavior of Figures 10-12.
+type Limiter struct {
+	mu       sync.Mutex
+	rate     float64 // bytes per second; 0 = unlimited
+	capacity float64 // burst size in bytes
+	tokens   float64
+	last     time.Time
+	taken    int64
+}
+
+// NewLimiter creates a limiter at the given rate in bytes/second with a
+// burst capacity of 1/16 second of traffic.
+func NewLimiter(bytesPerSec float64) *Limiter {
+	return &Limiter{
+		rate:     bytesPerSec,
+		capacity: bytesPerSec / 16,
+		tokens:   bytesPerSec / 16,
+		last:     time.Now(),
+	}
+}
+
+// Take consumes n bytes of budget, sleeping as needed. Bytes are
+// accounted even when the limiter is unlimited.
+func (l *Limiter) Take(n int) {
+	if l == nil {
+		return
+	}
+	if l.rate <= 0 {
+		l.mu.Lock()
+		l.taken += int64(n)
+		l.mu.Unlock()
+		return
+	}
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.capacity {
+			l.tokens = l.capacity
+		}
+		l.last = now
+		if l.tokens >= float64(n) {
+			l.tokens -= float64(n)
+			l.taken += int64(n)
+			l.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - l.tokens
+		wait := time.Duration(deficit / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		if wait < 50*time.Microsecond {
+			wait = 50 * time.Microsecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Taken returns the cumulative bytes that passed the limiter.
+func (l *Limiter) Taken() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.taken
+}

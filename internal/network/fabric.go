@@ -1,0 +1,135 @@
+package network
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+// Fabric abstracts the exchange substrate the engine wires segments
+// over, so the same execution code runs on the in-process transport
+// (tests, examples, simulated bandwidth) or across real TCP sockets.
+type Fabric interface {
+	// NewExchange declares an exchange: producers instances ship
+	// sch-typed blocks to one consumer instance per entry of
+	// consumerNodes. bufBlocks bounds each inbox (<=0 unbounded);
+	// tracker accounts staged bytes.
+	NewExchange(id, producers int, consumerNodes []int, sch *types.Schema,
+		bufBlocks int, tracker *block.Tracker) FabricExchange
+	// NodeEgressBytes reports bytes a node pushed into the fabric.
+	NodeEgressBytes(node int) int64
+}
+
+// FabricExchange is one wired exchange.
+type FabricExchange interface {
+	Inbox(i int) *Inbox
+	Outbox(producerNode int) iterator.Outbox
+}
+
+// --- in-process fabric -------------------------------------------------------
+
+// InProcFabric adapts InProc to the Fabric interface.
+type InProcFabric struct{ T *InProc }
+
+// NewExchange implements Fabric. The in-process transport moves blocks
+// by pointer, so the schema is not needed for decoding.
+func (f InProcFabric) NewExchange(id, producers int, consumerNodes []int,
+	_ *types.Schema, bufBlocks int, tracker *block.Tracker) FabricExchange {
+	return inprocExchange{f.T.NewExchange(id, producers, consumerNodes, bufBlocks, tracker)}
+}
+
+// NodeEgressBytes implements Fabric.
+func (f InProcFabric) NodeEgressBytes(node int) int64 {
+	return f.T.NodeEgressBytes(node)
+}
+
+type inprocExchange struct{ ex *Exchange }
+
+func (e inprocExchange) Inbox(i int) *Inbox              { return e.ex.Inbox(i) }
+func (e inprocExchange) Outbox(node int) iterator.Outbox { return e.ex.Outbox(node) }
+
+// --- TCP fabric ---------------------------------------------------------------
+
+// TCPFabric runs every exchange over real sockets: one TCPNode per
+// cluster node (including the master), typically on loopback within one
+// process, or across machines when the peer map says so. Blocks pass
+// through the block wire codec on every hop.
+type TCPFabric struct {
+	nodes  map[int]*TCPNode
+	egress map[int]*atomic.Int64
+}
+
+// NewTCPFabric builds a fabric over the given nodes (node id → TCPNode).
+func NewTCPFabric(nodes map[int]*TCPNode) *TCPFabric {
+	f := &TCPFabric{nodes: nodes, egress: make(map[int]*atomic.Int64)}
+	for id := range nodes {
+		f.egress[id] = &atomic.Int64{}
+	}
+	return f
+}
+
+// NewExchange implements Fabric.
+func (f *TCPFabric) NewExchange(id, producers int, consumerNodes []int,
+	sch *types.Schema, bufBlocks int, tracker *block.Tracker) FabricExchange {
+	ex := &tcpExchange{fabric: f, id: id, consumerNodes: consumerNodes}
+	for i, cn := range consumerNodes {
+		node, ok := f.nodes[cn]
+		if !ok {
+			panic(fmt.Sprintf("network: TCP fabric has no node %d", cn))
+		}
+		ex.inboxes = append(ex.inboxes,
+			node.RegisterInbox(id, i, producers, sch, bufBlocks, tracker))
+	}
+	return ex
+}
+
+// NodeEgressBytes implements Fabric.
+func (f *TCPFabric) NodeEgressBytes(node int) int64 {
+	if c, ok := f.egress[node]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+type tcpExchange struct {
+	fabric        *TCPFabric
+	id            int
+	consumerNodes []int
+	inboxes       []*Inbox
+}
+
+// Inbox implements FabricExchange.
+func (e *tcpExchange) Inbox(i int) *Inbox { return e.inboxes[i] }
+
+// Outbox implements FabricExchange.
+func (e *tcpExchange) Outbox(producerNode int) iterator.Outbox {
+	node, ok := e.fabric.nodes[producerNode]
+	if !ok {
+		panic(fmt.Sprintf("network: TCP fabric has no node %d", producerNode))
+	}
+	return &countingOutbox{
+		inner:   node.NewOutbox(e.id, e.consumerNodes),
+		counter: e.fabric.egress[producerNode],
+	}
+}
+
+// countingOutbox tracks egress bytes around a TCPOutbox.
+type countingOutbox struct {
+	inner   *TCPOutbox
+	counter *atomic.Int64
+}
+
+// Destinations implements iterator.Outbox.
+func (o *countingOutbox) Destinations() int { return o.inner.Destinations() }
+
+// Send implements iterator.Outbox.
+func (o *countingOutbox) Send(dest int, b *block.Block) error {
+	o.counter.Add(int64(b.WireSize()))
+	return o.inner.Send(dest, b)
+}
+
+// CloseSend implements iterator.Outbox.
+func (o *countingOutbox) CloseSend() error { return o.inner.CloseSend() }

@@ -1,0 +1,260 @@
+// Package network connects the exchange operators (sender/merger) of
+// segments running on different nodes. Two transports are provided:
+//
+//   - InProc: an in-process transport for single-process clusters with
+//     token-bucket NIC emulation, used by tests, examples and the real
+//     engine;
+//   - TCP (tcp.go): length-prefixed frames over real sockets, used by
+//     the claims-node daemon.
+//
+// Both expose the same Exchange abstraction: a producer group of N
+// instances shipping blocks to a consumer group of M instances.
+package network
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+)
+
+// InProc is the in-process transport: blocks move by pointer between
+// goroutine "nodes", with per-node egress/ingress NIC limiters charging
+// the wire size of each block for inter-node traffic. Same-node traffic
+// bypasses the NIC, as on the paper's cluster.
+type InProc struct {
+	mu      sync.Mutex
+	egress  map[int]*Limiter
+	ingress map[int]*Limiter
+	rate    float64
+}
+
+// NewInProc creates a transport whose per-node NICs are limited to
+// bytesPerSec in each direction (0 = unlimited).
+func NewInProc(bytesPerSec float64) *InProc {
+	return &InProc{
+		egress:  make(map[int]*Limiter),
+		ingress: make(map[int]*Limiter),
+		rate:    bytesPerSec,
+	}
+}
+
+func (t *InProc) nic(m map[int]*Limiter, node int) *Limiter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := m[node]
+	if !ok {
+		l = NewLimiter(t.rate)
+		m[node] = l
+	}
+	return l
+}
+
+// NodeEgressBytes reports bytes sent by a node over the emulated NIC.
+func (t *InProc) NodeEgressBytes(node int) int64 {
+	return t.nic(t.egress, node).Taken()
+}
+
+// Exchange wires one producer segment group to one consumer segment
+// group. Create it once per exchange edge of the plan, then hand each
+// producer instance an Outbox and each consumer instance an Inbox.
+type Exchange struct {
+	tr            *InProc
+	id            int
+	consumerNodes []int
+	producers     int
+	inboxes       []*Inbox
+}
+
+// NewExchange declares an exchange: producers instances will send to
+// one inbox per consumer node. bufBlocks bounds each inbox (<=0 means
+// unbounded — used by materialized execution, where the entire
+// intermediate result is staged in the inbox and accounted against the
+// tracker for Table 4).
+func (t *InProc) NewExchange(id, producers int, consumerNodes []int,
+	bufBlocks int, tracker *block.Tracker) *Exchange {
+	ex := &Exchange{
+		tr: t, id: id,
+		consumerNodes: consumerNodes,
+		producers:     producers,
+	}
+	for range consumerNodes {
+		ex.inboxes = append(ex.inboxes, newInbox(producers, bufBlocks, tracker))
+	}
+	return ex
+}
+
+// Inbox returns consumer instance i's inbox.
+func (e *Exchange) Inbox(i int) *Inbox { return e.inboxes[i] }
+
+// Outbox returns an outbox for the producer instance running on the
+// given node.
+func (e *Exchange) Outbox(producerNode int) iterator.Outbox {
+	return &outbox{ex: e, node: producerNode}
+}
+
+type outbox struct {
+	ex   *Exchange
+	node int
+}
+
+func (o *outbox) Destinations() int { return len(o.ex.consumerNodes) }
+
+func (o *outbox) Send(dest int, b *block.Block) error {
+	if dest < 0 || dest >= len(o.ex.inboxes) {
+		return fmt.Errorf("network: bad destination %d", dest)
+	}
+	destNode := o.ex.consumerNodes[dest]
+	if destNode != o.node {
+		wire := b.WireSize()
+		o.ex.tr.nic(o.ex.tr.egress, o.node).Take(wire)
+		o.ex.tr.nic(o.ex.tr.ingress, destNode).Take(wire)
+	}
+	o.ex.inboxes[dest].put(b)
+	return nil
+}
+
+func (o *outbox) CloseSend() error {
+	for _, in := range o.ex.inboxes {
+		in.producerDone()
+	}
+	return nil
+}
+
+// Inbox buffers blocks arriving for one consumer instance and satisfies
+// iterator.Inbox. The buffer is a condvar-guarded deque so it can be
+// bounded (pipelined modes: backpressure propagates to senders) or
+// unbounded (materialized execution).
+type Inbox struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	queue    []*block.Block
+	capB     int // <=0: unbounded
+	expected int
+	done     int
+	tracker  *block.Tracker
+	buffered int64
+	peakBuf  int64
+	received int64
+}
+
+func newInbox(producers, capB int, tracker *block.Tracker) *Inbox {
+	in := &Inbox{capB: capB, expected: producers, tracker: tracker}
+	in.notEmpty = sync.NewCond(&in.mu)
+	in.notFull = sync.NewCond(&in.mu)
+	return in
+}
+
+func (in *Inbox) put(b *block.Block) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.capB > 0 && len(in.queue) >= in.capB {
+		in.notFull.Wait()
+	}
+	in.queue = append(in.queue, b)
+	in.received += int64(b.NumTuples())
+	in.buffered += int64(b.SizeBytes())
+	if in.buffered > in.peakBuf {
+		in.peakBuf = in.buffered
+	}
+	if in.tracker != nil {
+		in.tracker.Alloc(int64(b.SizeBytes()))
+	}
+	in.notEmpty.Broadcast()
+}
+
+func (in *Inbox) producerDone() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.done++
+	if in.done >= in.expected {
+		in.notEmpty.Broadcast()
+	}
+}
+
+// Recv implements iterator.Inbox with cancellation: a blocked wait is
+// woken either by data, by the last producer closing, or by the cancel
+// channel (a shrink request against the waiting worker).
+func (in *Inbox) Recv(cancel <-chan struct{}) (*block.Block, iterator.RecvStatus) {
+	var cancelled bool
+	if cancel != nil {
+		// Fast-path cancellation check.
+		select {
+		case <-cancel:
+			return nil, iterator.RecvCancelled
+		default:
+		}
+		woke := make(chan struct{})
+		go func() {
+			select {
+			case <-cancel:
+				in.mu.Lock()
+				cancelled = true
+				in.mu.Unlock()
+				in.notEmpty.Broadcast()
+			case <-woke:
+			}
+		}()
+		defer close(woke)
+	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if cancelled {
+			return nil, iterator.RecvCancelled
+		}
+		if len(in.queue) > 0 {
+			b := in.queue[0]
+			in.queue = in.queue[1:]
+			in.buffered -= int64(b.SizeBytes())
+			if in.tracker != nil {
+				in.tracker.Free(int64(b.SizeBytes()))
+			}
+			in.notFull.Broadcast()
+			return b, iterator.RecvOK
+		}
+		if in.done >= in.expected {
+			return nil, iterator.RecvEOF
+		}
+		in.notEmpty.Wait()
+	}
+}
+
+// Len returns the number of buffered blocks.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.queue)
+}
+
+// Drained reports whether every producer closed and the queue is empty.
+func (in *Inbox) Drained() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.done >= in.expected && len(in.queue) == 0
+}
+
+// AllProducersDone reports whether every producer has closed its stream.
+func (in *Inbox) AllProducersDone() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.done >= in.expected
+}
+
+// Received returns the cumulative tuples received.
+func (in *Inbox) Received() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.received
+}
+
+// PeakBufferedBytes returns the high-water mark of staged bytes —
+// Table 4's materialization footprint.
+func (in *Inbox) PeakBufferedBytes() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.peakBuf
+}

@@ -1,0 +1,194 @@
+package network
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+var sch = types.NewSchema(types.Col("k", types.Int64))
+
+func mkBlock(vals ...int64) *block.Block {
+	b := block.New(sch, len(vals)*8, nil)
+	for _, v := range vals {
+		types.PutValue(b.AppendRowTo(), sch, 0, types.IntVal(v))
+	}
+	return b
+}
+
+func TestExchangeDelivery(t *testing.T) {
+	tr := NewInProc(0)
+	ex := tr.NewExchange(1, 2, []int{0, 1}, 16, nil)
+	var wg sync.WaitGroup
+	// Two producers, each sending to both consumers.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ob := ex.Outbox(p)
+			for d := 0; d < ob.Destinations(); d++ {
+				if err := ob.Send(d, mkBlock(int64(p*10+d))); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := ob.CloseSend(); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for c := 0; c < 2; c++ {
+		in := ex.Inbox(c)
+		got := 0
+		for {
+			b, st := in.Recv(nil)
+			if st == iterator.RecvEOF {
+				break
+			}
+			if st != iterator.RecvOK {
+				t.Fatalf("unexpected recv status %v", st)
+			}
+			got += b.NumTuples()
+		}
+		if got != 2 {
+			t.Fatalf("consumer %d received %d tuples, want 2", c, got)
+		}
+		if !in.Drained() {
+			t.Fatal("inbox should be drained")
+		}
+	}
+}
+
+func TestInboxEOFOnlyAfterAllProducers(t *testing.T) {
+	tr := NewInProc(0)
+	ex := tr.NewExchange(1, 3, []int{0}, 16, nil)
+	in := ex.Inbox(0)
+	ob0 := ex.Outbox(0)
+	ob0.CloseSend()
+	if in.AllProducersDone() {
+		t.Fatal("EOF with 2 producers outstanding")
+	}
+	ex.Outbox(1).CloseSend()
+	ex.Outbox(2).CloseSend()
+	if _, st := in.Recv(nil); st != iterator.RecvEOF {
+		t.Fatalf("recv = %v, want EOF", st)
+	}
+}
+
+func TestInboxRecvCancellation(t *testing.T) {
+	tr := NewInProc(0)
+	ex := tr.NewExchange(1, 1, []int{0}, 16, nil)
+	in := ex.Inbox(0)
+	cancel := make(chan struct{})
+	res := make(chan iterator.RecvStatus, 1)
+	go func() {
+		_, st := in.Recv(cancel)
+		res <- st
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(cancel)
+	select {
+	case st := <-res:
+		if st != iterator.RecvCancelled {
+			t.Fatalf("recv = %v, want Cancelled", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Recv did not return")
+	}
+}
+
+func TestInboxBackpressure(t *testing.T) {
+	tr := NewInProc(0)
+	ex := tr.NewExchange(1, 1, []int{0}, 2, nil)
+	ob := ex.Outbox(0)
+	ob.Send(0, mkBlock(1))
+	ob.Send(0, mkBlock(2))
+	sent := make(chan struct{})
+	go func() {
+		ob.Send(0, mkBlock(3)) // must block: capacity 2
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("third send should have blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	ex.Inbox(0).Recv(nil) // free one slot
+	select {
+	case <-sent:
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not unblock after consumer progress")
+	}
+}
+
+func TestInboxTrackerAccounting(t *testing.T) {
+	trk := block.NewTracker()
+	tr := NewInProc(0)
+	ex := tr.NewExchange(1, 1, []int{0}, 0, trk) // unbounded, tracked (ME mode)
+	ob := ex.Outbox(0)
+	for i := 0; i < 10; i++ {
+		ob.Send(0, mkBlock(int64(i)))
+	}
+	if trk.Current() == 0 {
+		t.Fatal("tracker did not account staged blocks")
+	}
+	peak := trk.Peak()
+	in := ex.Inbox(0)
+	for i := 0; i < 10; i++ {
+		in.Recv(nil)
+	}
+	if trk.Current() != 0 {
+		t.Fatalf("tracker current = %d after drain", trk.Current())
+	}
+	if in.PeakBufferedBytes() == 0 || peak == 0 {
+		t.Fatal("peak not recorded")
+	}
+}
+
+func TestBandwidthLimiterThrottles(t *testing.T) {
+	// 1 MB/s limiter; pushing 200 KB must take ≥ ~150 ms.
+	l := NewLimiter(1 << 20)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		l.Take(10 * 1024)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("200KB at 1MB/s took only %v", elapsed)
+	}
+	if l.Taken() != 200*1024 {
+		t.Fatalf("accounted %d bytes", l.Taken())
+	}
+}
+
+func TestUnlimitedLimiterIsFree(t *testing.T) {
+	l := NewLimiter(0)
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		l.Take(1 << 20)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("unlimited limiter throttled")
+	}
+}
+
+func TestSameNodeTrafficBypassesNIC(t *testing.T) {
+	tr := NewInProc(1 << 10) // 1 KB/s: inter-node would crawl
+	ex := tr.NewExchange(1, 1, []int{0}, 16, nil)
+	ob := ex.Outbox(0) // producer on node 0, consumer on node 0
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		ob.Send(0, mkBlock(int64(i)))
+		ex.Inbox(0).Recv(nil)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("local traffic went through the NIC limiter")
+	}
+	if tr.NodeEgressBytes(0) != 0 {
+		t.Fatalf("local traffic billed %d NIC bytes", tr.NodeEgressBytes(0))
+	}
+}

@@ -1,0 +1,264 @@
+package network
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+// TCP transport: the claims-node daemon runs one TCPNode per process;
+// nodes dial each other lazily and multiplex every exchange over a
+// single connection pair per peer. Frames are length-prefixed:
+//
+//	uint32 frameLen | uint32 exchangeID | uint32 destInstance |
+//	uint8  kind (0=data, 1=eof) | payload (encoded block)
+//
+// The receiving loop is the per-node "merging thread" of Appendix
+// Algorithm 5: it keeps draining the socket into inboxes even while the
+// consuming segments are fully shrunk.
+
+const (
+	frameData = 0
+	frameEOF  = 1
+)
+
+// TCPNode is one process's endpoint in a TCP-connected cluster.
+type TCPNode struct {
+	id    int
+	ln    net.Listener
+	peers map[int]string // node id → address
+
+	mu       sync.Mutex
+	conns    map[int]*tcpConn
+	accepted []net.Conn
+	inboxes  map[inboxKey]*Inbox
+	schemas  map[int]*types.Schema
+	trackers map[int]*block.Tracker
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type inboxKey struct {
+	exchange int
+	instance int
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// NewTCPNode starts listening on addr as node id. peers maps every node
+// id (including this one) to its dial address.
+func NewTCPNode(id int, addr string, peers map[int]string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id: id, ln: ln, peers: peers,
+		conns:    make(map[int]*tcpConn),
+		inboxes:  make(map[inboxKey]*Inbox),
+		schemas:  make(map[int]*types.Schema),
+		trackers: make(map[int]*block.Tracker),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.accepted = append(n.accepted, c)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(c)
+		}()
+	}
+}
+
+// RegisterInbox declares that this node hosts consumer instance
+// (exchange, instance) expecting nProducers streams with the given
+// schema. Must be called before producers start sending.
+func (n *TCPNode) RegisterInbox(exchange, instance, nProducers int,
+	sch *types.Schema, bufBlocks int, tracker *block.Tracker) *Inbox {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	in := newInbox(nProducers, bufBlocks, tracker)
+	n.inboxes[inboxKey{exchange, instance}] = in
+	n.schemas[exchange] = sch
+	n.trackers[exchange] = tracker
+	return in
+}
+
+func (n *TCPNode) inbox(exchange, instance int) (*Inbox, *types.Schema, *block.Tracker, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	in, ok := n.inboxes[inboxKey{exchange, instance}]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("network: no inbox for exchange %d instance %d", exchange, instance)
+	}
+	return in, n.schemas[exchange], n.trackers[exchange], nil
+}
+
+func (n *TCPNode) readLoop(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 1<<20)
+	var hdr [13]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		frameLen := binary.LittleEndian.Uint32(hdr[0:])
+		exID := int(binary.LittleEndian.Uint32(hdr[4:]))
+		inst := int(binary.LittleEndian.Uint32(hdr[8:]))
+		kind := hdr[12]
+		payload := make([]byte, frameLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		in, sch, trk, err := n.inbox(exID, inst)
+		if err != nil {
+			continue // stray frame for an unregistered exchange
+		}
+		switch kind {
+		case frameEOF:
+			in.producerDone()
+		case frameData:
+			b, err := block.Decode(sch, payload, trk)
+			if err == nil {
+				in.put(b)
+			}
+		}
+	}
+}
+
+func (n *TCPNode) conn(peer int) (*tcpConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[peer]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr := n.peers[peer]
+	n.mu.Unlock()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: dial node %d (%s): %w", peer, addr, err)
+	}
+	c := &tcpConn{c: raw, w: bufio.NewWriterSize(raw, 1<<20)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if prev, ok := n.conns[peer]; ok {
+		raw.Close()
+		return prev, nil
+	}
+	n.conns[peer] = c
+	return c, nil
+}
+
+func (c *tcpConn) send(exID, inst int, kind byte, payload []byte) error {
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(exID))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(inst))
+	hdr[12] = kind
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// TCPOutbox is the producer side of an exchange over TCP.
+type TCPOutbox struct {
+	node          *TCPNode
+	exchange      int
+	consumerNodes []int // node id per destination instance
+	buf           []byte
+}
+
+// NewOutbox creates an outbox sending from this node to the consumer
+// instances located on the given nodes.
+func (n *TCPNode) NewOutbox(exchange int, consumerNodes []int) *TCPOutbox {
+	return &TCPOutbox{node: n, exchange: exchange, consumerNodes: consumerNodes}
+}
+
+// Destinations implements iterator.Outbox.
+func (o *TCPOutbox) Destinations() int { return len(o.consumerNodes) }
+
+// Send implements iterator.Outbox.
+func (o *TCPOutbox) Send(dest int, b *block.Block) error {
+	c, err := o.node.conn(o.consumerNodes[dest])
+	if err != nil {
+		return err
+	}
+	o.buf = b.Encode(o.buf)
+	return c.send(o.exchange, dest, frameData, o.buf)
+}
+
+// CloseSend implements iterator.Outbox.
+func (o *TCPOutbox) CloseSend() error {
+	for dest, peer := range o.consumerNodes {
+		c, err := o.node.conn(peer)
+		if err != nil {
+			return err
+		}
+		if err := c.send(o.exchange, dest, frameEOF, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the node down, closing the listener and all connections.
+func (n *TCPNode) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := n.conns
+	accepted := n.accepted
+	n.conns = make(map[int]*tcpConn)
+	n.accepted = nil
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	n.wg.Wait()
+}
+
+var _ iterator.Outbox = (*TCPOutbox)(nil)

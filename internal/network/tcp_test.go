@@ -1,0 +1,130 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+func TestTCPExchangeTwoNodes(t *testing.T) {
+	// Two real TCP nodes on loopback; node 0 and node 1 each produce,
+	// both send to a consumer instance on each node.
+	n0, err := NewTCPNode(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	n1, err := NewTCPNode(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	peers := map[int]string{0: n0.Addr(), 1: n1.Addr()}
+	n0.peers = peers
+	n1.peers = peers
+
+	const exID = 7
+	in0 := n0.RegisterInbox(exID, 0, 2, sch, 16, nil)
+	in1 := n1.RegisterInbox(exID, 1, 2, sch, 16, nil)
+
+	consumerNodes := []int{0, 1}
+	for p, node := range []*TCPNode{n0, n1} {
+		ob := node.NewOutbox(exID, consumerNodes)
+		for d := 0; d < 2; d++ {
+			if err := ob.Send(d, mkBlock(int64(100*p+d), int64(100*p+d+50))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ob.CloseSend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for ci, in := range []*Inbox{in0, in1} {
+		got := map[int64]bool{}
+		deadline := time.After(5 * time.Second)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				b, st := in.Recv(nil)
+				if st != iterator.RecvOK {
+					return
+				}
+				for i := 0; i < b.NumTuples(); i++ {
+					got[b.Get(i, 0).I] = true
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("consumer %d timed out", ci)
+		}
+		if len(got) != 4 {
+			t.Fatalf("consumer %d received %d distinct values, want 4", ci, len(got))
+		}
+	}
+}
+
+func TestTCPBlockContentIntegrity(t *testing.T) {
+	n0, err := NewTCPNode(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	n0.peers = map[int]string{0: n0.Addr()}
+
+	wide := types.NewSchema(
+		types.Col("i", types.Int64),
+		types.Col("f", types.Float64),
+		types.Char("s", 11),
+		types.Col("d", types.Date),
+	)
+	in := n0.RegisterInbox(3, 0, 1, wide, 4, nil)
+	ob := n0.NewOutbox(3, []int{0})
+
+	// Build a block with distinctive values and metadata.
+	b := mkWide(wide)
+	b.VisitRate = 0.75
+	b.Seq = 42
+	if err := ob.Send(0, b); err != nil {
+		t.Fatal(err)
+	}
+	ob.CloseSend()
+
+	got, st := in.Recv(nil)
+	if st != iterator.RecvOK {
+		t.Fatalf("recv status %v", st)
+	}
+	if got.VisitRate != 0.75 {
+		t.Fatalf("visit rate lost in transit: %f", got.VisitRate)
+	}
+	if got.NumTuples() != 3 {
+		t.Fatalf("tuples = %d", got.NumTuples())
+	}
+	if v := got.Get(1, 2).S; v != "hello world" {
+		t.Fatalf("string col = %q", v)
+	}
+	if v := got.Get(2, 1).F; v != 2.5 {
+		t.Fatalf("float col = %f", v)
+	}
+	if _, st := in.Recv(nil); st != iterator.RecvEOF {
+		t.Fatalf("expected EOF, got %v", st)
+	}
+}
+
+func mkWide(wide *types.Schema) *block.Block {
+	b := block.New(wide, 1024, nil)
+	for i := 0; i < 3; i++ {
+		r := b.AppendRowTo()
+		types.PutValue(r, wide, 0, types.IntVal(int64(i)))
+		types.PutValue(r, wide, 1, types.FloatVal(float64(i)+0.5))
+		types.PutValue(r, wide, 2, types.StrVal("hello world"))
+		types.PutValue(r, wide, 3, types.DateVal(types.MustParseDate("2010-10-30")))
+	}
+	return b
+}

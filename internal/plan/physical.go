@@ -1,0 +1,212 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+// PhysOp is a physical operator template; the engine instantiates one
+// iterator tree per node a segment runs on.
+type PhysOp interface {
+	Schema() *types.Schema
+}
+
+// PScan scans the node-local partition of a table, with an optional
+// pushed predicate fused into a filter above the scan.
+type PScan struct {
+	Table *catalog.Table
+	Alias string
+	Pred  expr.Expr
+	Sch   *types.Schema // qualified schema
+}
+
+// Schema implements PhysOp.
+func (s *PScan) Schema() *types.Schema { return s.Sch }
+
+// PFilter filters rows.
+type PFilter struct {
+	Child PhysOp
+	Pred  expr.Expr
+}
+
+// Schema implements PhysOp.
+func (f *PFilter) Schema() *types.Schema { return f.Child.Schema() }
+
+// PProject projects expressions.
+type PProject struct {
+	Child PhysOp
+	Exprs []expr.Expr
+	Sch   *types.Schema
+}
+
+// Schema implements PhysOp.
+func (p *PProject) Schema() *types.Schema { return p.Sch }
+
+// PHashJoin joins Build and Probe within one segment; either child may
+// be a PMerger rooting a network input.
+type PHashJoin struct {
+	Build, Probe        PhysOp
+	BuildKeys, ProbeKeys []expr.Expr
+	Sch                  *types.Schema
+}
+
+// Schema implements PhysOp.
+func (j *PHashJoin) Schema() *types.Schema { return j.Sch }
+
+// PHashAgg aggregates; Algo selects shared/independent/hybrid.
+type PHashAgg struct {
+	Child    PhysOp
+	Keys     []expr.Expr
+	KeyNames []string
+	Specs    []iterator.AggSpec
+	Algo     iterator.AggAlgorithm
+	Sch      *types.Schema
+}
+
+// Schema implements PhysOp.
+func (a *PHashAgg) Schema() *types.Schema { return a.Sch }
+
+// PSort sorts (master side).
+type PSort struct {
+	Child PhysOp
+	Keys  []iterator.SortKey
+}
+
+// Schema implements PhysOp.
+func (s *PSort) Schema() *types.Schema { return s.Child.Schema() }
+
+// PTopN keeps the N first rows under the sort order.
+type PTopN struct {
+	Child PhysOp
+	Keys  []iterator.SortKey
+	N     int64
+}
+
+// Schema implements PhysOp.
+func (t *PTopN) Schema() *types.Schema { return t.Child.Schema() }
+
+// PLimit keeps the first N rows.
+type PLimit struct {
+	Child PhysOp
+	N     int64
+}
+
+// Schema implements PhysOp.
+func (l *PLimit) Schema() *types.Schema { return l.Child.Schema() }
+
+// PMerger roots a network input: blocks arriving from the producer
+// segment of the given exchange.
+type PMerger struct {
+	Exchange int
+	Sch      *types.Schema
+}
+
+// Schema implements PhysOp.
+func (m *PMerger) Schema() *types.Schema { return m.Sch }
+
+// OutSpec describes where a segment's output goes.
+type OutSpec struct {
+	Exchange int
+	// PartKeys hash-routes tuples to consumer instances; nil means
+	// gather (everything to instance 0).
+	PartKeys []expr.Expr
+}
+
+// Segment is one segment group template (Section 2.1): an operator tree
+// between exchange boundaries, instantiated on every node it runs on.
+type Segment struct {
+	ID   int
+	Root PhysOp
+	Out  *OutSpec
+	// OnMaster restricts the segment to the master node (final sorts,
+	// global aggregation); otherwise it runs on every slave node.
+	OnMaster bool
+	// OrderPreserving marks segments whose output order matters (sort
+	// roots), so the engine uses an order-preserving elastic buffer and
+	// a single worker.
+	OrderPreserving bool
+}
+
+// ExchangeSpec is one exchange edge between segment groups.
+type ExchangeSpec struct {
+	ID       int
+	Producer int // segment ID
+	Consumer int // segment ID
+	Sch      *types.Schema
+}
+
+// Plan is the distributed physical plan.
+type Plan struct {
+	Segments  []*Segment
+	Exchanges []*ExchangeSpec
+	// Final is the segment whose output is the query result.
+	Final *Segment
+	// OutputNames are the result column display names.
+	OutputNames []string
+}
+
+// String renders the plan for inspection.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for _, s := range p.Segments {
+		where := "all-nodes"
+		if s.OnMaster {
+			where = "master"
+		}
+		fmt.Fprintf(&sb, "segment %d (%s):\n", s.ID, where)
+		renderOp(&sb, s.Root, 1)
+		if s.Out != nil {
+			kind := "gather"
+			if s.Out.PartKeys != nil {
+				kind = "repartition"
+			}
+			fmt.Fprintf(&sb, "  -> %s via exchange %d\n", kind, s.Out.Exchange)
+		} else {
+			sb.WriteString("  -> result\n")
+		}
+	}
+	return sb.String()
+}
+
+func renderOp(sb *strings.Builder, op PhysOp, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch n := op.(type) {
+	case *PScan:
+		fmt.Fprintf(sb, "%sscan %s", pad, n.Table.Name)
+		if n.Pred != nil {
+			fmt.Fprintf(sb, " filter %s", n.Pred)
+		}
+		sb.WriteByte('\n')
+	case *PFilter:
+		fmt.Fprintf(sb, "%sfilter %s\n", pad, n.Pred)
+		renderOp(sb, n.Child, depth+1)
+	case *PProject:
+		fmt.Fprintf(sb, "%sproject (%d exprs)\n", pad, len(n.Exprs))
+		renderOp(sb, n.Child, depth+1)
+	case *PHashJoin:
+		fmt.Fprintf(sb, "%shash join\n", pad)
+		fmt.Fprintf(sb, "%s  build:\n", pad)
+		renderOp(sb, n.Build, depth+2)
+		fmt.Fprintf(sb, "%s  probe:\n", pad)
+		renderOp(sb, n.Probe, depth+2)
+	case *PHashAgg:
+		fmt.Fprintf(sb, "%shash agg (%d keys, %d aggs)\n", pad, len(n.Keys), len(n.Specs))
+		renderOp(sb, n.Child, depth+1)
+	case *PSort:
+		fmt.Fprintf(sb, "%ssort (%d keys)\n", pad, len(n.Keys))
+		renderOp(sb, n.Child, depth+1)
+	case *PTopN:
+		fmt.Fprintf(sb, "%stop-%d\n", pad, n.N)
+		renderOp(sb, n.Child, depth+1)
+	case *PLimit:
+		fmt.Fprintf(sb, "%slimit %d\n", pad, n.N)
+		renderOp(sb, n.Child, depth+1)
+	case *PMerger:
+		fmt.Fprintf(sb, "%smerger (exchange %d)\n", pad, n.Exchange)
+	}
+}

@@ -1,0 +1,502 @@
+// Package sched implements the paper's dynamic scheduler (Section 4):
+// per-node core provisioning for the segments of running queries, driven
+// by light-weight measurements — visit rates propagated through block
+// tails (Section 4.3) and scalability vectors of instantaneous
+// processing rates (Section 4.4) — and the pairwise core-reassignment
+// procedure of Algorithm 1.
+//
+// The same scheduler drives both the real engine (internal/engine) and
+// the virtual-time cluster simulator (internal/sim): segments are
+// abstracted behind SegmentHandle.
+package sched
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the per-tick measurement a segment reports (Sections
+// 4.3-4.4).
+type Metrics struct {
+	// Parallelism is the segment's current worker count p_i.
+	Parallelism int
+	// Rate is the instantaneous processing rate T_i in tuples/second at
+	// the current parallelism.
+	Rate float64
+	// VisitRate is V_i: average tuples this segment receives per
+	// original input tuple of the pipeline.
+	VisitRate float64
+	// Starved means the measurement was input-limited (the segment had
+	// no data to process); the rate under-estimates capacity and more
+	// cores cannot help.
+	Starved bool
+	// Blocked means the measurement was output-limited (full buffer or
+	// saturated network); the rate under-estimates capacity and more
+	// cores cannot help.
+	Blocked bool
+	// Done means the segment finished and its cores are reclaimable.
+	Done bool
+	// Stage identifies the segment's active stage. Scalability varies
+	// between stages, so the scheduler invalidates the segment's
+	// scalability vector whenever the stage changes (Section 4.4).
+	Stage int
+}
+
+// Limited reports whether the rate measurement under-estimates the
+// segment's capacity and must not enter the scalability vector.
+func (m Metrics) Limited() bool { return m.Starved || m.Blocked }
+
+// SegmentHandle is the scheduler's view of a running segment: metrics
+// plus the expand/shrink controls of the elastic iterator model.
+type SegmentHandle interface {
+	// Name identifies the segment for traces.
+	Name() string
+	// Metrics returns the current measurement snapshot.
+	Metrics() Metrics
+	// Expand adds one worker; it reports false when impossible.
+	Expand() bool
+	// Shrink removes one worker; it reports false when impossible.
+	Shrink() bool
+}
+
+// LambdaBus shares the pipeline's global throughput λ (Equation 3)
+// across node schedulers: every node publishes its local minimum
+// normalized rate, and reads the global minimum. This is the only
+// cross-node coordination the algorithm needs.
+type LambdaBus interface {
+	Publish(node int, localMin float64)
+	Global() float64
+}
+
+// MasterBus is the master node's LambdaBus implementation.
+type MasterBus struct {
+	mu    sync.Mutex
+	nodes map[int]float64
+}
+
+// NewMasterBus returns an empty bus.
+func NewMasterBus() *MasterBus { return &MasterBus{nodes: make(map[int]float64)} }
+
+// Publish implements LambdaBus.
+func (b *MasterBus) Publish(node int, v float64) {
+	b.mu.Lock()
+	b.nodes[node] = v
+	b.mu.Unlock()
+}
+
+// Global implements LambdaBus.
+func (b *MasterBus) Global() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := math.Inf(1)
+	for _, v := range b.nodes {
+		if v < g {
+			g = v
+		}
+	}
+	return g
+}
+
+// scalEntry is one slot of a scalability vector: the measured rate t_ij
+// with j workers and its timestamp l_ij (Section 4.4).
+type scalEntry struct {
+	rate  float64
+	at    time.Time
+	valid bool
+}
+
+type segState struct {
+	h        SegmentHandle
+	name     string
+	vec      []scalEntry // index = parallelism (0 unused)
+	last     Metrics
+	stage    int
+	normRate float64 // R_i = T_i / V_i
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// Cores is m, the node's core budget.
+	Cores int
+	// Delta is the improvement threshold ∆ of Algorithm 1, as a fraction
+	// of λ (default 0.05).
+	Delta float64
+	// Theta is the scalability-vector freshness window θ (default 2s).
+	Theta time.Duration
+	// Tolerance classifies under-performers: R_i ≤ λ·(1+Tolerance)
+	// (default 0.25).
+	Tolerance float64
+}
+
+func (c *Config) defaults() {
+	if c.Delta == 0 {
+		c.Delta = 0.02
+	}
+	if c.Theta == 0 {
+		c.Theta = 2 * time.Second
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.25
+	}
+}
+
+// Action records one scheduling decision, for traces and tests.
+type Action struct {
+	At       time.Time
+	Expanded string
+	Shrunk   string
+	Reason   string
+}
+
+// NodeScheduler provisions the cores of one slave node (Figure 6). It
+// is driven by periodic Tick calls from the engine or the simulator.
+type NodeScheduler struct {
+	node int
+	cfg  Config
+	bus  LambdaBus
+
+	mu   sync.Mutex
+	segs []*segState
+	log  []Action
+}
+
+// NewNodeScheduler builds a scheduler for the given node.
+func NewNodeScheduler(node int, cfg Config, bus LambdaBus) *NodeScheduler {
+	cfg.defaults()
+	return &NodeScheduler{node: node, cfg: cfg, bus: bus}
+}
+
+// Attach registers a segment that turned active on this node; it joins
+// the end of the list and waits for core assignment (Figure 6).
+func (s *NodeScheduler) Attach(h SegmentHandle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segs = append(s.segs, &segState{
+		h:    h,
+		name: h.Name(),
+		vec:  make([]scalEntry, s.cfg.Cores+2),
+	})
+}
+
+// Actions drains the decision log.
+func (s *NodeScheduler) Actions() []Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.log
+	s.log = nil
+	return out
+}
+
+// UsedCores returns the cores currently assigned to attached segments.
+func (s *NodeScheduler) UsedCores() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	used := 0
+	for _, st := range s.segs {
+		used += st.last.Parallelism
+	}
+	return used
+}
+
+// Tick runs one scheduling round: refresh metrics and scalability
+// vectors, publish the local λ, then either hand out free cores or run
+// Algorithm 1's pairwise reassignment.
+func (s *NodeScheduler) Tick(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// 1. Measurement refresh.
+	active := s.segs[:0]
+	used := 0
+	for _, st := range s.segs {
+		m := st.h.Metrics()
+		st.last = m
+		if m.Done {
+			continue // cores implicitly released
+		}
+		if m.Stage != st.stage {
+			// New stage, new scalability: invalidate the vector
+			// (Section 4.4).
+			st.stage = m.Stage
+			for i := range st.vec {
+				st.vec[i] = scalEntry{}
+			}
+		}
+		if p := m.Parallelism; p >= 1 && p < len(st.vec) && !m.Limited() && m.Rate > 0 {
+			st.vec[p] = scalEntry{rate: m.Rate, at: now, valid: true}
+		}
+		st.normRate = normalize(m)
+		active = append(active, st)
+		used += m.Parallelism
+	}
+	s.segs = active
+	if len(active) == 0 {
+		s.bus.Publish(s.node, math.Inf(1))
+		return
+	}
+
+	// 2. Publish local bottleneck; read global λ. Starved segments are
+	// excluded: their measured rate reflects missing input, not
+	// capacity, and would drag λ to zero.
+	localMin := math.Inf(1)
+	for _, st := range active {
+		if st.last.Starved {
+			continue
+		}
+		if st.normRate < localMin {
+			localMin = st.normRate
+		}
+	}
+	s.bus.Publish(s.node, localMin)
+	lambda := s.bus.Global()
+	if math.IsInf(lambda, 1) {
+		lambda = localMin
+	}
+
+	// 3a. Idle-shrink: a starved segment holding more than one core
+	// donates it back (Figure 11: S2 shrinks while filter selectivity
+	// is zero).
+	for _, st := range active {
+		if st.last.Starved && st.last.Parallelism > 1 && st.last.Rate == 0 {
+			if st.h.Shrink() {
+				used--
+				s.log = append(s.log, Action{At: now, Shrunk: st.name, Reason: "starved"})
+			}
+		}
+	}
+
+	// 3a-ter. Over-producing shrink: an output-blocked segment is
+	// producing faster than the network or its consumers can absorb
+	// (Section 2.3); it donates one core per tick until its rate
+	// matches — Figure 10's S1 settling at the bandwidth-matched
+	// parallelism.
+	for _, st := range active {
+		if st.last.Blocked && st.last.Parallelism > 1 {
+			if st.h.Shrink() {
+				used--
+				s.log = append(s.log, Action{At: now, Shrunk: st.name, Reason: "over-producing"})
+			}
+		}
+	}
+
+	// 3a-bis. No-gain shrink: a segment whose last core contributes no
+	// measurable throughput (plateaued on memory bandwidth, the
+	// network, or an interfering program — Figures 10 and 12) releases
+	// it, keeping CPU utilization high.
+	for _, st := range active {
+		p := st.last.Parallelism
+		if p <= 1 || st.last.Starved {
+			continue
+		}
+		cur, okCur := s.freshAt(st, p, now)
+		below, okBelow := s.freshAt(st, p-1, now)
+		if okCur && okBelow && cur <= below*(1+s.cfg.Delta) {
+			if st.h.Shrink() {
+				used--
+				s.log = append(s.log, Action{At: now, Shrunk: st.name, Reason: "no gain"})
+			}
+		}
+	}
+
+	// 3b. Free cores: hand them to the most promising under-performers.
+	// Unlike Algorithm 1's conservative one-pair moves, initial
+	// allocation of unassigned cores proceeds several cores per round —
+	// the segments are waiting for their first assignment (Figure 6).
+	if used < s.cfg.Cores {
+		grew := make(map[*segState]int)
+		for n := 0; n < freeCoresPerTick && used < s.cfg.Cores; n++ {
+			// One speculative core per segment per round on the back of
+			// the last measurement; a second only when the scalability
+			// vector's fresh slope supports it. The next round's
+			// measurement confirms or reverts either.
+			cand := s.pickExpand(active, lambda, now, grew)
+			if cand == nil || !cand.h.Expand() {
+				break
+			}
+			grew[cand]++
+			cand.last.Parallelism++
+			used++
+			s.log = append(s.log, Action{At: now, Expanded: cand.name, Reason: "free core"})
+		}
+		return
+	}
+
+	// 3c. No free cores: Algorithm 1 pairwise move.
+	s.algorithm1(active, lambda, now)
+}
+
+// normalize computes R_i = T_i / V_i, treating a segment with no
+// expected input as infinitely fast (never the bottleneck).
+func normalize(m Metrics) float64 {
+	if m.VisitRate <= 0 {
+		return math.Inf(1)
+	}
+	return m.Rate / m.VisitRate
+}
+
+// freshAt returns the scalability-vector entry at parallelism p if it
+// is valid and within the freshness window.
+func (s *NodeScheduler) freshAt(st *segState, p int, now time.Time) (float64, bool) {
+	if p >= 1 && p < len(st.vec) {
+		if e := st.vec[p]; e.valid && now.Sub(e.at) <= s.cfg.Theta {
+			return e.rate, true
+		}
+	}
+	return 0, false
+}
+
+// estimate returns the predicted processing rate of st at parallelism p
+// (Section 4.4): a fresh vector entry if present, otherwise linear
+// scaling from the nearest fresh neighbor, otherwise linear scaling
+// from the current measurement.
+func (s *NodeScheduler) estimate(st *segState, p int, now time.Time) (float64, bool) {
+	if p < 1 {
+		return 0, true
+	}
+	fresh := func(q int) (float64, bool) {
+		if q >= 1 && q < len(st.vec) {
+			if e := st.vec[q]; e.valid && now.Sub(e.at) <= s.cfg.Theta {
+				return e.rate, true
+			}
+		}
+		return 0, false
+	}
+	if r, ok := fresh(p); ok {
+		return r, true
+	}
+	// Marginal-slope extrapolation: with fresh measurements at the two
+	// parallelisms below p, predict t(p) = t(p-1) + slope. On a plateau
+	// the slope is ~0, so the scheduler stops predicting gains — the
+	// "quickly identified and corrected" behavior of Section 4.4.
+	if r1, ok1 := fresh(p - 1); ok1 {
+		if r2, ok2 := fresh(p - 2); ok2 {
+			slope := r1 - r2
+			if slope < 0 {
+				slope = 0
+			}
+			return r1 + slope, true
+		}
+		return r1 * float64(p) / float64(p-1), true
+	}
+	if r, ok := fresh(p + 1); ok {
+		return r * float64(p) / float64(p+1), true
+	}
+	if st.last.Parallelism >= 1 && st.last.Rate > 0 {
+		return st.last.Rate * float64(p) / float64(st.last.Parallelism), false
+	}
+	return 0, false
+}
+
+// pickExpand chooses the segment that benefits most from one more core,
+// skipping segments in the exclude set.
+func (s *NodeScheduler) pickExpand(active []*segState, lambda float64,
+	now time.Time, grew map[*segState]int) *segState {
+	var best *segState
+	bestGain := 0.0
+	for _, st := range active {
+		m := st.last
+		if m.Starved || m.Blocked || m.Done || grew[st] >= 2 {
+			continue
+		}
+		if m.Parallelism == 0 {
+			return st // an unprovisioned segment always gets its first core
+		}
+		// Expansion helps only bottleneck-side segments; a segment far
+		// above λ gains nothing for the pipeline.
+		if st.normRate > lambda*(1+s.cfg.Tolerance) {
+			continue
+		}
+		est, fresh := s.estimate(st, m.Parallelism+1, now)
+		if grew[st] >= 1 && !fresh {
+			continue // a second speculative core needs measured backing
+		}
+		gain := est - m.Rate
+		// Require a material improvement (relative to current rate) so
+		// plateaued segments stop absorbing cores.
+		if gain > m.Rate*s.cfg.Delta && gain > bestGain+1e-9 {
+			bestGain = gain
+			best = st
+		}
+	}
+	return best
+}
+
+// algorithm1 is the paper's Algorithm 1: move one core from an
+// over-performing segment to an under-performing one when the estimated
+// post-move normalized rates of both still exceed λ+∆.
+func (s *NodeScheduler) algorithm1(active []*segState, lambda float64, now time.Time) {
+	if math.IsInf(lambda, 1) || lambda <= 0 {
+		return
+	}
+	tol := 1 + s.cfg.Tolerance
+	delta := lambda * s.cfg.Delta
+
+	var under, over []*segState
+	for _, st := range active {
+		switch {
+		case st.last.Done:
+		case st.normRate <= lambda*tol && !st.last.Starved && !st.last.Blocked:
+			under = append(under, st)
+		case st.normRate > lambda*tol || st.last.Starved:
+			if st.last.Parallelism > 1 {
+				over = append(over, st)
+			}
+		}
+	}
+	if len(under) == 0 || len(over) == 0 {
+		return
+	}
+	// Deterministic iteration order keeps traces reproducible.
+	sort.Slice(under, func(i, j int) bool { return under[i].name < under[j].name })
+	sort.Slice(over, func(i, j int) bool { return over[i].name < over[j].name })
+
+	type move struct {
+		gain float64
+		ui, oj *segState
+	}
+	var best *move
+	for _, ui := range under {
+		for _, oj := range over {
+			if ui == oj {
+				continue
+			}
+			ti, _ := s.estimate(ui, ui.last.Parallelism+1, now)
+			tj, _ := s.estimate(oj, oj.last.Parallelism-1, now)
+			tiN := normWith(ti, ui.last.VisitRate)
+			tjN := normWith(tj, oj.last.VisitRate)
+			if tiN >= lambda+delta && tjN >= lambda+delta {
+				gain := math.Min(tiN, tjN) - lambda
+				if best == nil || gain > best.gain {
+					best = &move{gain: gain, ui: ui, oj: oj}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return
+	}
+	if best.oj.h.Shrink() {
+		if best.ui.h.Expand() {
+			s.log = append(s.log, Action{
+				At: now, Expanded: best.ui.name, Shrunk: best.oj.name,
+				Reason: "algorithm1",
+			})
+		} else {
+			// Could not expand the target: give the core back.
+			best.oj.h.Expand()
+		}
+	}
+}
+
+func normWith(rate, visit float64) float64 {
+	if visit <= 0 {
+		return math.Inf(1)
+	}
+	return rate / visit
+}
+
+// freeCoresPerTick bounds how many unassigned cores one scheduling
+// round may hand out.
+const freeCoresPerTick = 4

@@ -1,0 +1,316 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSeg is a synthetic segment whose rate follows a configurable
+// speedup curve: rate = base · speedup(parallelism).
+type fakeSeg struct {
+	mu      sync.Mutex
+	name    string
+	par     int
+	base    float64
+	visit   float64
+	speedup func(p int) float64
+	starved bool
+	blocked bool
+	done    bool
+	stageID int
+	maxPar  int
+}
+
+func newFakeSeg(name string, base, visit float64) *fakeSeg {
+	return &fakeSeg{
+		name: name, base: base, visit: visit, maxPar: 64,
+		speedup: func(p int) float64 { return float64(p) },
+	}
+}
+
+func (f *fakeSeg) Name() string { return f.name }
+
+func (f *fakeSeg) Metrics() Metrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rate := 0.0
+	if f.par > 0 && !f.starved {
+		rate = f.base * f.speedup(f.par)
+	}
+	return Metrics{
+		Parallelism: f.par,
+		Rate:        rate,
+		VisitRate:   f.visit,
+		Starved:     f.starved,
+		Blocked:     f.blocked,
+		Done:        f.done,
+		Stage:       f.stageID,
+	}
+}
+
+func (f *fakeSeg) Expand() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.par >= f.maxPar {
+		return false
+	}
+	f.par++
+	return true
+}
+
+func (f *fakeSeg) Shrink() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.par == 0 {
+		return false
+	}
+	f.par--
+	return true
+}
+
+func (f *fakeSeg) parallelism() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.par
+}
+
+func tickN(s *NodeScheduler, n int) time.Time {
+	now := time.Unix(0, 0)
+	for i := 0; i < n; i++ {
+		now = now.Add(100 * time.Millisecond)
+		s.Tick(now)
+	}
+	return now
+}
+
+func TestSchedulerAssignsFreeCores(t *testing.T) {
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 4}, bus)
+	a := newFakeSeg("a", 100, 1)
+	s.Attach(a)
+	tickN(s, 6)
+	if got := a.parallelism(); got != 4 {
+		t.Fatalf("single segment should absorb all cores, has %d", got)
+	}
+}
+
+func TestSchedulerBalancesTwoSegments(t *testing.T) {
+	// b processes 3 tuples per core-second for every tuple a produces;
+	// a is 3x slower per core. The balanced split of 12 cores is ~9:3.
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 12}, bus)
+	a := newFakeSeg("a", 100, 1) // producer
+	b := newFakeSeg("b", 300, 1) // consumer, 3x faster per core
+	s.Attach(a)
+	s.Attach(b)
+	tickN(s, 60)
+	pa, pb := a.parallelism(), b.parallelism()
+	if pa+pb > 12 {
+		t.Fatalf("core budget violated: %d + %d > 12", pa, pb)
+	}
+	if pa < pb {
+		t.Fatalf("slow segment should hold more cores: a=%d b=%d", pa, pb)
+	}
+	if pa < 7 || pa > 10 {
+		t.Fatalf("expected a≈9 cores, got a=%d b=%d", pa, pb)
+	}
+}
+
+func TestSchedulerRespectsCoreBudgetInvariant(t *testing.T) {
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 8}, bus)
+	segs := []*fakeSeg{
+		newFakeSeg("s1", 50, 1),
+		newFakeSeg("s2", 150, 0.5),
+		newFakeSeg("s3", 80, 2),
+	}
+	for _, f := range segs {
+		s.Attach(f)
+	}
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		now = now.Add(100 * time.Millisecond)
+		s.Tick(now)
+		total := 0
+		for _, f := range segs {
+			total += f.parallelism()
+		}
+		if total > 8 {
+			t.Fatalf("tick %d: Σ parallelism = %d > 8", i, total)
+		}
+	}
+}
+
+func TestSchedulerShrinksStarvedSegment(t *testing.T) {
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 8}, bus)
+	a := newFakeSeg("a", 100, 1)
+	b := newFakeSeg("b", 100, 1)
+	s.Attach(a)
+	s.Attach(b)
+	tickN(s, 30)
+	// b's input dries up (Figure 11 scenario).
+	b.mu.Lock()
+	b.starved = true
+	b.mu.Unlock()
+	tickN(s, 30)
+	if got := b.parallelism(); got > 1 {
+		t.Fatalf("starved segment still holds %d cores", got)
+	}
+	if got := a.parallelism(); got < 6 {
+		t.Fatalf("running segment should absorb freed cores, has %d", got)
+	}
+}
+
+func TestSchedulerReassignsWhenWorkloadShifts(t *testing.T) {
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 10}, bus)
+	a := newFakeSeg("a", 100, 1)
+	b := newFakeSeg("b", 100, 1)
+	s.Attach(a)
+	s.Attach(b)
+	tickN(s, 40)
+	paBefore := a.parallelism()
+	// b's per-core speed collapses 5x (selectivity burst downstream).
+	b.mu.Lock()
+	b.base = 20
+	b.mu.Unlock()
+	tickN(s, 60)
+	if got := b.parallelism(); got <= 10-paBefore {
+		t.Fatalf("slowed segment did not gain cores: before≈%d now b=%d", 10-paBefore, got)
+	}
+}
+
+func TestSchedulerIgnoresBlockedSegments(t *testing.T) {
+	// A network-blocked segment must not be expanded (Figure 10:
+	// parallelism stops growing at the bandwidth limit).
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 16}, bus)
+	a := newFakeSeg("a", 100, 1)
+	s.Attach(a)
+	tickN(s, 3)
+	base := a.parallelism()
+	a.mu.Lock()
+	a.blocked = true
+	a.mu.Unlock()
+	tickN(s, 20)
+	if got := a.parallelism(); got > base {
+		t.Fatalf("blocked segment expanded from %d to %d", base, got)
+	}
+}
+
+func TestSchedulerReleasesDoneSegments(t *testing.T) {
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 4}, bus)
+	a := newFakeSeg("a", 100, 1)
+	b := newFakeSeg("b", 100, 1)
+	s.Attach(a)
+	s.Attach(b)
+	tickN(s, 20)
+	a.mu.Lock()
+	a.done = true
+	a.mu.Unlock()
+	tickN(s, 20)
+	if got := b.parallelism(); got < 3 {
+		t.Fatalf("survivor should absorb finished segment's cores, has %d", got)
+	}
+}
+
+func TestSchedulerPlateauStopsExpansion(t *testing.T) {
+	// Speedup saturates at 4 cores (memory-bound, Figure 8a S-Q2):
+	// the scheduler should not pile further cores onto the segment once
+	// measurements show no gain.
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 16, Delta: 0.05}, bus)
+	a := newFakeSeg("a", 100, 1)
+	a.speedup = func(p int) float64 { return math.Min(float64(p), 4) }
+	s.Attach(a)
+	tickN(s, 40)
+	if got := a.parallelism(); got > 7 {
+		t.Fatalf("scheduler kept expanding past the plateau: p=%d", got)
+	}
+}
+
+func TestMasterBusGlobalMin(t *testing.T) {
+	bus := NewMasterBus()
+	bus.Publish(0, 50)
+	bus.Publish(1, 30)
+	bus.Publish(2, 90)
+	if got := bus.Global(); got != 30 {
+		t.Fatalf("global λ = %f, want 30", got)
+	}
+	bus.Publish(1, 100)
+	if got := bus.Global(); got != 50 {
+		t.Fatalf("global λ after update = %f, want 50", got)
+	}
+}
+
+func TestNormalizeInfiniteWhenNoInput(t *testing.T) {
+	if r := normalize(Metrics{Rate: 10, VisitRate: 0}); !math.IsInf(r, 1) {
+		t.Fatalf("zero visit rate should normalize to +Inf, got %f", r)
+	}
+}
+
+func TestVisitRateNormalization(t *testing.T) {
+	// A segment visited twice per input tuple must be treated as half
+	// as fast (Equation 3).
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 12}, bus)
+	a := newFakeSeg("a", 100, 1)
+	b := newFakeSeg("b", 100, 2) // same raw rate, double visit rate
+	s.Attach(a)
+	s.Attach(b)
+	tickN(s, 60)
+	if a.parallelism() >= b.parallelism() {
+		t.Fatalf("higher-visit-rate segment should hold more cores: a=%d b=%d",
+			a.parallelism(), b.parallelism())
+	}
+}
+
+func TestSchedulerShrinksOverProducingSegment(t *testing.T) {
+	// A network-blocked segment is over-producing (Section 2.3): it
+	// must donate cores until its rate matches the sink, as Figure 10's
+	// S1 does at the bandwidth limit.
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 8}, bus)
+	a := newFakeSeg("a", 100, 1)
+	s.Attach(a)
+	tickN(s, 10)
+	if a.parallelism() < 4 {
+		t.Fatalf("setup: a should have grown, p=%d", a.parallelism())
+	}
+	a.mu.Lock()
+	a.blocked = true
+	a.mu.Unlock()
+	tickN(s, 10)
+	if got := a.parallelism(); got > 1 {
+		t.Fatalf("blocked segment still holds %d cores", got)
+	}
+}
+
+func TestSchedulerInvalidatesVectorOnStageChange(t *testing.T) {
+	// Measurements from a finished stage must not steer the next stage
+	// (Section 4.4): a segment that measured a plateau in stage 0 but
+	// scales linearly in stage 1 must expand after the transition.
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 12}, bus)
+	a := newFakeSeg("a", 100, 1)
+	a.speedup = func(p int) float64 { return 1 } // stage 0: flat
+	s.Attach(a)
+	tickN(s, 20)
+	flatP := a.parallelism()
+	if flatP > 4 {
+		t.Fatalf("setup: flat stage should not absorb cores, p=%d", flatP)
+	}
+	// Stage change: now linear.
+	a.mu.Lock()
+	a.stageID = 1
+	a.speedup = func(p int) float64 { return float64(p) }
+	a.mu.Unlock()
+	tickN(s, 40)
+	if got := a.parallelism(); got <= flatP+2 {
+		t.Fatalf("stale vector blocked expansion after stage change: p=%d", got)
+	}
+}

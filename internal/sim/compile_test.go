@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sse"
+	"repro/internal/tpch"
+)
+
+func compileQuery(t *testing.T, q string, cat *catalog.Catalog, nodes int) *Graph {
+	t.Helper()
+	p, err := plan.Compile(q, cat)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	g, err := Compile(p, cat, nodes)
+	if err != nil {
+		t.Fatalf("sim compile: %v\nplan:\n%s", err, p)
+	}
+	return g
+}
+
+func TestCompileAllTPCHQueries(t *testing.T) {
+	cat := catalog.New(10)
+	tpch.RegisterTables(cat, 100)
+	for _, id := range tpch.EvaluatedQueries {
+		g := compileQuery(t, tpch.Queries[id], cat, 10)
+		if len(g.Groups) == 0 {
+			t.Fatalf("%s: empty graph", id)
+		}
+		// Every compiled graph must actually simulate to completion.
+		s, err := New(Cluster{Nodes: 10, Quantum: 20 * time.Millisecond}, g,
+			&StaticPolicy{P: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		s.MaxVirtual = 4 * time.Hour
+		m, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if m.Elapsed <= 0 || m.Elapsed > time.Hour {
+			t.Fatalf("%s: implausible elapsed %v", id, m.Elapsed)
+		}
+		t.Logf("%s: %d groups, %d edges, SP8 elapsed %v", id, len(g.Groups), len(g.Edges), m.Elapsed)
+	}
+}
+
+func TestCompileSSEQueries(t *testing.T) {
+	cat := catalog.New(10)
+	sse.RegisterTables(cat, 840_000_000)
+	for _, id := range sse.EvaluatedQueries {
+		g := compileQuery(t, sse.Queries[id], cat, 10)
+		s, err := New(Cluster{Nodes: 10, Quantum: 20 * time.Millisecond}, g,
+			&EPPolicy{Tick: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.MaxVirtual = 4 * time.Hour
+		m, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Logf("%s: EP elapsed %v, util %.2f, net %.1f GB",
+			id, m.Elapsed, m.CPUUtilization(), m.NetBytes/1e9)
+	}
+}
+
+func TestCompileSSEQ9ThreeGroups(t *testing.T) {
+	cat := catalog.New(10)
+	sse.RegisterTables(cat, 840_000_000)
+	g := compileQuery(t, sse.Queries["SSE-Q9"], cat, 10)
+	if len(g.Groups) != 3 {
+		t.Fatalf("SSE-Q9 graph has %d groups, want 3", len(g.Groups))
+	}
+	// S2 must carry a build stage followed by a streaming stage.
+	s2 := g.Groups[1]
+	if len(s2.Stages) != 2 || s2.Stages[0].Name != "build" {
+		t.Fatalf("S2 stages = %+v", s2.Stages)
+	}
+	if s2.Stages[0].StateBytesPerTuple <= 0 {
+		t.Fatal("build stage must retain hash-table state")
+	}
+}
+
+func TestCompileEPvsSPOnQ9(t *testing.T) {
+	cat := catalog.New(10)
+	sse.RegisterTables(cat, 840_000_000)
+	g1 := compileQuery(t, sse.Queries["SSE-Q9"], cat, 10)
+	g2 := compileQuery(t, sse.Queries["SSE-Q9"], cat, 10)
+
+	sEP, _ := New(Cluster{Nodes: 10}, g1, &EPPolicy{Tick: 100 * time.Millisecond})
+	sEP.MaxVirtual = 4 * time.Hour
+	mEP, err := sEP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSP, _ := New(Cluster{Nodes: 10}, g2, &StaticPolicy{P: 1})
+	sSP.MaxVirtual = 4 * time.Hour
+	mSP, err := sSP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(mSP.Elapsed) / float64(mEP.Elapsed)
+	t.Logf("SSE-Q9: EP %v vs SP(1) %v — %.1fx", mEP.Elapsed, mSP.Elapsed, speedup)
+	if speedup < 2 {
+		t.Fatalf("EP speedup over static-1 = %.2f, want ≥2", speedup)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "fmt"
+
+// Merge combines several compiled query graphs into one simulation
+// workload whose segment groups share the cluster — the paper's
+// Section 7 future-work scenario: "the scheduling method can be further
+// extended to handle multiple queries running at the same time". The
+// dynamic scheduler needs no modification: every segment of every query
+// attaches to the same per-node scheduler, and Algorithm 1 balances
+// cores across queries exactly as it does across segments of one query.
+//
+// Group and edge IDs are renumbered; group names are prefixed with
+// "Qi·" so traces distinguish the queries.
+func Merge(graphs ...*Graph) (*Graph, error) {
+	out := &Graph{}
+	for qi, g := range graphs {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: merge input %d: %w", qi, err)
+		}
+		groupBase := len(out.Groups)
+		edgeBase := len(out.Edges)
+		for _, e := range g.Edges {
+			ne := *e
+			ne.ID = edgeBase + e.ID
+			ne.From = groupBase + e.From
+			ne.To = groupBase + e.To
+			out.Edges = append(out.Edges, &ne)
+		}
+		for _, sg := range g.Groups {
+			ng := &SegGroup{
+				ID:         groupBase + sg.ID,
+				Name:       fmt.Sprintf("Q%d·%s", qi+1, sg.Name),
+				OnAllNodes: sg.OnAllNodes,
+			}
+			for _, st := range sg.Stages {
+				ns := st
+				if ns.SourceEdge >= 0 {
+					ns.SourceEdge += edgeBase
+				}
+				if ns.OutEdge >= 0 && !ns.ToResult {
+					ns.OutEdge += edgeBase
+				}
+				ng.Stages = append(ng.Stages, ns)
+			}
+			out.Groups = append(out.Groups, ng)
+		}
+		out.TotalInputRows += g.TotalInputRows
+	}
+	return out, out.Validate()
+}

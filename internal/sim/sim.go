@@ -1,0 +1,292 @@
+// Package sim is the virtual-time cluster simulator used to regenerate
+// the paper's cluster-scale experiments (Figures 8 and 10-13, Tables
+// 4-7) on hardware that lacks the authors' 10-node × 24-core testbed
+// (see DESIGN.md §1).
+//
+// The simulator implements the same open queueing-network view of a
+// pipeline that the paper's scheduler is derived from (Section 4.1,
+// Equation 2): segments are fluid servers with per-tuple costs and
+// parallelism-dependent service rates; exchanges are queues with NIC
+// bandwidth shared per node; virtual time advances in fixed quanta.
+// Critically, the dynamic scheduler under test is NOT modeled — the
+// real implementation (package sched, Algorithm 1) runs against
+// simulated segments through the same SegmentHandle interface the real
+// engine uses.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Cluster describes the simulated hardware.
+type Cluster struct {
+	// Nodes is the number of slave nodes; the paper uses 10.
+	Nodes int
+	// Cores is m: physical cores per node (12 in the paper). Logical
+	// (hyper-threaded) cores extend to 2×Cores with reduced marginal
+	// speedup.
+	Cores int
+	// HTCores is the total schedulable core count per node, including
+	// hyper-threads (default 2×Cores).
+	HTCores int
+	// NetBps is per-node NIC bandwidth in bytes/second each direction
+	// (Gigabit Ethernet ≈ 125e6).
+	NetBps float64
+	// MemBps is per-node memory bandwidth in bytes/second shared by all
+	// segments on the node (the Figure 8a S-Q2 plateau).
+	MemBps float64
+	// Quantum is the virtual time step (default 2ms).
+	Quantum time.Duration
+}
+
+func (c *Cluster) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 10
+	}
+	if c.Cores <= 0 {
+		c.Cores = 12
+	}
+	if c.HTCores <= 0 {
+		c.HTCores = 2 * c.Cores
+	}
+	if c.NetBps <= 0 {
+		c.NetBps = 125e6
+	}
+	if c.MemBps <= 0 {
+		c.MemBps = 8e9
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 2 * time.Millisecond
+	}
+}
+
+// htEffective maps p scheduled cores to effective physical-core
+// equivalents: linear to Cores, then 30% marginal gain per hyper-thread
+// (the Figure 8 beyond-12 flattening).
+func (c *Cluster) htEffective(p float64) float64 {
+	if p <= float64(c.Cores) {
+		return p
+	}
+	return float64(c.Cores) + 0.3*(p-float64(c.Cores))
+}
+
+// Stage is one phase of a segment (Section 2.1: a segment runs one
+// stage at a time — e.g. a join segment's hash-build stage then its
+// probe stage).
+type Stage struct {
+	// Name labels the stage in traces.
+	Name string
+	// SourceEdge is the inbound exchange feeding this stage, or -1 when
+	// the stage reads LocalRows from node-local storage.
+	SourceEdge int
+	// LocalRows is the per-node input cardinality for local stages.
+	LocalRows float64
+	// CostPerTuple is core-seconds of computation per input tuple at
+	// parallelism 1.
+	CostPerTuple float64
+	// MemBytesPerTuple is bytes of memory traffic per input tuple; it
+	// draws from the node's shared MemBps and produces the
+	// memory-bandwidth plateau.
+	MemBytesPerTuple float64
+	// CritFrac is the fraction of per-tuple work under a shared
+	// critical section (hash-table contention): an Amdahl-style ceiling
+	// rate(p) ≤ 1/(CostPerTuple·CritFrac).
+	CritFrac float64
+	// Selectivity is output tuples per input tuple. If SelProfile is
+	// non-nil it overrides Selectivity as a function of the stage's
+	// input progress in [0,1] — the Figure 11 fluctuating filter.
+	Selectivity float64
+	SelProfile  func(progress float64) float64
+	// OutEdge receives streamed output (-1: none or result).
+	OutEdge int
+	// EmitAtEnd holds output until the stage finishes (blocking
+	// operators: aggregation emits its groups only after consuming all
+	// input). EmitRows is the per-node output cardinality released at
+	// completion (used instead of Selectivity×input when > 0).
+	EmitAtEnd bool
+	EmitRows  float64
+	// StateBytesPerTuple is memory retained per consumed tuple by
+	// state-building stages (hash-join build arenas, aggregation
+	// tables) — the Table 4 footprint. EmitAtEnd state is released when
+	// the stage emits; build-stage state is held until the instance
+	// finishes.
+	StateBytesPerTuple float64
+	// ToResult marks output that leaves the query (counted, not
+	// queued).
+	ToResult bool
+}
+
+// SegGroup is a segment group template instantiated on every node.
+type SegGroup struct {
+	ID     int
+	Name   string
+	Stages []Stage
+	// OnAllNodes is true for slave segments; false pins the group to a
+	// single (master) instance. Master instances reuse node 0's core
+	// budget for simplicity.
+	OnAllNodes bool
+}
+
+// Edge is an exchange between two segment groups.
+type Edge struct {
+	ID            int
+	From, To      int // SegGroup IDs
+	BytesPerTuple float64
+	// Gather sends everything to instance 0 rather than repartitioning.
+	Gather bool
+	// QueueCapTuples bounds each consumer-side queue (backpressure).
+	// Materializing policies override it to unbounded.
+	QueueCapTuples float64
+}
+
+// Graph is a compiled simulation workload: segment groups plus edges.
+type Graph struct {
+	Groups []*SegGroup
+	Edges  []*Edge
+	// TotalInputRows is the pipeline-wide input cardinality (the input
+	// group's rows across all nodes), used to normalize visit rates.
+	TotalInputRows float64
+}
+
+// Validate checks the graph's structural invariants.
+func (g *Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Groups) || e.To < 0 || e.To >= len(g.Groups) {
+			return fmt.Errorf("sim: edge %d references unknown group", e.ID)
+		}
+	}
+	for _, sg := range g.Groups {
+		if len(sg.Stages) == 0 {
+			return fmt.Errorf("sim: group %q has no stages", sg.Name)
+		}
+		for _, st := range sg.Stages {
+			if st.SourceEdge >= len(g.Edges) {
+				return fmt.Errorf("sim: group %q references unknown edge %d", sg.Name, st.SourceEdge)
+			}
+			if st.CostPerTuple <= 0 {
+				return fmt.Errorf("sim: group %q stage %q has no cost", sg.Name, st.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// segInst is the per-node state of one segment group.
+type segInst struct {
+	group *SegGroup
+	node  int
+	p     int // assigned cores
+
+	stage       int
+	consumed    float64 // tuples consumed in current stage
+	emittedHold float64 // output withheld by EmitAtEnd
+	done        bool
+
+	// measurement window (reset each scheduler probe)
+	winProcessed float64
+	winStarved   bool
+	winBlocked   bool
+	winStart     time.Duration
+
+	// cumulative
+	totalProcessed float64
+	busyCoreSec    float64
+	stateHeld      float64 // retained operator-state bytes
+}
+
+// queue is a consumer-side exchange queue on one node.
+type queue struct {
+	edge     *Edge
+	node     int
+	tuples   float64
+	visit    float64 // visit rate of queued tuples
+	openFrom int     // producers still open
+	peakByte float64
+}
+
+// Metrics accumulates simulation-wide measurements.
+type Metrics struct {
+	// Elapsed is the virtual completion time.
+	Elapsed time.Duration
+	// BusyCoreSeconds and AvailCoreSeconds yield CPU utilization.
+	// AllocCoreSeconds integrates the cores actually assigned to query
+	// workers over time; the paper measures CPU utilization "on the
+	// cores allocated to the query threads" (Section 5.4).
+	BusyCoreSeconds  float64
+	AvailCoreSeconds float64
+	AllocCoreSeconds float64
+	// NetBytes is total inter-node traffic.
+	NetBytes float64
+	// PeakMemBytes is the high-water mark of queued intermediate data
+	// plus blocking-operator state.
+	PeakMemBytes float64
+	// SchedOverheadSec is virtual CPU time charged to scheduling.
+	SchedOverheadSec float64
+	// ContextSwitches counts simulated thread context switches.
+	ContextSwitches float64
+	// UtilTimeline samples per-slice CPU and network utilization for
+	// the Table 6 high-utilization metric.
+	UtilTimeline []UtilSample
+	// Trace samples per-group parallelism on node 0 (Figures 10-12).
+	Trace []TraceSample
+}
+
+// UtilSample is one utilization timeline slice.
+type UtilSample struct {
+	At      time.Duration
+	CPU     float64
+	Network float64
+}
+
+// TraceSample is one parallelism trace point.
+type TraceSample struct {
+	At          time.Duration
+	Parallelism map[string]int
+}
+
+// HighUtilizationRate returns the fraction of slices whose CPU or
+// network utilization reaches the threshold (Table 6, θu).
+func (m *Metrics) HighUtilizationRate(theta float64) float64 {
+	if len(m.UtilTimeline) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range m.UtilTimeline {
+		if s.CPU >= theta || s.Network >= theta {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(m.UtilTimeline))
+}
+
+// CPUUtilization returns busy time over the cores allocated to the
+// query (the paper's definition).
+func (m *Metrics) CPUUtilization() float64 {
+	if m.AllocCoreSeconds == 0 {
+		return 0
+	}
+	return minf(m.BusyCoreSeconds/m.AllocCoreSeconds, 1)
+}
+
+// Rate returns the stage service rate in tuples/sec at parallelism p
+// before input/output limiting — exported for the Figure 8 bench, which
+// evaluates the service-rate law directly.
+func (c *Cluster) Rate(st *Stage, p float64) float64 { return c.rate(st, p) }
+
+// rate returns the stage service rate in tuples/sec at parallelism p,
+// before input/output limiting: the minimum of the compute law, the
+// contention ceiling and (applied later, shared per node) the memory
+// bandwidth.
+func (c *Cluster) rate(st *Stage, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	compute := c.htEffective(p) / st.CostPerTuple
+	if st.CritFrac > 0 {
+		crit := 1 / (st.CostPerTuple * st.CritFrac)
+		compute = math.Min(compute, crit)
+	}
+	return compute
+}

@@ -1,0 +1,227 @@
+// Package sql implements the SQL frontend: a lexer and recursive-descent
+// parser for the dialect exercised by the paper's evaluation queries —
+// SELECT with joins (comma-style and JOIN..ON), WHERE with boolean
+// logic, LIKE, BETWEEN, IN, CASE, EXTRACT, date and interval literals,
+// GROUP BY, HAVING, ORDER BY, LIMIT, and derived tables in FROM.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed (unresolved) expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef references a column, optionally qualified by table or alias.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (c *ColRef) exprNode() {}
+func (c *ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+func (l *IntLit) exprNode()      {}
+func (l *IntLit) String() string { return fmt.Sprintf("%d", l.V) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+func (l *FloatLit) exprNode()      {}
+func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.V) }
+
+// StrLit is a quoted string literal.
+type StrLit struct{ V string }
+
+func (l *StrLit) exprNode()      {}
+func (l *StrLit) String() string { return "'" + l.V + "'" }
+
+// DateLit is a DATE 'YYYY-MM-DD' literal, stored as epoch days.
+type DateLit struct {
+	Days int64
+	Raw  string
+}
+
+func (l *DateLit) exprNode()      {}
+func (l *DateLit) String() string { return "DATE '" + l.Raw + "'" }
+
+// IntervalLit is an INTERVAL 'n' DAY|MONTH|YEAR literal.
+type IntervalLit struct {
+	N    int64
+	Unit string // "day", "month", "year"
+}
+
+func (l *IntervalLit) exprNode() {}
+func (l *IntervalLit) String() string {
+	return fmt.Sprintf("INTERVAL '%d' %s", l.N, strings.ToUpper(l.Unit))
+}
+
+// BinExpr is a binary operator: arithmetic, comparison, AND, OR.
+type BinExpr struct {
+	Op   string // "+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+}
+
+func (b *BinExpr) exprNode()      {}
+func (b *BinExpr) String() string { return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")" }
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+func (n *NotExpr) exprNode()      {}
+func (n *NotExpr) String() string { return "(NOT " + n.E.String() + ")" }
+
+// NegExpr is arithmetic negation.
+type NegExpr struct{ E Expr }
+
+func (n *NegExpr) exprNode()      {}
+func (n *NegExpr) String() string { return "(-" + n.E.String() + ")" }
+
+// LikeExpr is [NOT] LIKE.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+func (l *LikeExpr) exprNode() {}
+func (l *LikeExpr) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", l.E, op, l.Pattern)
+}
+
+// BetweenExpr is BETWEEN lo AND hi.
+type BetweenExpr struct{ E, Lo, Hi Expr }
+
+func (b *BetweenExpr) exprNode() {}
+func (b *BetweenExpr) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.E, b.Lo, b.Hi)
+}
+
+// InExpr is [NOT] IN (literal list).
+type InExpr struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (i *InExpr) exprNode() {}
+func (i *InExpr) String() string {
+	parts := make([]string, len(i.List))
+	for k, e := range i.List {
+		parts[k] = e.String()
+	}
+	op := "IN"
+	if i.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", i.E, op, strings.Join(parts, ", "))
+}
+
+// WhenClause is one CASE arm.
+type WhenClause struct{ Cond, Then Expr }
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+func (c *CaseExpr) exprNode() {}
+func (c *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", c.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// FuncExpr is a function call; aggregates (sum/avg/count/min/max) are
+// recognized by the planner. Star marks COUNT(*).
+type FuncExpr struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+func (f *FuncExpr) exprNode() {}
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ExtractExpr is EXTRACT(part FROM e).
+type ExtractExpr struct {
+	Part string // "year" or "month"
+	E    Expr
+}
+
+func (e *ExtractExpr) exprNode() {}
+func (e *ExtractExpr) String() string {
+	return fmt.Sprintf("EXTRACT(%s FROM %s)", strings.ToUpper(e.Part), e.E)
+}
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// TableRef is a FROM item: a base table or a derived table (subquery).
+type TableRef struct {
+	Name  string
+	Alias string
+	Sub   *SelectStmt
+}
+
+// DisplayName returns the alias if present, otherwise the table name.
+func (t *TableRef) DisplayName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int64 // -1 = no limit
+}

@@ -1,0 +1,230 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t WHERE a > 5")
+	if len(stmt.Items) != 2 || len(stmt.From) != 1 {
+		t.Fatalf("items=%d from=%d", len(stmt.Items), len(stmt.From))
+	}
+	if stmt.From[0].Name != "t" {
+		t.Fatalf("table = %q", stmt.From[0].Name)
+	}
+	if stmt.Where == nil {
+		t.Fatal("missing where")
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM orders")
+	if !stmt.Items[0].Star {
+		t.Fatal("star not recognized")
+	}
+}
+
+// The paper's synthetic queries S-Q1..S-Q5 (Section 5.1).
+func TestParsePaperSyntheticQueries(t *testing.T) {
+	queries := []string{
+		`SELECT * FROM orders WHERE o_comment NOT LIKE '%special%requests%'`,
+		`SELECT * FROM orders WHERE o_orderdate < '1995-03-15'`,
+		`SELECT l_returnflag, l_linestatus, sum(l_quantity), avg(l_discount)
+		 FROM lineitem GROUP BY l_returnflag, l_linestatus`,
+		`SELECT l_commitdate, sum(l_quantity), avg(l_discount)
+		 FROM lineitem GROUP BY l_commitdate`,
+		`SELECT * FROM orders, lineitem WHERE l_orderkey = o_orderkey`,
+	}
+	for _, q := range queries {
+		mustParse(t, q)
+	}
+}
+
+// The paper's Stock Exchange queries SSE-Q6..Q9 (Section 5.1).
+func TestParsePaperSSEQueries(t *testing.T) {
+	queries := []string{
+		`SELECT count(*) FROM Trades T, Securities S
+		 WHERE S.sec_code = 600036 AND T.trade_date = '2010-10-30'
+		 AND S.acct_id = T.acct_id`,
+		`SELECT acct_id, sum(trade_volume) FROM Trades GROUP BY acct_id`,
+		`SELECT acct_id, sec_code, sum(trade_volume) FROM Trades
+		 WHERE trade_date = '2010-10-10' GROUP BY acct_id, sec_code`,
+		`SELECT sec_code, acct_id, sum(trade_volume), sum(entry_volume)
+		 FROM Trades T, Securities S
+		 WHERE T.trade_date = '2010-10-30' AND S.entry_date = '2010-10-30'
+		 AND T.acct_id = S.acct_id
+		 GROUP BY T.sec_code, S.acct_id`,
+	}
+	for _, q := range queries {
+		stmt := mustParse(t, q)
+		if stmt == nil {
+			t.Fatal("nil stmt")
+		}
+	}
+}
+
+func TestParseTPCHQ1Shape(t *testing.T) {
+	q := `SELECT l_returnflag, l_linestatus, sum(l_quantity) as sum_qty,
+	        sum(l_extendedprice) as sum_base_price,
+	        sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+	        sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+	        avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price,
+	        avg(l_discount) as avg_disc, count(*) as count_order
+	      FROM lineitem
+	      WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+	      GROUP BY l_returnflag, l_linestatus
+	      ORDER BY l_returnflag, l_linestatus`
+	stmt := mustParse(t, q)
+	if len(stmt.Items) != 10 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 2 {
+		t.Fatalf("groupby=%d orderby=%d", len(stmt.GroupBy), len(stmt.OrderBy))
+	}
+	if stmt.Items[2].Alias != "sum_qty" {
+		t.Fatalf("alias = %q", stmt.Items[2].Alias)
+	}
+	// The WHERE must be a comparison against date minus interval.
+	be, ok := stmt.Where.(*BinExpr)
+	if !ok || be.Op != "<=" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	if _, ok := be.R.(*BinExpr); !ok {
+		t.Fatalf("rhs should be date arithmetic, got %T", be.R)
+	}
+}
+
+func TestParseCaseWhen(t *testing.T) {
+	q := `SELECT sum(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+	      FROM lineitem, part WHERE l_partkey = p_partkey`
+	stmt := mustParse(t, q)
+	f, ok := stmt.Items[0].Expr.(*FuncExpr)
+	if !ok || f.Name != "sum" {
+		t.Fatalf("item0 = %v", stmt.Items[0].Expr)
+	}
+	if _, ok := f.Args[0].(*CaseExpr); !ok {
+		t.Fatalf("arg = %T", f.Args[0])
+	}
+}
+
+func TestParseExtractAndIn(t *testing.T) {
+	q := `SELECT extract(year from o_orderdate) as o_year, sum(1)
+	      FROM orders WHERE o_orderpriority IN ('1-URGENT', '2-HIGH')
+	      GROUP BY extract(year from o_orderdate)`
+	stmt := mustParse(t, q)
+	if _, ok := stmt.Items[0].Expr.(*ExtractExpr); !ok {
+		t.Fatalf("item0 = %T", stmt.Items[0].Expr)
+	}
+	in, ok := stmt.Where.(*InExpr)
+	if !ok || len(in.List) != 2 {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM lineitem
+		WHERE l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`)
+	b, ok := stmt.Where.(*BinExpr)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	if _, ok := b.L.(*BetweenExpr); !ok {
+		t.Fatalf("left = %T", b.L)
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+		WHERE o.o_orderdate < '1995-03-15'`)
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %d", len(stmt.From))
+	}
+	// ON condition must be folded into WHERE as a conjunct.
+	b, ok := stmt.Where.(*BinExpr)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	if stmt.From[0].Alias != "o" || stmt.From[1].Alias != "l" {
+		t.Fatalf("aliases = %q %q", stmt.From[0].Alias, stmt.From[1].Alias)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	stmt := mustParse(t, `SELECT m, x FROM (SELECT min(v) m, k x FROM t GROUP BY k) sub WHERE m > 0`)
+	if stmt.From[0].Sub == nil {
+		t.Fatal("subquery not parsed")
+	}
+	if stmt.From[0].Alias != "sub" {
+		t.Fatalf("alias = %q", stmt.From[0].Alias)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t ORDER BY a DESC, b LIMIT 20`)
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Fatal("desc flags wrong")
+	}
+	if stmt.Limit != 20 {
+		t.Fatalf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM (SELECT b FROM t)",      // derived table without alias
+		"SELECT a FROM t WHERE a LIKE 5",       // non-string pattern
+		"SELECT a FROM t WHERE a BETWEEN 1 10", // missing AND
+		"SELECT a FROM t; SELECT b FROM t",     // trailing statement
+		"SELECT a FROM t WHERE a = 'unclosed",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT a -- trailing comment\nFROM t")
+	if len(stmt.Items) != 1 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestDateLiteralDetection(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE d = '2010-10-30' AND s = 'hello'")
+	and := stmt.Where.(*BinExpr)
+	dcmp := and.L.(*BinExpr)
+	if _, ok := dcmp.R.(*DateLit); !ok {
+		t.Fatalf("date literal not detected: %T", dcmp.R)
+	}
+	scmp := and.R.(*BinExpr)
+	if _, ok := scmp.R.(*StrLit); !ok {
+		t.Fatalf("plain string misdetected: %T", scmp.R)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	stmt := mustParse(t, `SELECT sum(a) s FROM t WHERE a NOT LIKE '%x%' AND b IN (1, 2)
+		GROUP BY c ORDER BY c`)
+	s := stmt.Where.(*BinExpr).String()
+	if !strings.Contains(s, "NOT LIKE") || !strings.Contains(s, "IN (1, 2)") {
+		t.Fatalf("rendering = %s", s)
+	}
+}

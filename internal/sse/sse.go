@@ -1,0 +1,205 @@
+// Package sse implements the paper's real-world workload substitute: a
+// synthetic Stock Exchange dataset with the Section 5.1 schemas
+//
+//	Securities(order_no, acct_id, sec_code, entry_date, entry_volume)
+//	Trades(acct_id, sec_code, trade_date, trade_time, order_price,
+//	       trade_volume)
+//
+// and the evaluation queries SSE-Q6..SSE-Q9. The original three months
+// of 2010 SSE transaction records (840 M rows per table) are
+// proprietary; the generator reproduces what the experiments depend on:
+// cardinalities, join selectivity on acct_id, group-by cardinalities,
+// date clustering around "2010-10-30", and — for Figure 11 — partitions
+// whose tuples are sorted by trade_date so filter selectivity swings
+// from 0 to 1 mid-query. See DESIGN.md §1.
+package sse
+
+import (
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// SecuritiesSchema returns the Securities schema.
+func SecuritiesSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("order_no", types.Int64),
+		types.Col("acct_id", types.Int64),
+		types.Col("sec_code", types.Int64),
+		types.Col("entry_date", types.Date),
+		types.Col("entry_volume", types.Float64),
+	)
+}
+
+// TradesSchema returns the Trades schema.
+func TradesSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("acct_id", types.Int64),
+		types.Col("sec_code", types.Int64),
+		types.Col("trade_date", types.Date),
+		types.Col("trade_time", types.Int64),
+		types.Col("order_price", types.Float64),
+		types.Col("trade_volume", types.Float64),
+	)
+}
+
+// RegisterTables registers the SSE tables: Trades partitioned on
+// sec_code and Securities on acct_id (Section 5.3), which forces the
+// repartition join of Figure 1.
+func RegisterTables(cat *catalog.Catalog, rowsPerTable int64) {
+	// Heavy-trader skew: ~1 account per 200 rows, so the report-day
+	// acct_id join fans out (an account trades repeatedly per day).
+	accounts := rowsPerTable / 200
+	if accounts < 1 {
+		accounts = 1
+	}
+	cat.MustAdd(&catalog.Table{
+		Name: "securities", Schema: SecuritiesSchema(),
+		PartKey: []int{1}, // acct_id
+		Stats: catalog.TableStats{Rows: rowsPerTable, Cols: map[string]catalog.ColStats{
+			"order_no":   {NDV: rowsPerTable},
+			"acct_id":    {NDV: accounts},
+			"sec_code":   {NDV: 1000},
+			"entry_date": {NDV: 60},
+		}},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "trades", Schema: TradesSchema(),
+		PartKey: []int{1}, // sec_code
+		Stats: catalog.TableStats{Rows: rowsPerTable, Cols: map[string]catalog.ColStats{
+			"acct_id":    {NDV: accounts},
+			"sec_code":   {NDV: 1000},
+			"trade_date": {NDV: 60},
+		}},
+	})
+}
+
+// GenConfig shapes the synthetic dataset.
+type GenConfig struct {
+	// Rows per table.
+	Rows int
+	// Accounts and SecCodes set the key cardinalities (join and
+	// group-by selectivity knobs).
+	Accounts int
+	SecCodes int
+	// Days spreads dates over [ReportDate-Days+1, ReportDate].
+	Days int
+	// SortedByDate orders each Trades partition by trade_date
+	// ascending — the Figure 11 adversarial layout where filter
+	// selectivity is 0 for a long prefix, then jumps to 1.
+	SortedByDate bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// ReportDate is the date the evaluation queries filter on.
+var ReportDate = types.MustParseDate("2010-10-30")
+
+func (g *GenConfig) defaults() {
+	if g.Rows <= 0 {
+		g.Rows = 100_000
+	}
+	if g.Accounts <= 0 {
+		g.Accounts = g.Rows/200 + 1
+	}
+	if g.SecCodes <= 0 {
+		g.SecCodes = 1000
+	}
+	if g.Days <= 0 {
+		g.Days = 60
+	}
+}
+
+// Load generates both tables into the cluster.
+func Load(c *engine.Cluster, cfg GenConfig) error {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ss := SecuritiesSchema()
+	sl, err := c.NewTableLoader("securities")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		r := sl.Row()
+		types.PutValue(r, ss, 0, types.IntVal(int64(i)))
+		types.PutValue(r, ss, 1, types.IntVal(int64(rng.Intn(cfg.Accounts))))
+		types.PutValue(r, ss, 2, types.IntVal(int64(600000+rng.Intn(cfg.SecCodes))))
+		types.PutValue(r, ss, 3, types.DateVal(ReportDate-int64(rng.Intn(cfg.Days))))
+		types.PutValue(r, ss, 4, types.FloatVal(float64(rng.Intn(100000))/10))
+		sl.Add()
+	}
+	sl.Close()
+
+	ts := TradesSchema()
+	tl, err := c.NewTableLoader("trades")
+	if err != nil {
+		return err
+	}
+	dates := make([]int64, cfg.Rows)
+	for i := range dates {
+		dates[i] = ReportDate - int64(rng.Intn(cfg.Days))
+	}
+	if cfg.SortedByDate {
+		// Ascending dates reproduce the insertion-time correlation the
+		// paper describes: the report-date tuples arrive only at the
+		// tail of the scan.
+		sortInt64s(dates)
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		r := tl.Row()
+		types.PutValue(r, ts, 0, types.IntVal(int64(rng.Intn(cfg.Accounts))))
+		types.PutValue(r, ts, 1, types.IntVal(int64(600000+rng.Intn(cfg.SecCodes))))
+		types.PutValue(r, ts, 2, types.DateVal(dates[i]))
+		types.PutValue(r, ts, 3, types.IntVal(int64(rng.Intn(86400))))
+		types.PutValue(r, ts, 4, types.FloatVal(float64(rng.Intn(10000))/100))
+		types.PutValue(r, ts, 5, types.FloatVal(float64(rng.Intn(100000))/10))
+		tl.Add()
+	}
+	tl.Close()
+	return nil
+}
+
+func sortInt64s(v []int64) {
+	// Counting sort over the small date domain keeps generation O(n).
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	counts := make([]int, hi-lo+1)
+	for _, x := range v {
+		counts[x-lo]++
+	}
+	i := 0
+	for d, c := range counts {
+		for ; c > 0; c-- {
+			v[i] = lo + int64(d)
+			i++
+		}
+	}
+}
+
+// Queries are the paper's SSE evaluation queries (Section 5.1).
+var Queries = map[string]string{
+	"SSE-Q6": `SELECT count(*) FROM Trades T, Securities S
+	           WHERE S.sec_code = 600036 AND T.trade_date = '2010-10-30'
+	           AND S.acct_id = T.acct_id`,
+	"SSE-Q7": `SELECT acct_id, sum(trade_volume) FROM Trades GROUP BY acct_id`,
+	"SSE-Q8": `SELECT acct_id, sec_code, sum(trade_volume) FROM Trades
+	           WHERE trade_date = '2010-10-10' GROUP BY acct_id, sec_code`,
+	"SSE-Q9": `SELECT sec_code, acct_id, sum(trade_volume), sum(entry_volume)
+	           FROM Trades T, Securities S
+	           WHERE T.trade_date = '2010-10-30' AND S.entry_date = '2010-10-30'
+	           AND T.acct_id = S.acct_id
+	           GROUP BY T.sec_code, S.acct_id`,
+}
+
+// EvaluatedQueries lists the SSE queries in report order.
+var EvaluatedQueries = []string{"SSE-Q6", "SSE-Q7", "SSE-Q8", "SSE-Q9"}

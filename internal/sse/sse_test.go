@@ -1,0 +1,133 @@
+package sse
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func cluster(t *testing.T, mode engine.Mode, cfg GenConfig) *engine.Cluster {
+	t.Helper()
+	cat := catalog.New(2)
+	RegisterTables(cat, int64(cfg.Rows))
+	c := engine.NewCluster(engine.Config{
+		Nodes: 2, CoresPerNode: 2, Mode: mode, BlockSize: 4096,
+	}, cat)
+	if err := Load(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAllQueriesRunAllModes(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.EP, engine.SP, engine.ME} {
+		c := cluster(t, mode, GenConfig{Rows: 20000, Seed: 3})
+		for _, id := range EvaluatedQueries {
+			res, err := c.Run(Queries[id])
+			if err != nil {
+				t.Fatalf("%v %s: %v", mode, id, err)
+			}
+			if id == "SSE-Q6" && res.NumRows() != 1 {
+				t.Fatalf("%s rows = %d", id, res.NumRows())
+			}
+		}
+	}
+}
+
+func TestQ7SumsMatchTotal(t *testing.T) {
+	c := cluster(t, engine.EP, GenConfig{Rows: 30000, Seed: 5})
+	per, err := c.Run(Queries["SSE-Q7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot, err := c.Run("SELECT sum(trade_volume) FROM trades")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, row := range per.Rows() {
+		sum += row[1].F
+	}
+	// Distributed aggregation sums in a different order than the scalar
+	// aggregate; only bit-level float association differs.
+	if want := tot.Rows()[0][0].F; !almost(sum, want) {
+		t.Fatalf("Σ per-account = %f, total = %f", sum, want)
+	}
+}
+
+func TestSortedByDateLayout(t *testing.T) {
+	c := cluster(t, engine.EP, GenConfig{Rows: 20000, Seed: 7, SortedByDate: true})
+	// The sorted layout must not change query results, only data order.
+	res, err := c.Run("SELECT count(*) FROM trades WHERE trade_date = '2010-10-30'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows()[0][0].I == 0 {
+		t.Fatal("no report-date rows generated")
+	}
+	// And within a partition, dates must be non-decreasing.
+	all, err := c.Run("SELECT trade_date FROM trades")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 20000 {
+		t.Fatalf("rows = %d", all.NumRows())
+	}
+}
+
+func TestReportDateClustered(t *testing.T) {
+	cfg := GenConfig{Rows: 50000, Seed: 9, Days: 50}
+	c := cluster(t, engine.EP, cfg)
+	res, err := c.Run("SELECT count(*) FROM trades WHERE trade_date = '2010-10-30'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Rows()[0][0].I
+	// Uniform over 50 days → ≈ 2% of rows.
+	if n < 600 || n > 1500 {
+		t.Fatalf("report-date rows = %d, expected ≈1000", n)
+	}
+}
+
+func TestQ9AgainstReference(t *testing.T) {
+	cfg := GenConfig{Rows: 5000, Accounts: 100, SecCodes: 20, Days: 3, Seed: 11}
+	c := cluster(t, engine.EP, cfg)
+	res, err := c.Run(Queries["SSE-Q9"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference via independent engine queries: total trade volume on
+	// the report date for accounts having a same-day security entry.
+	chk, err := c.Run(`SELECT sum(t.trade_volume) FROM trades T, securities S
+		WHERE T.trade_date = '2010-10-30' AND S.entry_date = '2010-10-30'
+		AND T.acct_id = S.acct_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, row := range res.Rows() {
+		sum += row[2].F
+	}
+	if want := chk.Rows()[0][0].F; !almost(sum, want) {
+		t.Fatalf("Q9 Σ trade volume = %f, want %f", sum, want)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ = types.MustParseDate // keep the types import referenced

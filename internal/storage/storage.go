@@ -1,0 +1,108 @@
+// Package storage implements the per-node in-memory table store: each
+// slave node holds one partition of every table, as a list of data
+// blocks spread round-robin over emulated NUMA sockets (Section 3.2(3)).
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// Partition is one node's slice of a table.
+type Partition struct {
+	Schema  *types.Schema
+	Blocks  []*block.Block
+	Rows    int64
+	Sockets int
+}
+
+// Store is the table store of a single node.
+type Store struct {
+	mu      sync.RWMutex
+	parts   map[string]*Partition
+	sockets int
+}
+
+// NewStore creates a store emulating the given number of NUMA sockets
+// (≥1). Blocks loaded into the store are tagged with a socket in
+// round-robin order; NUMA-aware scans prefer handing a worker blocks
+// from its own socket.
+func NewStore(sockets int) *Store {
+	if sockets < 1 {
+		sockets = 1
+	}
+	return &Store{parts: make(map[string]*Partition), sockets: sockets}
+}
+
+// CreatePartition registers an empty partition for a table.
+func (s *Store) CreatePartition(table string, sch *types.Schema) *Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Partition{Schema: sch, Sockets: s.sockets}
+	s.parts[strings.ToLower(table)] = p
+	return p
+}
+
+// Partition returns the local partition of a table.
+func (s *Store) Partition(table string) (*Partition, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.parts[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no local partition for table %q", table)
+	}
+	return p, nil
+}
+
+// Append adds a sealed block to the partition, assigning its socket.
+func (p *Partition) Append(b *block.Block) {
+	b.Socket = len(p.Blocks) % p.Sockets
+	p.Blocks = append(p.Blocks, b)
+	p.Rows += int64(b.NumTuples())
+}
+
+// Bytes returns the total payload bytes held by the partition.
+func (p *Partition) Bytes() int64 {
+	var n int64
+	for _, b := range p.Blocks {
+		n += int64(b.SizeBytes())
+	}
+	return n
+}
+
+// Loader accumulates rows into blocks and appends sealed blocks to a
+// partition. Not safe for concurrent use.
+type Loader struct {
+	part      *Partition
+	blockSize int
+	cur       *block.Block
+}
+
+// NewLoader creates a loader targeting the partition with the given
+// block payload size (0 → block.DefaultSize).
+func NewLoader(p *Partition, blockSize int) *Loader {
+	return &Loader{part: p, blockSize: blockSize}
+}
+
+// Row returns the next record slot to fill in.
+func (l *Loader) Row() []byte {
+	if l.cur == nil || l.cur.Full() {
+		l.flush()
+		l.cur = block.New(l.part.Schema, l.blockSize, nil)
+	}
+	return l.cur.AppendRowTo()
+}
+
+func (l *Loader) flush() {
+	if l.cur != nil && l.cur.NumTuples() > 0 {
+		l.part.Append(l.cur)
+	}
+	l.cur = nil
+}
+
+// Close seals the trailing partial block.
+func (l *Loader) Close() { l.flush() }

@@ -1,0 +1,295 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// Value pools mirroring the TPC-H specification's text generation.
+var (
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	typeSyl1   = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2   = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3   = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	colors     = []string{"almond", "antique", "aquamarine", "azure", "beige",
+		"bisque", "black", "blanched", "blue", "blush", "brown", "burlywood",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream",
+		"cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "gold", "green",
+		"grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+		"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+		"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+		"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+		"peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+		"rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+		"sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+		"thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow"}
+	commentWords = []string{"carefully", "quickly", "furiously", "deposits",
+		"packages", "accounts", "instructions", "foxes", "ideas", "theodolites",
+		"pinto", "beans", "above", "final", "regular", "express", "even",
+		"bold", "silent", "pending"}
+)
+
+// Epoch bounds of generated dates: TPC-H orders span 1992-01-01 to
+// 1998-08-02.
+var (
+	startDate = types.MustParseDate("1992-01-01")
+	endDate   = types.MustParseDate("1998-08-02")
+)
+
+// Load generates all eight tables at the scale factor into the
+// cluster's partitioned stores. Generation is deterministic per seed.
+func Load(c *engine.Cluster, sf float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	nOrders := int(OrdersPerSF * sf)
+	nCust := max(int(CustomerPerSF*sf), 10)
+	nPart := max(int(PartPerSF*sf), 20)
+	nSupp := max(int(SupplierPerSF*sf), 5)
+
+	if err := loadRegionNation(c); err != nil {
+		return err
+	}
+	if err := loadSupplier(c, nSupp, rng); err != nil {
+		return err
+	}
+	if err := loadCustomer(c, nCust, rng); err != nil {
+		return err
+	}
+	if err := loadPart(c, nPart, rng); err != nil {
+		return err
+	}
+	if err := loadPartsupp(c, nPart, nSupp, rng); err != nil {
+		return err
+	}
+	return loadOrdersLineitem(c, nOrders, nCust, nPart, nSupp, rng)
+}
+
+func loadRegionNation(c *engine.Cluster) error {
+	rl, err := c.NewTableLoader("region")
+	if err != nil {
+		return err
+	}
+	rs := RegionSchema()
+	for i, name := range Regions {
+		r := rl.Row()
+		types.PutValue(r, rs, 0, types.IntVal(int64(i)))
+		types.PutValue(r, rs, 1, types.StrVal(name))
+		rl.Add()
+	}
+	rl.Close()
+
+	nl, err := c.NewTableLoader("nation")
+	if err != nil {
+		return err
+	}
+	ns := NationSchema()
+	for i, n := range Nations {
+		r := nl.Row()
+		types.PutValue(r, ns, 0, types.IntVal(int64(i)))
+		types.PutValue(r, ns, 1, types.StrVal(n.Name))
+		types.PutValue(r, ns, 2, types.IntVal(int64(n.Region)))
+		nl.Add()
+	}
+	nl.Close()
+	return nil
+}
+
+func loadSupplier(c *engine.Cluster, n int, rng *rand.Rand) error {
+	l, err := c.NewTableLoader("supplier")
+	if err != nil {
+		return err
+	}
+	s := SupplierSchema()
+	for i := 1; i <= n; i++ {
+		r := l.Row()
+		types.PutValue(r, s, 0, types.IntVal(int64(i)))
+		types.PutValue(r, s, 1, types.StrVal(fmt.Sprintf("Supplier#%09d", i)))
+		types.PutValue(r, s, 2, types.IntVal(int64(rng.Intn(len(Nations)))))
+		types.PutValue(r, s, 3, types.FloatVal(float64(rng.Intn(1000000))/100-1000))
+		l.Add()
+	}
+	l.Close()
+	return nil
+}
+
+func loadCustomer(c *engine.Cluster, n int, rng *rand.Rand) error {
+	l, err := c.NewTableLoader("customer")
+	if err != nil {
+		return err
+	}
+	s := CustomerSchema()
+	for i := 1; i <= n; i++ {
+		r := l.Row()
+		nation := rng.Intn(len(Nations))
+		types.PutValue(r, s, 0, types.IntVal(int64(i)))
+		types.PutValue(r, s, 1, types.StrVal(fmt.Sprintf("Customer#%09d", i)))
+		types.PutValue(r, s, 2, types.IntVal(int64(nation)))
+		types.PutValue(r, s, 3, types.StrVal(fmt.Sprintf("%02d-%03d-%03d-%04d",
+			10+nation, rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))))
+		types.PutValue(r, s, 4, types.FloatVal(float64(rng.Intn(1099999))/100-999.99))
+		types.PutValue(r, s, 5, types.StrVal(segments[rng.Intn(len(segments))]))
+		l.Add()
+	}
+	l.Close()
+	return nil
+}
+
+func loadPart(c *engine.Cluster, n int, rng *rand.Rand) error {
+	l, err := c.NewTableLoader("part")
+	if err != nil {
+		return err
+	}
+	s := PartSchema()
+	for i := 1; i <= n; i++ {
+		r := l.Row()
+		name := colors[rng.Intn(len(colors))] + " " + colors[rng.Intn(len(colors))] + " " +
+			colors[rng.Intn(len(colors))]
+		ptype := typeSyl1[rng.Intn(len(typeSyl1))] + " " +
+			typeSyl2[rng.Intn(len(typeSyl2))] + " " + typeSyl3[rng.Intn(len(typeSyl3))]
+		brand := fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)
+		types.PutValue(r, s, 0, types.IntVal(int64(i)))
+		types.PutValue(r, s, 1, types.StrVal(name))
+		types.PutValue(r, s, 2, types.StrVal(fmt.Sprintf("Manufacturer#%d", rng.Intn(5)+1)))
+		types.PutValue(r, s, 3, types.StrVal(brand))
+		types.PutValue(r, s, 4, types.StrVal(ptype))
+		types.PutValue(r, s, 5, types.IntVal(int64(rng.Intn(50)+1)))
+		types.PutValue(r, s, 6, types.FloatVal(900+float64(i%200)+float64(rng.Intn(100))/100))
+		l.Add()
+	}
+	l.Close()
+	return nil
+}
+
+func loadPartsupp(c *engine.Cluster, nPart, nSupp int, rng *rand.Rand) error {
+	l, err := c.NewTableLoader("partsupp")
+	if err != nil {
+		return err
+	}
+	s := PartsuppSchema()
+	for p := 1; p <= nPart; p++ {
+		for k := 0; k < 4; k++ {
+			r := l.Row()
+			supp := (p+k*(nSupp/4+1))%nSupp + 1
+			types.PutValue(r, s, 0, types.IntVal(int64(p)))
+			types.PutValue(r, s, 1, types.IntVal(int64(supp)))
+			types.PutValue(r, s, 2, types.IntVal(int64(rng.Intn(9999)+1)))
+			types.PutValue(r, s, 3, types.FloatVal(float64(rng.Intn(100000))/100+1))
+			l.Add()
+		}
+	}
+	l.Close()
+	return nil
+}
+
+func loadOrdersLineitem(c *engine.Cluster, nOrders, nCust, nPart, nSupp int,
+	rng *rand.Rand) error {
+	ol, err := c.NewTableLoader("orders")
+	if err != nil {
+		return err
+	}
+	ll, err := c.NewTableLoader("lineitem")
+	if err != nil {
+		return err
+	}
+	os := OrdersSchema()
+	ls := LineitemSchema()
+	dateRange := int(endDate - startDate)
+	cutoff := types.MustParseDate("1995-06-17")
+
+	for o := 1; o <= nOrders; o++ {
+		orderDate := startDate + int64(rng.Intn(dateRange))
+		nLines := rng.Intn(7) + 1
+		var total float64
+
+		lineRows := make([][]types.Value, nLines)
+		for li := 0; li < nLines; li++ {
+			qty := float64(rng.Intn(50) + 1)
+			price := float64(rng.Intn(100000))/100 + 900
+			extended := qty * price / 10
+			discount := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			ship := orderDate + int64(rng.Intn(121)+1)
+			commit := orderDate + int64(rng.Intn(91)+30)
+			receipt := ship + int64(rng.Intn(30)+1)
+			var rf string
+			switch {
+			case receipt <= cutoff && rng.Intn(2) == 0:
+				rf = "R"
+			case receipt <= cutoff:
+				rf = "A"
+			default:
+				rf = "N"
+			}
+			ls_ := "O"
+			if ship <= cutoff {
+				ls_ = "F"
+			}
+			total += extended * (1 + tax) * (1 - discount)
+			lineRows[li] = []types.Value{
+				types.IntVal(int64(o)),
+				types.IntVal(int64(rng.Intn(nPart) + 1)),
+				types.IntVal(int64(rng.Intn(nSupp) + 1)),
+				types.IntVal(int64(li + 1)),
+				types.FloatVal(qty),
+				types.FloatVal(extended),
+				types.FloatVal(discount),
+				types.FloatVal(tax),
+				types.StrVal(rf),
+				types.StrVal(ls_),
+				types.DateVal(ship),
+				types.DateVal(commit),
+				types.DateVal(receipt),
+				types.StrVal(shipModes[rng.Intn(len(shipModes))]),
+			}
+		}
+
+		r := ol.Row()
+		status := "O"
+		if orderDate+130 <= cutoff {
+			status = "F"
+		}
+		types.PutValue(r, os, 0, types.IntVal(int64(o)))
+		types.PutValue(r, os, 1, types.IntVal(int64(rng.Intn(nCust)+1)))
+		types.PutValue(r, os, 2, types.StrVal(status))
+		types.PutValue(r, os, 3, types.FloatVal(total))
+		types.PutValue(r, os, 4, types.DateVal(orderDate))
+		types.PutValue(r, os, 5, types.StrVal(priorities[rng.Intn(len(priorities))]))
+		types.PutValue(r, os, 6, types.IntVal(0))
+		types.PutValue(r, os, 7, types.StrVal(genComment(rng)))
+		ol.Add()
+
+		for _, vals := range lineRows {
+			lr := ll.Row()
+			for ci, v := range vals {
+				types.PutValue(lr, ls, ci, v)
+			}
+			ll.Add()
+		}
+	}
+	ol.Close()
+	ll.Close()
+	return nil
+}
+
+// genComment builds order comments; ~1% embed the "special ...
+// requests" motif that S-Q1's double-wildcard NOT LIKE hunts for,
+// matching the spec's psel-comment generation.
+func genComment(rng *rand.Rand) string {
+	w := func() string { return commentWords[rng.Intn(len(commentWords))] }
+	if rng.Intn(100) == 0 {
+		return w() + " special " + w() + " requests " + w()
+	}
+	return w() + " " + w() + " " + w() + " " + w()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package tpch
+
+// Queries maps query identifiers to SQL texts runnable on the engine.
+// The texts follow the TPC-H specification, adapted to the dialect in
+// three documented ways: Q2's correlated subquery is rewritten as a
+// derived-table join (semantically equivalent); Q10's projection is
+// trimmed to the columns our customer table retains; FROM orders are
+// arranged left-deep so each join step has an equi predicate.
+var Queries = map[string]string{
+	"Q1": `
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`,
+
+	"Q2": `
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr
+FROM part, partsupp, supplier, nation, region,
+     (SELECT ps_partkey AS mk, min(ps_supplycost) AS mc
+      FROM partsupp, supplier, nation, region
+      WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+        AND n_regionkey = r_regionkey AND r_name = 'EUROPE'
+      GROUP BY ps_partkey) cheapest
+WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+  AND p_size = 15 AND p_type LIKE '%BRASS'
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_partkey = mk AND ps_supplycost = mc
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100`,
+
+	"Q3": `
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15' AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`,
+
+	"Q5": `
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01' AND o_orderdate < date '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`,
+
+	"Q6": `
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01' AND l_shipdate < date '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+
+	"Q7": `
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+             extract(year FROM l_shipdate) AS l_year,
+             l_extendedprice * (1 - l_discount) AS volume
+      FROM supplier, lineitem, orders, customer, nation n1, nation n2
+      WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+        AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+        AND c_nationkey = n2.n_nationkey
+        AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+             OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+        AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31') shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year`,
+
+	"Q8": `
+SELECT o_year,
+       sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) / sum(volume) AS mkt_share
+FROM (SELECT extract(year FROM o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) AS volume,
+             n2.n_name AS nation
+      FROM part, lineitem, supplier, orders, customer, nation n1, region, nation n2
+      WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+        AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+        AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+        AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey
+        AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+        AND p_type = 'ECONOMY ANODIZED STEEL') all_nations
+GROUP BY o_year
+ORDER BY o_year`,
+
+	"Q9": `
+SELECT nation, o_year, sum(amount) AS sum_profit
+FROM (SELECT n_name AS nation,
+             extract(year FROM o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity AS amount
+      FROM part, lineitem, supplier, partsupp, orders, nation
+      WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+        AND ps_partkey = l_partkey AND ps_suppkey = l_suppkey
+        AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+        AND p_name LIKE '%green%') profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC`,
+
+	"Q10": `
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= date '1993-10-01' AND o_orderdate < date '1994-01-01'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, n_name
+ORDER BY revenue DESC
+LIMIT 20`,
+
+	"Q12": `
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01' AND l_receiptdate < date '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`,
+
+	"Q14": `
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '1995-09-01' AND l_shipdate < date '1995-10-01'`,
+}
+
+// SyntheticQueries are the paper's S-Q1..S-Q5 micro-benchmark queries
+// (Section 5.1), exercising filter (compute- and data-bound),
+// aggregation at two group cardinalities, and a large equi join.
+var SyntheticQueries = map[string]string{
+	"S-Q1": `SELECT * FROM orders WHERE o_comment NOT LIKE '%special%requests%'`,
+	"S-Q2": `SELECT * FROM orders WHERE o_orderdate < date '1995-03-15'`,
+	"S-Q3": `SELECT l_returnflag, l_linestatus, sum(l_quantity), avg(l_discount)
+	         FROM lineitem GROUP BY l_returnflag, l_linestatus`,
+	"S-Q4": `SELECT l_commitdate, sum(l_quantity), avg(l_discount)
+	         FROM lineitem GROUP BY l_commitdate`,
+	"S-Q5": `SELECT * FROM orders, lineitem WHERE l_orderkey = o_orderkey`,
+}
+
+// EvaluatedQueries lists the TPC-H queries of the paper's Table 7, in
+// report order.
+var EvaluatedQueries = []string{
+	"Q1", "Q2", "Q3", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q12", "Q14",
+}

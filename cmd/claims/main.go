@@ -5,6 +5,10 @@
 //
 //	claims -workload tpch -sf 0.01 -nodes 4 -mode EP
 //	claims -workload sse -rows 200000 -q "SELECT count(*) FROM trades"
+//
+// With -telemetry, a running one-line summary of the telemetry stream
+// (event counts per kind plus scheduler-decision reasons) prints to
+// stderr every given period; \telemetry shows it on demand.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/sse"
+	"repro/internal/telemetry"
 	"repro/internal/tpch"
 )
 
@@ -32,8 +37,17 @@ func main() {
 		par      = flag.Int("p", 2, "fixed parallelism for SP/ME")
 		netBps   = flag.Float64("net", 0, "NIC bytes/sec per node (0 = unlimited)")
 		query    = flag.String("q", "", "run one query and exit")
+		telem    = flag.Duration("telemetry", 0,
+			"print a periodic telemetry summary to stderr every period (0 = off)")
 	)
 	flag.Parse()
+
+	var summary *telemetry.SummarySink
+	if *telem > 0 {
+		summary = telemetry.NewSummarySink(os.Stderr, *telem)
+		telemetry.AttachDefault(summary)
+		defer summary.Flush()
+	}
 
 	var m engine.Mode
 	switch strings.ToUpper(*mode) {
@@ -82,7 +96,7 @@ func main() {
 		return
 	}
 
-	fmt.Println(`type SQL terminated by ';' — \q quits, \mode shows the execution mode`)
+	fmt.Println(`type SQL terminated by ';' — \q quits, \mode shows the execution mode, \telemetry the event summary`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -94,6 +108,14 @@ func main() {
 			return
 		case `\mode`:
 			fmt.Printf("%s\n", c.Config().Mode)
+			fmt.Print("claims> ")
+			continue
+		case `\telemetry`:
+			if summary != nil {
+				fmt.Println(summary.Summary())
+			} else {
+				fmt.Println("telemetry summarizer off — start with -telemetry <period>")
+			}
 			fmt.Print("claims> ")
 			continue
 		}

@@ -4,6 +4,12 @@
 //	epbench -exp all
 //	epbench -exp fig10
 //	epbench -exp table7
+//
+// With -trace, every telemetry event emitted by the engine and the
+// simulator during the run — scheduler decisions, worker expansions,
+// stage changes, block sends, timelines — is written as JSON lines:
+//
+//	epbench -exp fig10 -trace fig10.jsonl
 package main
 
 import (
@@ -13,18 +19,16 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
-func main() {
-	exp := flag.String("exp", "all",
-		"experiment: fig8|fig9|fig10|fig11|fig12|fig13|table4|table5|table6|table7|ablation|multiquery|all")
-	flag.Parse()
+type entry struct {
+	name string
+	run  func() (*bench.Report, error)
+}
 
-	type entry struct {
-		name string
-		run  func() (*bench.Report, error)
-	}
-	experiments := []entry{
+func experiments() []entry {
+	return []entry{
 		{"fig8", func() (*bench.Report, error) { return bench.Figure8(), nil }},
 		{"fig9", func() (*bench.Report, error) { return bench.Figure9(), nil }},
 		{"fig10", bench.Figure10},
@@ -38,23 +42,64 @@ func main() {
 		{"ablation", bench.AblationPartialAgg},
 		{"multiquery", bench.MultiQuery},
 	}
+}
+
+func expNames() []string {
+	var names []string
+	for _, e := range experiments() {
+		names = append(names, e.name)
+	}
+	return append(names, "all")
+}
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: "+strings.Join(expNames(), "|"))
+	trace := flag.String("trace", "",
+		"write every telemetry event as JSON lines to this file")
+	flag.Parse()
 
 	want := strings.ToLower(*exp)
-	ran := 0
-	for _, e := range experiments {
+	valid := want == "all"
+	for _, e := range experiments() {
+		if want == e.name {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "epbench: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(expNames(), ", "))
+		os.Exit(2)
+	}
+
+	flush := func() {}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		sink := telemetry.NewJSONLSink(f)
+		telemetry.AttachDefault(sink)
+		flush = func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "epbench: -trace flush: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+
+	for _, e := range experiments() {
 		if want != "all" && want != e.name {
 			continue
 		}
 		rep, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "epbench: %s: %v\n", e.name, err)
+			flush()
 			os.Exit(1)
 		}
 		fmt.Println(rep)
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "epbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
+	flush()
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/iterator"
+	"repro/internal/telemetry"
 )
 
 // Config configures an elastic iterator.
@@ -25,6 +26,13 @@ type Config struct {
 	Tracker *block.Tracker
 	// MaxWorkers caps Expand (0 → unlimited).
 	MaxWorkers int
+	// Scope receives WorkerExpand/WorkerShrink/Barrier telemetry
+	// events, labeled with Name and Node. Nil disables emission.
+	Scope *telemetry.Scope
+	// Name labels this segment in telemetry events.
+	Name string
+	// Node is the hosting node id in telemetry events.
+	Node int
 }
 
 // Elastic wraps a segment's iterator chain with an elastic worker pool
@@ -36,13 +44,13 @@ type Elastic struct {
 	cfg   Config
 	buf   *Buffer
 
-	mu        sync.Mutex
-	workers   map[int]*worker
-	order     []int // worker ids in creation order (shrink picks newest)
-	nextWID   int
-	active    int
-	sawEnd    bool
-	closed    bool
+	mu      sync.Mutex
+	workers map[int]*worker
+	order   []int // worker ids in creation order (shrink picks newest)
+	nextWID int
+	active  int
+	sawEnd  bool
+	closed  bool
 
 	inTuples  atomic.Int64 // stage-beginner tuples processed
 	outTuples atomic.Int64
@@ -127,7 +135,13 @@ func (e *Elastic) Expand(core, socket int) int {
 	e.workers[id] = w
 	e.order = append(e.order, id)
 	e.active++
+	pool := len(e.workers)
 	e.mu.Unlock()
+	if e.cfg.Scope != nil {
+		e.cfg.Scope.Emit(telemetry.WorkerExpand{
+			Node: e.cfg.Node, Segment: e.cfg.Name, Workers: pool, Core: core,
+		})
+	}
 	go e.run(w)
 	return id
 }
@@ -146,9 +160,18 @@ func (e *Elastic) Shrink() <-chan time.Duration {
 			break
 		}
 	}
+	remaining := len(e.workers)
+	if victim != nil {
+		remaining-- // the victim detaches once it observes the request
+	}
 	e.mu.Unlock()
 	if victim == nil {
 		return nil
+	}
+	if e.cfg.Scope != nil {
+		e.cfg.Scope.Emit(telemetry.WorkerShrink{
+			Node: e.cfg.Node, Segment: e.cfg.Name, Workers: remaining,
+		})
 	}
 	victim.termAt.Store(time.Now().UnixNano())
 	victim.ctx.Term.Request()
@@ -192,6 +215,14 @@ func (e *Elastic) run(w *worker) {
 }
 
 func (e *Elastic) finish(w *worker) {
+	// Release any barrier memberships the worker still holds. Stage
+	// beginners (scan, merger) no longer deregister inside Next when they
+	// observe a termination request — a downstream operator may still
+	// flush the worker's partial output block and apply it to shared
+	// state after that point. Blocking operators deregister on their own
+	// Terminated unwind (after parking state); this catches pipelines
+	// without one.
+	w.ctx.BroadcastExit()
 	e.mu.Lock()
 	delete(e.workers, w.id)
 	e.active--
@@ -200,6 +231,11 @@ func (e *Elastic) finish(w *worker) {
 	close(w.done)
 	if lastOut {
 		e.buf.CloseEOF()
+		// The dataflow barrier: every worker drained and the joint
+		// buffer reached end-of-flow.
+		if e.cfg.Scope != nil {
+			e.cfg.Scope.Emit(telemetry.Barrier{Node: e.cfg.Node, Segment: e.cfg.Name})
+		}
 	}
 }
 
@@ -208,6 +244,18 @@ func (e *Elastic) Parallelism() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.workers)
+}
+
+// PendingWorkers returns the number of workers NOT yet chosen as shrink
+// victims. Parallelism still counts a victim until its goroutine exits
+// (shrinkage takes up to one block's processing time, Section 3.1), so
+// a don't-shrink-the-last-worker guard based on Parallelism can fire
+// twice in quick succession and empty the pool; guards must use this
+// count instead.
+func (e *Elastic) PendingWorkers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.order)
 }
 
 // Finished reports whether the dataflow ended and all workers exited.

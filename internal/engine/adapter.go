@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // segAdapter exposes a running segment instance to the dynamic
@@ -91,9 +92,11 @@ func (a *segAdapter) Expand() bool {
 
 // Shrink implements sched.SegmentHandle. The last worker is never
 // shrunk away: a zero-worker segment would never drive its dataflow to
-// end-of-file.
+// end-of-file. The guard counts workers not already marked for
+// termination — Parallelism still includes exiting victims, so it would
+// let back-to-back scheduler ticks drain the pool to zero.
 func (a *segAdapter) Shrink() bool {
-	if a.inst.el.Parallelism() <= 1 {
+	if a.inst.el.PendingWorkers() <= 1 {
 		return false
 	}
 	return a.inst.el.Shrink() != nil
@@ -110,11 +113,13 @@ func (e *exec) runSchedulers(stop chan struct{}) {
 		if !ok {
 			ns = sched.NewNodeScheduler(inst.node, sched.Config{
 				Cores: e.c.cfg.CoresPerNode,
+				Scope: e.scope,
 			}, bus)
 			byNode[inst.node] = ns
 		}
 		ns.Attach(newSegAdapter(e, inst))
 	}
+	overhead := e.scope.Counter(telemetry.CtrSchedOverheadNs)
 	tick := time.NewTicker(e.c.cfg.SchedTick)
 	defer tick.Stop()
 	for {
@@ -126,7 +131,7 @@ func (e *exec) runSchedulers(stop chan struct{}) {
 			for _, ns := range byNode {
 				ns.Tick(now)
 			}
-			e.schedNs.Add(time.Since(t0).Nanoseconds())
+			overhead.Add(time.Since(t0).Nanoseconds())
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/network"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -36,8 +37,16 @@ const (
 	ME
 )
 
-// String renders the mode.
-func (m Mode) String() string { return [...]string{"EP", "SP", "ME"}[m] }
+var modeNames = [...]string{"EP", "SP", "ME"}
+
+// String renders the mode; out-of-range values render as "Mode(n)"
+// instead of panicking.
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+	return modeNames[m]
+}
 
 // Config configures a cluster.
 type Config struct {
@@ -216,6 +225,10 @@ type Result struct {
 	Schema *types.Schema
 	Blocks []*block.Block
 	Stats  ExecStats
+	// Scope is the query's telemetry stream: the counters, gauges and
+	// events Stats was derived from. Attach sinks before running (via
+	// RunScoped/RunPlanScoped) to observe the live stream.
+	Scope *telemetry.Scope
 }
 
 // NumRows returns the result cardinality.
@@ -242,7 +255,12 @@ func (r *Result) Rows() [][]types.Value {
 	return out
 }
 
-// ExecStats reports measured execution characteristics.
+// ExecStats reports measured execution characteristics. It is a view
+// computed from the query's telemetry scope (Result.Scope): duration
+// from the scope clock, network traffic from the shared net.bytes
+// counter, memory from the mem.bytes gauge peak, scheduling overhead
+// from the sched.overhead_ns counter, and the trace from
+// ParallelismSample events.
 type ExecStats struct {
 	// Duration is the wall-clock query response time.
 	Duration time.Duration

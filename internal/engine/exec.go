@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"repro/internal/iterator"
 	"repro/internal/network"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // resultExchangeID is the reserved exchange id of the master-side
@@ -25,6 +25,19 @@ func (c *Cluster) Run(query string) (*Result, error) {
 	}
 	return c.RunPlan(p)
 }
+
+// RunScoped compiles and executes a SQL query under the given telemetry
+// scope, so callers can attach sinks before execution starts.
+func (c *Cluster) RunScoped(query string, sc *telemetry.Scope) (*Result, error) {
+	p, err := plan.Compile(query, c.cat)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunPlanScoped(p, sc)
+}
+
+// queryScopeSeq numbers the auto-created query scopes of a process.
+var queryScopeSeq atomic.Int64
 
 // segInst is one segment instance: the iterator tree of a segment on
 // one node, wrapped in an elastic worker pool and driven by a sender.
@@ -41,22 +54,23 @@ type segInst struct {
 	done    chan struct{}
 }
 
-// exec carries one query's runtime state.
+// exec carries one query's runtime state. All measurement flows through
+// the telemetry scope; ExecStats is derived from it after completion.
 type exec struct {
-	c        *Cluster
-	p        *plan.Plan
-	tracker  *block.Tracker
+	c         *Cluster
+	p         *plan.Plan
+	tracker   *block.Tracker
 	exchanges map[int]network.FabricExchange
 	consNodes map[int][]int
-	insts    []*segInst
-	resultEx network.FabricExchange
-	coreCur  []atomic.Int64 // per node, for core id assignment
-	peakMem  atomic.Int64
-	schedNs  atomic.Int64
-	stop     chan struct{}
-	traceMu  sync.Mutex
-	trace    []TraceSample
-	start    time.Time
+	insts     []*segInst
+	resultEx  network.FabricExchange
+	coreCur   []atomic.Int64 // per node, for core id assignment
+	stop      chan struct{}
+
+	scope     *telemetry.Scope
+	memGauge  *telemetry.Gauge
+	traceSink *telemetry.MemSink // retains ParallelismSample events
+	startAt   time.Duration      // scope clock when execution began
 }
 
 // nodesOf lists the nodes a segment group is instantiated on.
@@ -71,8 +85,15 @@ func (e *exec) nodesOf(seg *plan.Segment) []int {
 	return nodes
 }
 
-// RunPlan executes a compiled plan under the cluster's mode.
+// RunPlan executes a compiled plan under the cluster's mode, with a
+// fresh telemetry scope per query.
 func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
+	return c.RunPlanScoped(p, telemetry.NewScope(fmt.Sprintf("q%d", queryScopeSeq.Add(1))))
+}
+
+// RunPlanScoped executes a compiled plan under the cluster's mode,
+// recording all measurements on the given scope.
+func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, error) {
 	e := &exec{
 		c: c, p: p,
 		tracker:   block.NewTracker(),
@@ -80,8 +101,13 @@ func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
 		consNodes: make(map[int][]int),
 		coreCur:   make([]atomic.Int64, c.cfg.Nodes+1),
 		stop:      make(chan struct{}),
-		start:     time.Now(),
+		scope:     sc,
+		memGauge:  sc.Gauge(telemetry.GaugeMemBytes),
+		traceSink: telemetry.NewMemSink(telemetry.KindParallelismSample),
+		startAt:   sc.Elapsed(),
 	}
+	sc.Attach(e.traceSink)
+	sc.Emit(telemetry.QueryPhase{Phase: "start", Detail: c.cfg.Mode.String()})
 
 	segByID := make(map[int]*plan.Segment)
 	for _, s := range p.Segments {
@@ -104,7 +130,7 @@ func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
 		consNodes := e.nodesOf(cons)
 		e.consNodes[ex.ID] = consNodes
 		e.exchanges[ex.ID] = c.fabric.NewExchange(ex.ID, len(prodNodes), consNodes,
-			ex.Sch, buf, e.tracker)
+			ex.Sch, buf, e.tracker, e.scope)
 	}
 
 	// The result collector: final segment gathers to the master. Its
@@ -112,7 +138,7 @@ func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
 	// unsigned ids).
 	finalNodes := e.nodesOf(p.Final)
 	e.resultEx = c.fabric.NewExchange(resultExchangeID, len(finalNodes),
-		[]int{c.master()}, p.Final.Root.Schema(), buf, e.tracker)
+		[]int{c.master()}, p.Final.Root.Schema(), buf, e.tracker, e.scope)
 
 	// Instantiate all segments on their nodes.
 	for _, seg := range p.Segments {
@@ -160,10 +186,6 @@ func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
 		return nil, err
 	}
 
-	var netBytes int64
-	for n := 0; n <= c.cfg.Nodes; n++ {
-		netBytes += c.fabric.NodeEgressBytes(n)
-	}
 	// Final peak estimate: the exchange tracker records its own
 	// high-water mark (covering sub-sampling-interval queries), and
 	// hash-table state peaks at completion.
@@ -176,22 +198,35 @@ func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
 			finalMem += a.Groups() * 64
 		}
 	}
-	if finalMem > e.peakMem.Load() {
-		e.peakMem.Store(finalMem)
-	}
+	e.memGauge.Set(finalMem) // raises the gauge peak if exceeded
+	e.scope.Emit(telemetry.QueryPhase{Phase: "end"})
+
 	res := &Result{
 		Names:  p.OutputNames,
 		Schema: p.Final.Root.Schema(),
 		Blocks: resBlocks,
-		Stats: ExecStats{
-			Duration:        time.Since(e.start),
-			PeakMemoryBytes: e.peakMem.Load(),
-			NetworkBytes:    netBytes,
-			SchedOverhead:   time.Duration(e.schedNs.Load()),
-			Trace:           e.trace,
-		},
+		Stats:  e.stats(),
+		Scope:  e.scope,
 	}
 	return res, nil
+}
+
+// stats derives the ExecStats view from the query's telemetry scope.
+func (e *exec) stats() ExecStats {
+	var trace []TraceSample
+	for _, ev := range e.traceSink.Events() {
+		trace = append(trace, TraceSample{
+			At:          ev.At - e.startAt,
+			Parallelism: ev.Rec.(telemetry.ParallelismSample).Parallelism,
+		})
+	}
+	return ExecStats{
+		Duration:        e.scope.Elapsed() - e.startAt,
+		PeakMemoryBytes: e.memGauge.Peak(),
+		NetworkBytes:    e.scope.Counter(telemetry.CtrNetBytes).Load(),
+		SchedOverhead:   time.Duration(e.scope.Counter(telemetry.CtrSchedOverheadNs).Load()),
+		Trace:           trace,
+	}
 }
 
 // instantiate builds one segment instance on a node.
@@ -209,6 +244,9 @@ func (e *exec) instantiate(seg *plan.Segment, node int) (*segInst, error) {
 		BufferCap:       64,
 		OrderPreserving: seg.OrderPreserving,
 		MaxWorkers:      maxW,
+		Scope:           e.scope,
+		Name:            fmt.Sprintf("S%d", seg.ID),
+		Node:            node,
 	})
 
 	// Output: the segment's exchange, or the result collector.
@@ -328,6 +366,13 @@ func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterat
 // startInst launches a segment instance with the given parallelism and
 // its sender driver.
 func (e *exec) startInst(inst *segInst, parallelism int) {
+	// Engine segments are single-stage (blocking operators buffer
+	// internally); the stage-entry event aligns the engine's stream
+	// with the simulator's per-stage events.
+	e.scope.Emit(telemetry.SegmentStageChange{
+		Node: inst.node, Segment: fmt.Sprintf("S%d", inst.seg.ID),
+		Stage: 0, StageName: "run",
+	})
 	for i := 0; i < parallelism; i++ {
 		e.expand(inst)
 	}
@@ -432,7 +477,8 @@ func (e *exec) topoOrder() ([]int, error) {
 	return order, nil
 }
 
-// sampler records peak materialized memory and the parallelism trace.
+// sampler records the materialized-memory gauge and the parallelism
+// trace on the query's telemetry scope.
 func (e *exec) sampler(done chan struct{}) {
 	defer close(done)
 	tick := time.NewTicker(25 * time.Millisecond)
@@ -452,23 +498,13 @@ func (e *exec) sampler(done chan struct{}) {
 				mem += a.Groups() * 64 // approximate per-group footprint
 			}
 		}
-		for {
-			p := e.peakMem.Load()
-			if mem <= p || e.peakMem.CompareAndSwap(p, mem) {
-				break
-			}
-		}
-		sample := TraceSample{
-			At:          time.Since(e.start),
-			Parallelism: make(map[string]int),
-		}
+		e.memGauge.Set(mem)
+		sample := telemetry.ParallelismSample{Parallelism: make(map[string]int)}
 		for _, inst := range e.insts {
 			if inst.node == 0 || inst.seg.OnMaster {
 				sample.Parallelism[fmt.Sprintf("S%d", inst.seg.ID)] = inst.el.Parallelism()
 			}
 		}
-		e.traceMu.Lock()
-		e.trace = append(e.trace, sample)
-		e.traceMu.Unlock()
+		e.scope.Emit(sample)
 	}
 }

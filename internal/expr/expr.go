@@ -77,7 +77,16 @@ const (
 	Div
 )
 
-func (op ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[op] }
+var arithOpNames = [...]string{"+", "-", "*", "/"}
+
+// String renders the operator; out-of-range values render as
+// "ArithOp(n)" instead of panicking.
+func (op ArithOp) String() string {
+	if int(op) >= len(arithOpNames) {
+		return fmt.Sprintf("ArithOp(%d)", int(op))
+	}
+	return arithOpNames[op]
+}
 
 // Arith is a binary arithmetic expression. Int64 op Int64 stays integral
 // except division, which promotes to float; Date ± Int64 shifts days.
@@ -160,7 +169,16 @@ const (
 	GE
 )
 
-func (op CmpOp) String() string { return [...]string{"=", "<>", "<", "<=", ">", ">="}[op] }
+var cmpOpNames = [...]string{"=", "<>", "<", "<=", ">", ">="}
+
+// String renders the operator; out-of-range values render as "CmpOp(n)"
+// instead of panicking.
+func (op CmpOp) String() string {
+	if int(op) >= len(cmpOpNames) {
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+	return cmpOpNames[op]
+}
 
 // Cmp compares two expressions, yielding a boolean (Int64 0/1; NULL when
 // either side is NULL).

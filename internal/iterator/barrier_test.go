@@ -81,10 +81,21 @@ func TestBarrierDeregisterBeforeAnyArrive(t *testing.T) {
 	b := NewBarrier()
 	b.register()
 	b.deregister()
+	if b.Passed() {
+		// A phase nobody arrived at must not complete: the lone member
+		// may have been shrunk away with input left unconsumed, and a
+		// vacuous pass would let later-expanded workers skip
+		// registration and race the phase's state.
+		t.Fatal("lone member leaving must not complete a never-arrived phase")
+	}
+	// A worker expanded later joins as an ordinary member and completes
+	// the phase for real.
+	if !b.register() {
+		t.Fatal("register after deregister-to-zero should succeed")
+	}
+	b.Arrive()
 	if !b.Passed() {
-		// With zero members remaining and zero arrived, the phase
-		// completes vacuously.
-		t.Fatal("lone member leaving should complete the phase")
+		t.Fatal("replacement member arriving should complete the phase")
 	}
 }
 

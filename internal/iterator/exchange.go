@@ -76,8 +76,8 @@ type Sender struct {
 	part      PartitionFn
 	blockSize int
 	pending   []*block.Block
-	sent    []int64 // tuples sent per destination
-	total   int64
+	sent      []int64 // tuples sent per destination
+	total     int64
 
 	// BytesSent counts payload bytes shipped, for network accounting.
 	BytesSent atomic.Int64
@@ -204,7 +204,10 @@ func (m *Merger) Open(ctx *Ctx) Status { return OK }
 // by the worker's termination request.
 func (m *Merger) Next(ctx *Ctx) (*block.Block, Status) {
 	if ctx.Term.Requested() {
-		ctx.BroadcastExit()
+		// Deregistration is deferred to the worker's real exit point (see
+		// Scan.Next): operators above may still flush and apply a partial
+		// block after this Terminated, and barrier members must cover
+		// that in-flight contribution.
 		return nil, Terminated
 	}
 	b, st := m.inbox.Recv(ctx.Term.Done())
@@ -212,7 +215,6 @@ func (m *Merger) Next(ctx *Ctx) (*block.Block, Status) {
 	case RecvEOF:
 		return nil, End
 	case RecvCancelled:
-		ctx.BroadcastExit()
 		return nil, Terminated
 	}
 	b.Seq = m.seq.Add(1) - 1

@@ -1,6 +1,7 @@
 package iterator
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -21,9 +22,15 @@ const (
 	Max
 )
 
-// String renders the function name.
+var aggFuncNames = [...]string{"sum", "count", "avg", "min", "max"}
+
+// String renders the function name; out-of-range values render as
+// "AggFunc(n)" instead of panicking.
 func (f AggFunc) String() string {
-	return [...]string{"sum", "count", "avg", "min", "max"}[f]
+	if int(f) >= len(aggFuncNames) {
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+	return aggFuncNames[f]
 }
 
 // AggSpec describes one aggregate in the SELECT list. A nil Arg means
@@ -199,12 +206,12 @@ type privTable struct {
 // under the configured algorithm; Next emits result blocks from the
 // global table behind an atomic shard cursor.
 type HashAgg struct {
-	child    Iterator
-	inSch    *types.Schema
-	outSch   *types.Schema
-	keys     []expr.Expr
-	specs    []AggSpec
-	algo     AggAlgorithm
+	child     Iterator
+	inSch     *types.Schema
+	outSch    *types.Schema
+	keys      []expr.Expr
+	specs     []AggSpec
+	algo      AggAlgorithm
 	shards    []aggShard
 	mask      uint64
 	done      *Barrier
@@ -242,7 +249,7 @@ func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
 		child: child, inSch: inSch,
 		outSch: types.NewSchema(cols...),
 		keys:   keys, specs: specs, algo: algo,
-		shards: make([]aggShard, aggShards),
+		shards:  make([]aggShard, aggShards),
 		mask:    aggShards - 1,
 		done:    NewBarrier(),
 		flushed: NewBarrier(),

@@ -172,7 +172,14 @@ func (b *Barrier) register() bool {
 }
 
 // deregister removes a member that will never arrive. If everyone else
-// has already arrived this completes the phase.
+// has already arrived this completes the phase. A phase nobody arrived
+// at does NOT complete: when every worker of a segment is shrunk away
+// mid-phase (registered drops back to zero with zero arrivals), input
+// may remain unconsumed, and a vacuously-passed barrier would let
+// workers expanded later skip registration and mutate phase state
+// concurrently with emitters. Leaving the barrier unpassed means those
+// future workers register as ordinary members and run the phase to a
+// real completion.
 func (b *Barrier) deregister() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -180,7 +187,7 @@ func (b *Barrier) deregister() {
 		return
 	}
 	b.registered--
-	if b.arrived >= b.registered {
+	if b.arrived >= b.registered && b.arrived > 0 {
 		b.passed = true
 		b.cond.Broadcast()
 	}

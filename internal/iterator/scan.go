@@ -73,7 +73,14 @@ func (s *Scan) Open(ctx *Ctx) Status {
 // read-only; it carries a fresh sequence number and visit rate 1.
 func (s *Scan) Next(ctx *Ctx) (*block.Block, Status) {
 	if ctx.Term.Requested() {
-		ctx.BroadcastExit()
+		// Do NOT deregister from barriers here: downstream operators may
+		// still flush this worker's partially-filled output block (the
+		// Section 3.1 shrink protocol), and blocking operators above will
+		// apply it to shared state. Deregistering now would let their
+		// phase barriers pass while that final contribution is still in
+		// flight. The worker broadcasts exit at its real exit point — a
+		// blocking operator's Terminated path, or the elastic pool's
+		// worker teardown.
 		return nil, Terminated
 	}
 	n := len(s.bySock)

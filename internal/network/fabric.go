@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/iterator"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -16,9 +17,11 @@ type Fabric interface {
 	// NewExchange declares an exchange: producers instances ship
 	// sch-typed blocks to one consumer instance per entry of
 	// consumerNodes. bufBlocks bounds each inbox (<=0 unbounded);
-	// tracker accounts staged bytes.
+	// tracker accounts staged bytes. Cross-node traffic is counted on
+	// scope's shared telemetry counters (net.bytes / net.blocks) and
+	// emitted as BlockSent events — identically on every transport.
 	NewExchange(id, producers int, consumerNodes []int, sch *types.Schema,
-		bufBlocks int, tracker *block.Tracker) FabricExchange
+		bufBlocks int, tracker *block.Tracker, scope *telemetry.Scope) FabricExchange
 	// NodeEgressBytes reports bytes a node pushed into the fabric.
 	NodeEgressBytes(node int) int64
 }
@@ -29,6 +32,63 @@ type FabricExchange interface {
 	Outbox(producerNode int) iterator.Outbox
 }
 
+// scopedOutbox is the shared telemetry shim both transports wrap their
+// outboxes in: it counts bytes and blocks that cross a node boundary
+// into the scope's counters and emits one BlockSent event per crossing.
+// Same-node traffic is not counted, on either transport — this is what
+// makes the real-TCP and in-process paths report identical network
+// statistics.
+type scopedOutbox struct {
+	inner         iterator.Outbox
+	scope         *telemetry.Scope
+	exchange      int
+	node          int
+	consumerNodes []int
+	bytes         *telemetry.Counter
+	blocks        *telemetry.Counter
+}
+
+// wrapOutbox attaches telemetry counting to an outbox; with a nil scope
+// the outbox passes through unwrapped.
+func wrapOutbox(inner iterator.Outbox, scope *telemetry.Scope,
+	exchange, node int, consumerNodes []int) iterator.Outbox {
+	if scope == nil {
+		return inner
+	}
+	return &scopedOutbox{
+		inner:         inner,
+		scope:         scope,
+		exchange:      exchange,
+		node:          node,
+		consumerNodes: consumerNodes,
+		bytes:         scope.Counter(telemetry.CtrNetBytes),
+		blocks:        scope.Counter(telemetry.CtrNetBlocks),
+	}
+}
+
+// Destinations implements iterator.Outbox.
+func (o *scopedOutbox) Destinations() int { return o.inner.Destinations() }
+
+// Send implements iterator.Outbox.
+func (o *scopedOutbox) Send(dest int, b *block.Block) error {
+	if dest >= 0 && dest < len(o.consumerNodes) && o.consumerNodes[dest] != o.node {
+		wire := b.WireSize()
+		o.bytes.Add(int64(wire))
+		o.blocks.Inc()
+		o.scope.Emit(telemetry.BlockSent{
+			Exchange: o.exchange,
+			From:     o.node,
+			To:       o.consumerNodes[dest],
+			Tuples:   b.NumTuples(),
+			Bytes:    wire,
+		})
+	}
+	return o.inner.Send(dest, b)
+}
+
+// CloseSend implements iterator.Outbox.
+func (o *scopedOutbox) CloseSend() error { return o.inner.CloseSend() }
+
 // --- in-process fabric -------------------------------------------------------
 
 // InProcFabric adapts InProc to the Fabric interface.
@@ -37,8 +97,14 @@ type InProcFabric struct{ T *InProc }
 // NewExchange implements Fabric. The in-process transport moves blocks
 // by pointer, so the schema is not needed for decoding.
 func (f InProcFabric) NewExchange(id, producers int, consumerNodes []int,
-	_ *types.Schema, bufBlocks int, tracker *block.Tracker) FabricExchange {
-	return inprocExchange{f.T.NewExchange(id, producers, consumerNodes, bufBlocks, tracker)}
+	_ *types.Schema, bufBlocks int, tracker *block.Tracker,
+	scope *telemetry.Scope) FabricExchange {
+	return inprocExchange{
+		ex:            f.T.NewExchange(id, producers, consumerNodes, bufBlocks, tracker),
+		scope:         scope,
+		id:            id,
+		consumerNodes: consumerNodes,
+	}
 }
 
 // NodeEgressBytes implements Fabric.
@@ -46,10 +112,18 @@ func (f InProcFabric) NodeEgressBytes(node int) int64 {
 	return f.T.NodeEgressBytes(node)
 }
 
-type inprocExchange struct{ ex *Exchange }
+type inprocExchange struct {
+	ex            *Exchange
+	scope         *telemetry.Scope
+	id            int
+	consumerNodes []int
+}
 
-func (e inprocExchange) Inbox(i int) *Inbox              { return e.ex.Inbox(i) }
-func (e inprocExchange) Outbox(node int) iterator.Outbox { return e.ex.Outbox(node) }
+func (e inprocExchange) Inbox(i int) *Inbox { return e.ex.Inbox(i) }
+
+func (e inprocExchange) Outbox(node int) iterator.Outbox {
+	return wrapOutbox(e.ex.Outbox(node), e.scope, e.id, node, e.consumerNodes)
+}
 
 // --- TCP fabric ---------------------------------------------------------------
 
@@ -73,8 +147,9 @@ func NewTCPFabric(nodes map[int]*TCPNode) *TCPFabric {
 
 // NewExchange implements Fabric.
 func (f *TCPFabric) NewExchange(id, producers int, consumerNodes []int,
-	sch *types.Schema, bufBlocks int, tracker *block.Tracker) FabricExchange {
-	ex := &tcpExchange{fabric: f, id: id, consumerNodes: consumerNodes}
+	sch *types.Schema, bufBlocks int, tracker *block.Tracker,
+	scope *telemetry.Scope) FabricExchange {
+	ex := &tcpExchange{fabric: f, id: id, consumerNodes: consumerNodes, scope: scope}
 	for i, cn := range consumerNodes {
 		node, ok := f.nodes[cn]
 		if !ok {
@@ -98,6 +173,7 @@ type tcpExchange struct {
 	fabric        *TCPFabric
 	id            int
 	consumerNodes []int
+	scope         *telemetry.Scope
 	inboxes       []*Inbox
 }
 
@@ -110,13 +186,16 @@ func (e *tcpExchange) Outbox(producerNode int) iterator.Outbox {
 	if !ok {
 		panic(fmt.Sprintf("network: TCP fabric has no node %d", producerNode))
 	}
-	return &countingOutbox{
+	inner := &countingOutbox{
 		inner:   node.NewOutbox(e.id, e.consumerNodes),
 		counter: e.fabric.egress[producerNode],
 	}
+	return wrapOutbox(inner, e.scope, e.id, producerNode, e.consumerNodes)
 }
 
-// countingOutbox tracks egress bytes around a TCPOutbox.
+// countingOutbox tracks raw socket egress bytes around a TCPOutbox (the
+// per-fabric NodeEgressBytes view; telemetry counting is layered on top
+// by the shared scopedOutbox).
 type countingOutbox struct {
 	inner   *TCPOutbox
 	counter *atomic.Int64

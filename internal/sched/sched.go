@@ -14,7 +14,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Metrics is the per-tick measurement a segment reports (Sections
@@ -128,6 +131,10 @@ type Config struct {
 	// Tolerance classifies under-performers: R_i ≤ λ·(1+Tolerance)
 	// (default 0.25).
 	Tolerance float64
+	// Scope receives one telemetry.SchedDecision event per scheduling
+	// move (applied or rejected). Nil disables event emission; the
+	// decision counter still advances.
+	Scope *telemetry.Scope
 }
 
 func (c *Config) defaults() {
@@ -142,24 +149,20 @@ func (c *Config) defaults() {
 	}
 }
 
-// Action records one scheduling decision, for traces and tests.
-type Action struct {
-	At       time.Time
-	Expanded string
-	Shrunk   string
-	Reason   string
-}
-
 // NodeScheduler provisions the cores of one slave node (Figure 6). It
 // is driven by periodic Tick calls from the engine or the simulator.
+// Every scheduling move is published as a telemetry.SchedDecision event
+// on the configured scope, replacing the private decision log the
+// scheduler used to keep.
 type NodeScheduler struct {
 	node int
 	cfg  Config
 	bus  LambdaBus
 
+	applied atomic.Int64
+
 	mu   sync.Mutex
 	segs []*segState
-	log  []Action
 }
 
 // NewNodeScheduler builds a scheduler for the given node.
@@ -180,13 +183,24 @@ func (s *NodeScheduler) Attach(h SegmentHandle) {
 	})
 }
 
-// Actions drains the decision log.
-func (s *NodeScheduler) Actions() []Action {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.log
-	s.log = nil
-	return out
+// Decisions returns the cumulative count of applied scheduling moves —
+// each one migrates a worker thread, so the simulator charges it as a
+// context switch.
+func (s *NodeScheduler) Decisions() int64 { return s.applied.Load() }
+
+// decide publishes one scheduling decision: the counter advances for
+// applied moves, and the event lands on the configured scope.
+func (s *NodeScheduler) decide(d telemetry.SchedDecision) {
+	d.Node = s.node
+	if d.Applied {
+		s.applied.Add(1)
+	}
+	if s.cfg.Scope != nil {
+		s.cfg.Scope.Emit(d)
+		if d.Applied {
+			s.cfg.Scope.Counter(telemetry.CtrSchedDecisions).Inc()
+		}
+	}
 }
 
 // UsedCores returns the cores currently assigned to attached segments.
@@ -262,7 +276,9 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		if st.last.Starved && st.last.Parallelism > 1 && st.last.Rate == 0 {
 			if st.h.Shrink() {
 				used--
-				s.log = append(s.log, Action{At: now, Shrunk: st.name, Reason: "starved"})
+				s.decide(telemetry.SchedDecision{
+					Shrunk: st.name, Reason: "starved", Lambda: lambda, Applied: true,
+				})
 			}
 		}
 	}
@@ -276,7 +292,9 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		if st.last.Blocked && st.last.Parallelism > 1 {
 			if st.h.Shrink() {
 				used--
-				s.log = append(s.log, Action{At: now, Shrunk: st.name, Reason: "over-producing"})
+				s.decide(telemetry.SchedDecision{
+					Shrunk: st.name, Reason: "over-producing", Lambda: lambda, Applied: true,
+				})
 			}
 		}
 	}
@@ -295,7 +313,10 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		if okCur && okBelow && cur <= below*(1+s.cfg.Delta) {
 			if st.h.Shrink() {
 				used--
-				s.log = append(s.log, Action{At: now, Shrunk: st.name, Reason: "no gain"})
+				s.decide(telemetry.SchedDecision{
+					Shrunk: st.name, Reason: "no gain", Lambda: lambda,
+					Gain: cur - below, Applied: true,
+				})
 			}
 		}
 	}
@@ -311,14 +332,17 @@ func (s *NodeScheduler) Tick(now time.Time) {
 			// the last measurement; a second only when the scalability
 			// vector's fresh slope supports it. The next round's
 			// measurement confirms or reverts either.
-			cand := s.pickExpand(active, lambda, now, grew)
+			cand, gain := s.pickExpand(active, lambda, now, grew)
 			if cand == nil || !cand.h.Expand() {
 				break
 			}
 			grew[cand]++
 			cand.last.Parallelism++
 			used++
-			s.log = append(s.log, Action{At: now, Expanded: cand.name, Reason: "free core"})
+			s.decide(telemetry.SchedDecision{
+				Expanded: cand.name, Reason: "free core", Lambda: lambda,
+				Gain: gain, Applied: true,
+			})
 		}
 		return
 	}
@@ -390,9 +414,10 @@ func (s *NodeScheduler) estimate(st *segState, p int, now time.Time) (float64, b
 }
 
 // pickExpand chooses the segment that benefits most from one more core,
-// skipping segments in the exclude set.
+// skipping segments in the exclude set. It returns the choice and its
+// estimated throughput gain.
 func (s *NodeScheduler) pickExpand(active []*segState, lambda float64,
-	now time.Time, grew map[*segState]int) *segState {
+	now time.Time, grew map[*segState]int) (*segState, float64) {
 	var best *segState
 	bestGain := 0.0
 	for _, st := range active {
@@ -401,7 +426,7 @@ func (s *NodeScheduler) pickExpand(active []*segState, lambda float64,
 			continue
 		}
 		if m.Parallelism == 0 {
-			return st // an unprovisioned segment always gets its first core
+			return st, 0 // an unprovisioned segment always gets its first core
 		}
 		// Expansion helps only bottleneck-side segments; a segment far
 		// above λ gains nothing for the pipeline.
@@ -420,7 +445,7 @@ func (s *NodeScheduler) pickExpand(active []*segState, lambda float64,
 			best = st
 		}
 	}
-	return best
+	return best, bestGain
 }
 
 // algorithm1 is the paper's Algorithm 1: move one core from an
@@ -453,7 +478,7 @@ func (s *NodeScheduler) algorithm1(active []*segState, lambda float64, now time.
 	sort.Slice(over, func(i, j int) bool { return over[i].name < over[j].name })
 
 	type move struct {
-		gain float64
+		gain   float64
 		ui, oj *segState
 	}
 	var best *move
@@ -479,13 +504,19 @@ func (s *NodeScheduler) algorithm1(active []*segState, lambda float64, now time.
 	}
 	if best.oj.h.Shrink() {
 		if best.ui.h.Expand() {
-			s.log = append(s.log, Action{
-				At: now, Expanded: best.ui.name, Shrunk: best.oj.name,
-				Reason: "algorithm1",
+			s.decide(telemetry.SchedDecision{
+				Expanded: best.ui.name, Shrunk: best.oj.name,
+				Reason: "algorithm1", Lambda: lambda, Gain: best.gain,
+				Applied: true,
 			})
 		} else {
 			// Could not expand the target: give the core back.
 			best.oj.h.Expand()
+			s.decide(telemetry.SchedDecision{
+				Expanded: best.ui.name, Shrunk: best.oj.name,
+				Reason: "algorithm1", Lambda: lambda, Gain: best.gain,
+				Applied: false,
+			})
 		}
 	}
 }

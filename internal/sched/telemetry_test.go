@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSchedulerEmitsDecisions drives a scheduler over fake segments and
+// retrieves its Algorithm-1 moves from a test sink — the decision
+// stream that replaced the private string log.
+func TestSchedulerEmitsDecisions(t *testing.T) {
+	scope := telemetry.NewScope("test")
+	mem := telemetry.NewMemSink(telemetry.KindSchedDecision)
+	scope.Attach(mem)
+
+	bus := NewMasterBus()
+	s := NewNodeScheduler(3, Config{Cores: 4, Scope: scope}, bus)
+	a := newFakeSeg("a", 100, 1)
+	s.Attach(a)
+	tickN(s, 6)
+
+	if a.parallelism() != 4 {
+		t.Fatalf("segment should absorb all cores, has %d", a.parallelism())
+	}
+	evs := mem.Events()
+	if len(evs) == 0 {
+		t.Fatal("no SchedDecision events on the sink")
+	}
+	applied := 0
+	for _, ev := range evs {
+		d, ok := ev.Rec.(telemetry.SchedDecision)
+		if !ok {
+			t.Fatalf("sink retained non-decision record %#v", ev.Rec)
+		}
+		if d.Node != 3 {
+			t.Errorf("decision node = %d, want 3", d.Node)
+		}
+		if d.Reason == "" {
+			t.Error("decision without a reason")
+		}
+		if d.Applied {
+			applied++
+			if d.Expanded == "" && d.Shrunk == "" {
+				t.Errorf("applied decision names no segment: %+v", d)
+			}
+		}
+	}
+	// Free-core handouts expanded a from 1 to 4 workers: three applied
+	// expansions with the "free core" reason.
+	freeCore := 0
+	for _, ev := range evs {
+		d := ev.Rec.(telemetry.SchedDecision)
+		if d.Reason == "free core" && d.Applied && d.Expanded == "a" {
+			freeCore++
+		}
+	}
+	if freeCore < 3 {
+		t.Errorf("expected >=3 applied free-core expansions of a, got %d", freeCore)
+	}
+	// The applied-decision counter agrees with both the cumulative
+	// Decisions() accessor and the shared counter.
+	if got := s.Decisions(); got != int64(applied) {
+		t.Errorf("Decisions() = %d, applied events = %d", got, applied)
+	}
+	if got := scope.Counter(telemetry.CtrSchedDecisions).Load(); got != int64(applied) {
+		t.Errorf("sched.decisions counter = %d, applied events = %d", got, applied)
+	}
+}
+
+// TestSchedulerEmitsStarvedShrink checks the starved-segment rule emits
+// an applied shrink decision naming the starved segment.
+func TestSchedulerEmitsStarvedShrink(t *testing.T) {
+	scope := telemetry.NewScope("test")
+	mem := telemetry.NewMemSink(telemetry.KindSchedDecision)
+	scope.Attach(mem)
+
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{Cores: 4, Scope: scope}, bus)
+	a := newFakeSeg("a", 100, 1)
+	a.par = 3
+	a.starved = true
+	s.Attach(a)
+	tickN(s, 4)
+
+	found := false
+	for _, ev := range mem.Events() {
+		d := ev.Rec.(telemetry.SchedDecision)
+		if d.Reason == "starved" && d.Shrunk == "a" && d.Applied {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no applied starved-shrink decision for a in the stream")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Policy decides per-quantum core allocation — the axis Table 5
@@ -61,6 +62,7 @@ type EPPolicy struct {
 	bus      *sched.MasterBus
 	scheds   []*sched.NodeScheduler
 	handles  []*simHandle
+	lastDec  []int64 // per-scheduler applied-decision counts at last tick
 	lastTick time.Duration
 	started  bool
 }
@@ -81,14 +83,21 @@ func (p *EPPolicy) Init(s *Sim) {
 	}
 	p.bus = sched.NewMasterBus()
 	p.scheds = make([]*sched.NodeScheduler, s.C.Nodes+1)
+	p.lastDec = make([]int64, s.C.Nodes+1)
 	for n := 0; n <= s.C.Nodes; n++ {
-		p.scheds[n] = sched.NewNodeScheduler(n, sched.Config{Cores: s.C.HTCores}, p.bus)
+		p.scheds[n] = sched.NewNodeScheduler(n, sched.Config{
+			Cores: s.C.HTCores,
+			Scope: s.Scope(),
+		}, p.bus)
 	}
 	for _, inst := range s.insts {
 		inst.p = p.InitialP
 		h := &simHandle{s: s, inst: inst}
 		p.handles = append(p.handles, h)
 		p.scheds[inst.node].Attach(h)
+		s.Scope().Emit(telemetry.WorkerExpand{
+			Node: inst.node, Segment: inst.group.Name, Workers: inst.p,
+		})
 	}
 }
 
@@ -109,10 +118,12 @@ func (p *EPPolicy) Step(s *Sim, now time.Duration) {
 	for _, ns := range p.scheds {
 		ns.Tick(virtual)
 	}
-	s.met.SchedOverheadSec += p.PerSegTickCost.Seconds() * float64(live)
+	s.AddSchedOverhead(p.PerSegTickCost.Seconds() * float64(live))
 	// Core migrations are the only thread context switches EP incurs.
-	for _, ns := range p.scheds {
-		s.met.ContextSwitches += float64(len(ns.Actions()))
+	for i, ns := range p.scheds {
+		d := ns.Decisions()
+		s.AddContextSwitches(float64(d - p.lastDec[i]))
+		p.lastDec[i] = d
 	}
 }
 
@@ -166,6 +177,9 @@ func (h *simHandle) Expand() bool {
 		return false
 	}
 	h.inst.p++
+	h.s.Scope().Emit(telemetry.WorkerExpand{
+		Node: h.inst.node, Segment: h.inst.group.Name, Workers: h.inst.p,
+	})
 	return true
 }
 
@@ -175,6 +189,9 @@ func (h *simHandle) Shrink() bool {
 		return false
 	}
 	h.inst.p--
+	h.s.Scope().Emit(telemetry.WorkerShrink{
+		Node: h.inst.node, Segment: h.inst.group.Name, Workers: h.inst.p,
+	})
 	return true
 }
 
@@ -226,7 +243,7 @@ func (p *ISPolicy) Step(s *Sim, now time.Duration) {
 			}
 		}
 	}
-	s.met.ContextSwitches += ModelContextSwitches("IS", p.C) * s.C.Quantum.Seconds()
+	s.AddContextSwitches(ModelContextSwitches("IS", p.C) * s.C.Quantum.Seconds())
 }
 
 // --- morsel-driven parallelism (MDP / MDP+) ------------------------------------
@@ -290,10 +307,10 @@ func (p *MDPPolicy) Step(s *Sim, now time.Duration) {
 	if p.Plus {
 		perUnit = 12e-6
 	}
-	bytesProcessed := s.met.BusyCoreSeconds * 50e6 // ≈ bytes touched per busy core-second
+	bytesProcessed := s.BusyCoreSec() * 50e6 // ≈ bytes touched per busy core-second
 	units := bytesProcessed / float64(p.UnitBytes)
-	s.met.SchedOverheadSec = units * perUnit
-	s.met.ContextSwitches += ModelContextSwitches(p.Name(), p.C) * s.C.Quantum.Seconds()
+	s.SetSchedOverhead(units * perUnit)
+	s.AddContextSwitches(ModelContextSwitches(p.Name(), p.C) * s.C.Quantum.Seconds())
 }
 
 // allocateProportional mimics random unit pickup: live segments with

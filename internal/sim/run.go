@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Sim is one simulation run: a graph instantiated on a cluster under a
@@ -13,12 +15,25 @@ type Sim struct {
 	G      *Graph
 	Policy Policy
 
-	insts   []*segInst          // all instances
-	byNode  [][]*segInst        // per node
-	byGroup map[int][]*segInst  // group id → instances
-	queues  map[[2]int]*queue   // (edge, node) → queue
+	insts   []*segInst         // all instances
+	byNode  [][]*segInst       // per node
+	byGroup map[int][]*segInst // group id → instances
+	queues  map[[2]int]*queue  // (edge, node) → queue
 	now     time.Duration
-	met     Metrics
+
+	// The run's telemetry stream (virtual-time clock). All measurements
+	// accumulate on its instruments and event sinks; Metrics is a view
+	// computed from them when Run finishes.
+	scope     *telemetry.Scope
+	busy      *telemetry.FloatCounter
+	availSec  *telemetry.FloatCounter
+	allocSec  *telemetry.FloatCounter
+	netBytes  *telemetry.FloatCounter
+	schedSec  *telemetry.FloatCounter
+	ctxSw     *telemetry.FloatCounter
+	memGauge  *telemetry.FloatGauge
+	utilSink  *telemetry.MemSink
+	traceSink *telemetry.MemSink
 
 	// CostFactor inflates every stage's per-tuple cost (cache-thrash
 	// modeling by baseline policies); 1 = no inflation.
@@ -57,9 +72,9 @@ func New(c Cluster, g *Graph, p Policy) (*Sim, error) {
 	}
 	s := &Sim{
 		C: c, G: g, Policy: p,
-		byGroup:    make(map[int][]*segInst),
-		queues:     make(map[[2]int]*queue),
-		byNode:     make([][]*segInst, c.Nodes+1),
+		byGroup:      make(map[int][]*segInst),
+		queues:       make(map[[2]int]*queue),
+		byNode:       make([][]*segInst, c.Nodes+1),
 		MaxVirtual:   time.Hour,
 		CostFactor:   1,
 		PartitionEff: 1,
@@ -87,15 +102,51 @@ func New(c Cluster, g *Graph, p Policy) (*Sim, error) {
 			}
 		}
 	}
+	s.scope = telemetry.NewScope("sim."+p.Name(),
+		telemetry.WithClock(func() time.Duration { return s.now }))
+	s.busy = s.scope.FloatCounter(telemetry.FCtrBusyCoreSec)
+	s.availSec = s.scope.FloatCounter(telemetry.FCtrAvailCoreSec)
+	s.allocSec = s.scope.FloatCounter(telemetry.FCtrAllocCoreSec)
+	s.netBytes = s.scope.FloatCounter(telemetry.CtrNetBytes)
+	s.schedSec = s.scope.FloatCounter(telemetry.FCtrSchedOverheadSec)
+	s.ctxSw = s.scope.FloatCounter(telemetry.FCtrCtxSwitches)
+	s.memGauge = s.scope.FloatGauge(telemetry.GaugeMemBytes)
+	s.utilSink = telemetry.NewMemSink(telemetry.KindUtilSample)
+	s.traceSink = telemetry.NewMemSink(telemetry.KindParallelismSample)
+	s.scope.Attach(s.utilSink)
+	s.scope.Attach(s.traceSink)
 	return s, nil
 }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
-// Run advances the simulation to completion and returns its metrics.
+// Scope returns the run's telemetry scope, for attaching sinks before
+// Run and for policies recording scheduling costs.
+func (s *Sim) Scope() *telemetry.Scope { return s.scope }
+
+// AddSchedOverhead charges virtual CPU time to scheduling (Table 5).
+func (s *Sim) AddSchedOverhead(sec float64) { s.schedSec.Add(sec) }
+
+// SetSchedOverhead overwrites the scheduling-overhead accumulator —
+// policies that model overhead as a closed-form function of work done
+// (MDP's per-unit pickup cost) recompute it each step.
+func (s *Sim) SetSchedOverhead(sec float64) { s.schedSec.Store(sec) }
+
+// AddContextSwitches accrues simulated thread context switches.
+func (s *Sim) AddContextSwitches(n float64) { s.ctxSw.Add(n) }
+
+// BusyCoreSec returns the busy core-second integral so far.
+func (s *Sim) BusyCoreSec() float64 { return s.busy.Load() }
+
+// Run advances the simulation to completion and returns its metrics —
+// a view computed from the run's telemetry scope.
 func (s *Sim) Run() (*Metrics, error) {
+	s.scope.Emit(telemetry.QueryPhase{Phase: "start", Detail: s.Policy.Name()})
 	s.Policy.Init(s)
+	for _, inst := range s.insts {
+		s.emitStageChange(inst)
+	}
 	dt := s.C.Quantum
 	for !s.finished() {
 		if s.now > s.MaxVirtual {
@@ -105,8 +156,43 @@ func (s *Sim) Run() (*Metrics, error) {
 		s.step(dt)
 		s.now += dt
 	}
-	s.met.Elapsed = s.now
-	return &s.met, nil
+	s.scope.Emit(telemetry.QueryPhase{Phase: "end", Detail: s.Policy.Name()})
+	return s.metrics(), nil
+}
+
+// emitStageChange records the instance entering its current stage.
+func (s *Sim) emitStageChange(inst *segInst) {
+	st := &inst.group.Stages[inst.stage]
+	s.scope.Emit(telemetry.SegmentStageChange{
+		Node: inst.node, Segment: inst.group.Name,
+		Stage: inst.stage, StageName: st.Name,
+	})
+}
+
+// metrics assembles the Metrics view from the scope's instruments and
+// the internal timeline sinks.
+func (s *Sim) metrics() *Metrics {
+	m := &Metrics{
+		Elapsed:          s.now,
+		BusyCoreSeconds:  s.busy.Load(),
+		AvailCoreSeconds: s.availSec.Load(),
+		AllocCoreSeconds: s.allocSec.Load(),
+		NetBytes:         s.netBytes.Load(),
+		PeakMemBytes:     s.memGauge.Peak(),
+		SchedOverheadSec: s.schedSec.Load(),
+		ContextSwitches:  s.ctxSw.Load(),
+	}
+	for _, ev := range s.utilSink.Events() {
+		u := ev.Rec.(telemetry.UtilSample)
+		m.UtilTimeline = append(m.UtilTimeline, UtilSample{
+			At: ev.At, CPU: u.CPU, Network: u.Network,
+		})
+	}
+	for _, ev := range s.traceSink.Events() {
+		p := ev.Rec.(telemetry.ParallelismSample)
+		m.Trace = append(m.Trace, TraceSample{At: ev.At, Parallelism: p.Parallelism})
+	}
+	return m
 }
 
 func (s *Sim) finished() bool {
@@ -123,7 +209,7 @@ func (s *Sim) finished() bool {
 // output backpressure and NIC budgets.
 func (s *Sim) step(dt time.Duration) {
 	dtSec := dt.Seconds()
-	egress := make([]float64, s.C.Nodes+1)  // remaining NIC budget
+	egress := make([]float64, s.C.Nodes+1) // remaining NIC budget
 	ingress := make([]float64, s.C.Nodes+1)
 	for i := range egress {
 		egress[i] = s.C.NetBps * dtSec
@@ -294,29 +380,31 @@ func (s *Sim) step(dt time.Duration) {
 					s.stateBytes -= inst.stateHeld
 					inst.stateHeld = 0
 					s.onInstDone(inst)
+				} else {
+					s.emitStageChange(inst)
 				}
 			}
 		}
 		sliceAvail += float64(s.C.HTCores)
 	}
 
-	// Metrics accounting.
+	// Telemetry accounting.
 	sliceAlloc := 0.0
 	for _, inst := range s.insts {
 		if !inst.done {
 			sliceAlloc += float64(inst.p) * dtSec
 		}
 	}
-	s.met.BusyCoreSeconds += sliceBusy
-	s.met.AvailCoreSeconds += float64(s.C.HTCores*s.C.Nodes) * dtSec
-	s.met.AllocCoreSeconds += sliceAlloc
+	s.busy.Add(sliceBusy)
+	s.availSec.Add(float64(s.C.HTCores*s.C.Nodes) * dtSec)
+	s.allocSec.Add(sliceAlloc)
 	cpuUtil := 0.0
 	if sliceAlloc > 0 {
 		cpuUtil = sliceBusy / sliceAlloc
 	}
 	netUtil := sliceNet / (s.C.NetBps * dtSec * float64(s.C.Nodes))
-	s.met.UtilTimeline = append(s.met.UtilTimeline, UtilSample{
-		At: s.now, CPU: math.Min(cpuUtil, 1), Network: math.Min(netUtil, 1),
+	s.scope.Emit(telemetry.UtilSample{
+		CPU: math.Min(cpuUtil, 1), Network: math.Min(netUtil, 1),
 	})
 
 	mem := s.stateBytes
@@ -327,20 +415,18 @@ func (s *Sim) step(dt time.Duration) {
 		}
 		mem += b
 	}
-	if mem > s.met.PeakMemBytes {
-		s.met.PeakMemBytes = mem
-	}
+	s.memGauge.Set(mem)
 
 	// Parallelism trace (node 0 / master instances).
 	if s.now-s.lastTrace >= s.TraceEvery {
 		s.lastTrace = s.now
-		sample := TraceSample{At: s.now, Parallelism: map[string]int{}}
+		sample := telemetry.ParallelismSample{Parallelism: map[string]int{}}
 		for _, inst := range s.insts {
 			if inst.node == 0 || (!inst.group.OnAllNodes && inst.node == s.C.Nodes) {
 				sample.Parallelism[inst.group.Name] = inst.p
 			}
 		}
-		s.met.Trace = append(s.met.Trace, sample)
+		s.scope.Emit(sample)
 	}
 }
 
@@ -424,7 +510,7 @@ func (s *Sim) emit(inst *segInst, st *Stage, tuples float64, egress, ingress []f
 			egress[inst.node] -= b
 			ingress[dn] -= b
 			netBytes += b
-			s.met.NetBytes += b
+			s.netBytes.Add(b)
 		}
 	}
 	return netBytes
@@ -481,7 +567,6 @@ func (s *Sim) onInstDone(inst *segInst) {
 		}
 	}
 }
-
 
 // powf is a tiny wrapper to keep math usage local.
 func powf(x, y float64) float64 { return math.Pow(x, y) }

@@ -206,7 +206,11 @@ type queue struct {
 	peakByte float64
 }
 
-// Metrics accumulates simulation-wide measurements.
+// Metrics reports simulation-wide measurements. It is a view computed
+// from the run's telemetry scope (Sim.Scope) when Run finishes: the
+// core-second integrals and fluid byte counts come from the scope's
+// float instruments, the memory peak from the mem.bytes float gauge,
+// and the timelines from UtilSample/ParallelismSample events.
 type Metrics struct {
 	// Elapsed is the virtual completion time.
 	Elapsed time.Duration

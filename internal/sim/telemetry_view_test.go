@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// goldenGraph is the fixed two-segment workload whose pre-refactor
+// metric values were captured before Metrics became a view over the
+// telemetry scope: 4 nodes × 2e6 rows scanned (2% selectivity) into a
+// blocking aggregation. The simulator runs in virtual time, so the run
+// is deterministic and the derived view must reproduce the old
+// bookkeeping bit-for-bit (up to float formatting).
+func goldenGraph(rowsPerNode float64) *Graph {
+	groups := []*SegGroup{
+		{ID: 0, Name: "S1", OnAllNodes: true, Stages: []Stage{{
+			Name: "scan", SourceEdge: -1, LocalRows: rowsPerNode,
+			CostPerTuple: 25e-9, MemBytesPerTuple: 64,
+			Selectivity: 0.02, OutEdge: 0,
+		}}},
+		{ID: 1, Name: "S2", OnAllNodes: true, Stages: []Stage{{
+			Name: "agg", SourceEdge: 0,
+			CostPerTuple: 100e-9, MemBytesPerTuple: 64,
+			Selectivity: 0.05, OutEdge: -1, ToResult: true, EmitAtEnd: true,
+			StateBytesPerTuple: 4,
+		}}},
+	}
+	edges := []*Edge{
+		{ID: 0, From: 0, To: 1, BytesPerTuple: 48, QueueCapTuples: 20_000},
+	}
+	return &Graph{Groups: groups, Edges: edges, TotalInputRows: rowsPerNode * 4}
+}
+
+func goldenCluster() Cluster {
+	return Cluster{Nodes: 4, Cores: 4, NetBps: 125e6, Quantum: 5 * time.Millisecond}
+}
+
+func closeTo(got, want float64) bool {
+	if want == 0 {
+		return math.Abs(got) < 1e-9
+	}
+	return math.Abs(got-want) <= 1e-6*math.Abs(want)
+}
+
+// TestMetricsViewMatchesGolden pins the Metrics view derived from the
+// telemetry scope to the values the pre-refactor independent
+// bookkeeping produced on the same fixed workload.
+func TestMetricsViewMatchesGolden(t *testing.T) {
+	type golden struct {
+		elapsed      time.Duration
+		netBytes     float64
+		peakMem      float64
+		busy         float64
+		alloc        float64
+		avail        float64
+		sched        float64
+		trace, utilN int
+	}
+	cases := []struct {
+		policy Policy
+		want   golden
+	}{
+		{&StaticPolicy{P: 4}, golden{
+			elapsed: 30 * time.Millisecond, netBytes: 5760000, peakMem: 5397500,
+			busy: 0.216, alloc: 0.64, avail: 0.96, sched: 0, trace: 6, utilN: 6,
+		}},
+		{&EPPolicy{Tick: 50 * time.Millisecond}, golden{
+			elapsed: 55 * time.Millisecond, netBytes: 5760000, peakMem: 1080000,
+			busy: 0.216, alloc: 0.38, avail: 1.76, sched: 0.00018, trace: 11, utilN: 11,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy.Name(), func(t *testing.T) {
+			s, err := New(goldenCluster(), goldenGraph(2e6), tc.policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Elapsed != tc.want.elapsed {
+				t.Errorf("Elapsed = %v, want %v", m.Elapsed, tc.want.elapsed)
+			}
+			if !closeTo(m.NetBytes, tc.want.netBytes) {
+				t.Errorf("NetBytes = %f, want %f", m.NetBytes, tc.want.netBytes)
+			}
+			if !closeTo(m.PeakMemBytes, tc.want.peakMem) {
+				t.Errorf("PeakMemBytes = %f, want %f", m.PeakMemBytes, tc.want.peakMem)
+			}
+			if !closeTo(m.BusyCoreSeconds, tc.want.busy) {
+				t.Errorf("BusyCoreSeconds = %f, want %f", m.BusyCoreSeconds, tc.want.busy)
+			}
+			if !closeTo(m.AllocCoreSeconds, tc.want.alloc) {
+				t.Errorf("AllocCoreSeconds = %f, want %f", m.AllocCoreSeconds, tc.want.alloc)
+			}
+			if !closeTo(m.AvailCoreSeconds, tc.want.avail) {
+				t.Errorf("AvailCoreSeconds = %f, want %f", m.AvailCoreSeconds, tc.want.avail)
+			}
+			if !closeTo(m.SchedOverheadSec, tc.want.sched) {
+				t.Errorf("SchedOverheadSec = %f, want %f", m.SchedOverheadSec, tc.want.sched)
+			}
+			if len(m.Trace) != tc.want.trace {
+				t.Errorf("len(Trace) = %d, want %d", len(m.Trace), tc.want.trace)
+			}
+			if len(m.UtilTimeline) != tc.want.utilN {
+				t.Errorf("len(UtilTimeline) = %d, want %d", len(m.UtilTimeline), tc.want.utilN)
+			}
+		})
+	}
+}
+
+// TestSimScopeEvents checks the simulator emits the shared event
+// taxonomy on its scope: query phases, stage changes, worker
+// expansions, and the periodic timelines — stamped with virtual time.
+func TestSimScopeEvents(t *testing.T) {
+	mem := telemetry.NewMemSink()
+	s, err := New(goldenCluster(), goldenGraph(2e6), &EPPolicy{Tick: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Scope().Attach(mem)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[telemetry.Kind]int{}
+	for _, ev := range mem.Events() {
+		counts[ev.Rec.Kind()]++
+	}
+	for _, k := range []telemetry.Kind{
+		telemetry.KindQueryPhase, telemetry.KindSegmentStageChange,
+		telemetry.KindWorkerExpand, telemetry.KindParallelismSample,
+		telemetry.KindUtilSample,
+	} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events emitted", k)
+		}
+	}
+	// 8 slave instances entering stage 0 (one stage per group).
+	if counts[telemetry.KindSegmentStageChange] != 8 {
+		t.Errorf("SegmentStageChange = %d, want 8", counts[telemetry.KindSegmentStageChange])
+	}
+	// Events are stamped with virtual time: the final QueryPhase "end"
+	// lands exactly at the virtual completion time.
+	evs := mem.Events()
+	last := evs[len(evs)-1]
+	if qp, ok := last.Rec.(telemetry.QueryPhase); !ok || qp.Phase != "end" {
+		t.Fatalf("last event = %#v, want QueryPhase end", last.Rec)
+	}
+	if last.At != 55*time.Millisecond {
+		t.Errorf("end phase at %v, want 55ms (virtual clock)", last.At)
+	}
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind discriminates event record types.
+type Kind uint8
+
+// Event kinds. The first six are the core taxonomy every substrate
+// shares; the sampling kinds carry the periodic timelines the paper's
+// figures are drawn from.
+const (
+	// KindSchedDecision is one Algorithm-1 scheduling move (or rejected
+	// candidate move).
+	KindSchedDecision Kind = iota
+	// KindWorkerExpand is an elastic pool growing by one worker.
+	KindWorkerExpand
+	// KindWorkerShrink is an elastic pool shrinking by one worker.
+	KindWorkerShrink
+	// KindSegmentStageChange is a segment instance entering a stage.
+	KindSegmentStageChange
+	// KindBlockSent is one block crossing a node boundary.
+	KindBlockSent
+	// KindQueryPhase is a query-lifecycle transition.
+	KindQueryPhase
+	// KindBarrier is an elastic segment's dataflow barrier: all workers
+	// drained and the joint buffer reached end-of-flow.
+	KindBarrier
+	// KindParallelismSample is one point of the per-segment parallelism
+	// timeline (Figure 10).
+	KindParallelismSample
+	// KindUtilSample is one CPU/network utilization timeline slice
+	// (Table 6).
+	KindUtilSample
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"SchedDecision", "WorkerExpand", "WorkerShrink", "SegmentStageChange",
+	"BlockSent", "QueryPhase", "Barrier", "ParallelismSample", "UtilSample",
+}
+
+// String renders the kind; out-of-range values render as "Kind(n)".
+func (k Kind) String() string {
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Record is a typed telemetry record.
+type Record interface {
+	Kind() Kind
+}
+
+// Event is one stamped occurrence in a scope's stream.
+type Event struct {
+	// Scope is the emitting scope's name, so sinks shared by
+	// concurrent queries can separate their streams.
+	Scope string `json:"scope"`
+	// Seq is the scope-local sequence number (1-based).
+	Seq uint64 `json:"seq"`
+	// At is the scope clock at emission: wall time since scope start,
+	// or virtual time for simulator scopes.
+	At time.Duration `json:"at_ns"`
+	// Rec is the typed payload.
+	Rec Record `json:"rec"`
+}
+
+// SchedDecision is one scheduling move of the dynamic scheduler
+// (Algorithm 1 and the free-core/shrink rules around it).
+type SchedDecision struct {
+	// Node is the deciding node scheduler.
+	Node int `json:"node"`
+	// Expanded and Shrunk name the segment pair; either may be empty
+	// (free-core handouts only expand, idle-shrinks only shrink).
+	Expanded string `json:"expanded,omitempty"`
+	Shrunk   string `json:"shrunk,omitempty"`
+	// Reason is the rule that fired: "algorithm1", "free core",
+	// "starved", "over-producing", "no gain".
+	Reason string `json:"reason"`
+	// Lambda is the global normalized pipeline rate λ (Equation 3) the
+	// decision was taken against.
+	Lambda float64 `json:"lambda"`
+	// Gain is the estimated throughput gain of the move.
+	Gain float64 `json:"gain"`
+	// Applied is false for rejected moves (e.g. the expansion target
+	// refused the core after the donor shrank).
+	Applied bool `json:"applied"`
+}
+
+// Kind implements Record.
+func (SchedDecision) Kind() Kind { return KindSchedDecision }
+
+// WorkerExpand records an elastic worker pool growing by one.
+type WorkerExpand struct {
+	Node    int    `json:"node"`
+	Segment string `json:"segment"`
+	// Workers is the pool size after the expansion.
+	Workers int `json:"workers"`
+	// Core is the emulated core the new worker was pinned to.
+	Core int `json:"core"`
+}
+
+// Kind implements Record.
+func (WorkerExpand) Kind() Kind { return KindWorkerExpand }
+
+// WorkerShrink records an elastic worker pool shrinking by one.
+type WorkerShrink struct {
+	Node    int    `json:"node"`
+	Segment string `json:"segment"`
+	// Workers is the pool size after the shrink.
+	Workers int `json:"workers"`
+}
+
+// Kind implements Record.
+func (WorkerShrink) Kind() Kind { return KindWorkerShrink }
+
+// SegmentStageChange records a segment instance entering a stage
+// (Section 2.1: a segment runs one stage at a time).
+type SegmentStageChange struct {
+	Node      int    `json:"node"`
+	Segment   string `json:"segment"`
+	Stage     int    `json:"stage"`
+	StageName string `json:"stage_name,omitempty"`
+}
+
+// Kind implements Record.
+func (SegmentStageChange) Kind() Kind { return KindSegmentStageChange }
+
+// BlockSent records one block crossing a node boundary. Both the
+// in-process and the TCP transport emit it from the same wrapper, so
+// the paths report identically.
+type BlockSent struct {
+	Exchange int `json:"exchange"`
+	From     int `json:"from"`
+	To       int `json:"to"`
+	Tuples   int `json:"tuples"`
+	Bytes    int `json:"bytes"`
+}
+
+// Kind implements Record.
+func (BlockSent) Kind() Kind { return KindBlockSent }
+
+// QueryPhase records a query-lifecycle transition ("start", "end", …).
+type QueryPhase struct {
+	Phase  string `json:"phase"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Kind implements Record.
+func (QueryPhase) Kind() Kind { return KindQueryPhase }
+
+// Barrier records an elastic segment reaching its dataflow barrier:
+// the last worker saw end-of-flow and the joint buffer closed.
+type Barrier struct {
+	Node    int    `json:"node"`
+	Segment string `json:"segment"`
+}
+
+// Kind implements Record.
+func (Barrier) Kind() Kind { return KindBarrier }
+
+// ParallelismSample is one point of the parallelism timeline: segment
+// name → current worker count (node 0 / master instances).
+type ParallelismSample struct {
+	Parallelism map[string]int `json:"parallelism"`
+}
+
+// Kind implements Record.
+func (ParallelismSample) Kind() Kind { return KindParallelismSample }
+
+// UtilSample is one utilization timeline slice.
+type UtilSample struct {
+	CPU     float64 `json:"cpu"`
+	Network float64 `json:"network"`
+}
+
+// Kind implements Record.
+func (UtilSample) Kind() Kind { return KindUtilSample }

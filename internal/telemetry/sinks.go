@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sink consumes every event emitted on the scopes it is attached to.
+// Implementations must be safe for concurrent Emit calls.
+type Sink interface {
+	Emit(ev Event)
+	// Flush pushes buffered output to its destination.
+	Flush() error
+}
+
+// --- MemSink -----------------------------------------------------------------
+
+// MemSink retains events in memory — the sink tests and benchmarks use
+// to assert on the stream, and the engine/simulator use internally to
+// derive their timeline views. A kind filter keeps retention bounded on
+// high-volume streams.
+type MemSink struct {
+	mu     sync.Mutex
+	keep   map[Kind]bool // nil: keep all
+	events []Event
+}
+
+// NewMemSink returns a sink retaining only the given kinds (all kinds
+// when none are given).
+func NewMemSink(kinds ...Kind) *MemSink {
+	m := &MemSink{}
+	if len(kinds) > 0 {
+		m.keep = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			m.keep[k] = true
+		}
+	}
+	return m
+}
+
+// Emit implements Sink.
+func (m *MemSink) Emit(ev Event) {
+	if m.keep != nil && !m.keep[ev.Rec.Kind()] {
+		return
+	}
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+}
+
+// Flush implements Sink (no-op).
+func (m *MemSink) Flush() error { return nil }
+
+// Events returns a copy of the retained events in emission order.
+func (m *MemSink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// OfKind returns the retained events of one kind.
+func (m *MemSink) OfKind(k Kind) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Event
+	for _, ev := range m.events {
+		if ev.Rec.Kind() == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Reset drops all retained events.
+func (m *MemSink) Reset() {
+	m.mu.Lock()
+	m.events = nil
+	m.mu.Unlock()
+}
+
+// --- JSONLSink ---------------------------------------------------------------
+
+// jsonEvent is the wire shape of one JSONL line.
+type jsonEvent struct {
+	Scope string `json:"scope"`
+	Seq   uint64 `json:"seq"`
+	AtUs  int64  `json:"at_us"`
+	Kind  string `json:"kind"`
+	Rec   Record `json:"rec"`
+}
+
+// JSONLSink writes one JSON object per event — `epbench -trace
+// out.jsonl` attaches it as a process-wide default sink.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines writer; call Flush
+// before closing the underlying writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(jsonEvent{
+		Scope: ev.Scope,
+		Seq:   ev.Seq,
+		AtUs:  ev.At.Microseconds(),
+		Kind:  ev.Rec.Kind().String(),
+		Rec:   ev.Rec,
+	})
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// --- SummarySink -------------------------------------------------------------
+
+// SummarySink accumulates per-kind event counts plus scheduler-decision
+// reasons and renders them as one text line — the periodic summarizer
+// behind cmd/claims. With a writer and a period it also prints the
+// running summary whenever that much wall time passed since the last
+// print.
+type SummarySink struct {
+	mu      sync.Mutex
+	w       io.Writer     // nil: on-demand Summary() only
+	every   time.Duration // 0: never print periodically
+	last    time.Time
+	kinds   [numKinds]int64
+	reasons map[string]int64
+	total   int64
+}
+
+// NewSummarySink returns a summarizer. w and every may be zero for an
+// on-demand-only sink.
+func NewSummarySink(w io.Writer, every time.Duration) *SummarySink {
+	return &SummarySink{w: w, every: every, last: time.Now(), reasons: make(map[string]int64)}
+}
+
+// Emit implements Sink.
+func (s *SummarySink) Emit(ev Event) {
+	s.mu.Lock()
+	k := ev.Rec.Kind()
+	if int(k) < len(s.kinds) {
+		s.kinds[k]++
+	}
+	s.total++
+	if d, ok := ev.Rec.(SchedDecision); ok {
+		s.reasons[d.Reason]++
+	}
+	var line string
+	if s.w != nil && s.every > 0 && time.Since(s.last) >= s.every {
+		s.last = time.Now()
+		line = s.summaryLocked()
+	}
+	s.mu.Unlock()
+	if line != "" {
+		fmt.Fprintln(s.w, line)
+	}
+}
+
+// Flush implements Sink: it prints a final summary when a writer is
+// configured.
+func (s *SummarySink) Flush() error {
+	if s.w == nil {
+		return nil
+	}
+	_, err := fmt.Fprintln(s.w, s.Summary())
+	return err
+}
+
+// Summary renders the accumulated counts as one line.
+func (s *SummarySink) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.summaryLocked()
+}
+
+func (s *SummarySink) summaryLocked() string {
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if n := s.kinds[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	if len(s.reasons) > 0 {
+		var rs []string
+		for r, n := range s.reasons {
+			rs = append(rs, fmt.Sprintf("%s:%d", r, n))
+		}
+		sort.Strings(rs)
+		parts = append(parts, "decisions{"+strings.Join(rs, " ")+"}")
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("telemetry: %d events", s.total)
+	}
+	return "telemetry: " + strings.Join(parts, " ")
+}

@@ -1,0 +1,379 @@
+// Package telemetry is the unified observability substrate behind the
+// engine, the simulator, the dynamic scheduler, the elastic iterators
+// and the network transports. The paper's entire evaluation (Section 5)
+// is built on measurements — parallelism timelines, scheduler
+// decisions, CPU/network utilization, memory peaks — and every layer of
+// this repository records them through one shared mechanism:
+//
+//   - named atomic Counters, FloatCounters and Gauges, registered
+//     per Scope;
+//   - a ring-buffered stream of typed events (see records.go) fanned
+//     out to pluggable Sinks (see sinks.go);
+//   - one Scope per query (or per simulation run), threaded through
+//     execution, so concurrent queries never mix streams.
+//
+// Higher-level views — engine.ExecStats, sim.Metrics — are computed
+// from scopes instead of keeping independent bookkeeping.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic integer counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// FloatCounter is an atomic float64 accumulator, for fluid quantities
+// (the simulator's core-seconds and fractional bytes).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Store overwrites the accumulated value.
+func (c *FloatCounter) Store(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (c *FloatCounter) Load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an atomic instantaneous value that additionally records its
+// high-water mark.
+type Gauge struct{ cur, peak atomic.Int64 }
+
+// Set updates the gauge, raising the peak if exceeded.
+func (g *Gauge) Set(v int64) {
+	g.cur.Store(v)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Add shifts the gauge by d, raising the peak if exceeded.
+func (g *Gauge) Add(d int64) {
+	v := g.cur.Add(d)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.cur.Load() }
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// FloatGauge is a Gauge over float64 values (the simulator's fluid
+// memory footprint).
+type FloatGauge struct {
+	mu        sync.Mutex
+	cur, peak float64
+}
+
+// Set updates the gauge, raising the peak if exceeded.
+func (g *FloatGauge) Set(v float64) {
+	g.mu.Lock()
+	g.cur = v
+	if v > g.peak {
+		g.peak = v
+	}
+	g.mu.Unlock()
+}
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Peak returns the high-water mark.
+func (g *FloatGauge) Peak() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// Well-known instrument names shared across layers, so sinks and tests
+// can find the same quantity regardless of the substrate that produced
+// it. Scopes key Counter/FloatCounter/Gauge registries separately, so
+// e.g. the engine's integer net.bytes and the simulator's fluid
+// net.bytes coexist.
+const (
+	// CtrNetBytes counts bytes that crossed node boundaries (both
+	// transports count identically: only inter-node traffic).
+	CtrNetBytes = "net.bytes"
+	// CtrNetBlocks counts blocks that crossed node boundaries.
+	CtrNetBlocks = "net.blocks"
+	// CtrSchedOverheadNs is cumulative wall time inside scheduler ticks.
+	CtrSchedOverheadNs = "sched.overhead_ns"
+	// CtrSchedDecisions counts applied scheduler moves.
+	CtrSchedDecisions = "sched.decisions"
+	// GaugeMemBytes tracks materialized state (staging + operator
+	// arenas); its peak is the Table 4 footprint.
+	GaugeMemBytes = "mem.bytes"
+	// Simulator float accumulators (core-second integrals and fluid
+	// traffic).
+	FCtrBusyCoreSec      = "cpu.busy_core_sec"
+	FCtrAvailCoreSec     = "cpu.avail_core_sec"
+	FCtrAllocCoreSec     = "cpu.alloc_core_sec"
+	FCtrSchedOverheadSec = "sched.overhead_sec"
+	FCtrCtxSwitches      = "os.context_switches"
+)
+
+// Scope is one query's (or one simulation run's) telemetry stream:
+// instruments registered by name plus an event stream with a bounded
+// ring tail and attached sinks. All methods are safe for concurrent
+// use.
+type Scope struct {
+	name  string
+	start time.Time
+	clock func() time.Duration // overrides wall time (virtual-time sims)
+	seq   atomic.Uint64
+
+	counters  sync.Map // name → *Counter
+	fcounters sync.Map // name → *FloatCounter
+	gauges    sync.Map // name → *Gauge
+	fgauges   sync.Map // name → *FloatGauge
+
+	sinks atomic.Pointer[[]Sink]
+
+	ringMu sync.Mutex
+	ring   []Event
+	ringN  uint64 // events ever appended
+}
+
+// Option configures a Scope.
+type Option func(*Scope)
+
+// WithClock makes the scope stamp events with the given clock instead
+// of wall time since creation — the simulator passes its virtual clock.
+func WithClock(clock func() time.Duration) Option {
+	return func(s *Scope) { s.clock = clock }
+}
+
+// WithRingSize sets the event ring capacity (default 1024; 0 disables
+// the ring, leaving sinks as the only consumers).
+func WithRingSize(n int) Option {
+	return func(s *Scope) {
+		if n < 0 {
+			n = 0
+		}
+		s.ring = make([]Event, n)
+	}
+}
+
+// defaultRingSize bounds the in-scope event tail. Sinks see every
+// event; the ring is a recent-history debugging window.
+const defaultRingSize = 1024
+
+// NewScope creates a scope. Sinks registered via AttachDefault are
+// attached automatically.
+func NewScope(name string, opts ...Option) *Scope {
+	s := &Scope{
+		name:  name,
+		start: time.Now(),
+		ring:  make([]Event, defaultRingSize),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if d := defaultSinks.Load(); d != nil {
+		cp := append([]Sink(nil), (*d)...)
+		s.sinks.Store(&cp)
+	}
+	return s
+}
+
+// Name returns the scope name.
+func (s *Scope) Name() string { return s.name }
+
+// Elapsed returns the scope clock: virtual time when configured,
+// otherwise wall time since creation.
+func (s *Scope) Elapsed() time.Duration {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Since(s.start)
+}
+
+// Counter returns the named integer counter, creating it on first use.
+func (s *Scope) Counter(name string) *Counter {
+	if v, ok := s.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := s.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// FloatCounter returns the named float accumulator, creating it on
+// first use.
+func (s *Scope) FloatCounter(name string) *FloatCounter {
+	if v, ok := s.fcounters.Load(name); ok {
+		return v.(*FloatCounter)
+	}
+	v, _ := s.fcounters.LoadOrStore(name, &FloatCounter{})
+	return v.(*FloatCounter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Scope) Gauge(name string) *Gauge {
+	if v, ok := s.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := s.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (s *Scope) FloatGauge(name string) *FloatGauge {
+	if v, ok := s.fgauges.Load(name); ok {
+		return v.(*FloatGauge)
+	}
+	v, _ := s.fgauges.LoadOrStore(name, &FloatGauge{})
+	return v.(*FloatGauge)
+}
+
+// Attach adds a sink; subsequent events fan out to it. Attach is
+// copy-on-write, so Emit never takes a lock to read the sink list.
+func (s *Scope) Attach(sink Sink) {
+	for {
+		old := s.sinks.Load()
+		var cp []Sink
+		if old != nil {
+			cp = append(cp, (*old)...)
+		}
+		cp = append(cp, sink)
+		if s.sinks.CompareAndSwap(old, &cp) {
+			return
+		}
+	}
+}
+
+// Emit stamps the record with the scope clock and a sequence number,
+// appends it to the ring tail and fans it out to the attached sinks.
+func (s *Scope) Emit(rec Record) {
+	ev := Event{
+		Scope: s.name,
+		Seq:   s.seq.Add(1),
+		At:    s.Elapsed(),
+		Rec:   rec,
+	}
+	if len(s.ring) > 0 {
+		s.ringMu.Lock()
+		s.ring[s.ringN%uint64(len(s.ring))] = ev
+		s.ringN++
+		s.ringMu.Unlock()
+	}
+	if sinks := s.sinks.Load(); sinks != nil {
+		for _, sink := range *sinks {
+			sink.Emit(ev)
+		}
+	}
+}
+
+// Tail returns the ring's retained events, oldest first. The ring
+// drops the oldest events once full; sinks see the complete stream.
+func (s *Scope) Tail() []Event {
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	n := uint64(len(s.ring))
+	if n == 0 {
+		return nil
+	}
+	count := s.ringN
+	if count > n {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, s.ring[(s.ringN-count+i)%n])
+	}
+	return out
+}
+
+// EventCount returns the number of events emitted so far.
+func (s *Scope) EventCount() uint64 { return s.seq.Load() }
+
+// CounterSnapshot returns all integer counters by name.
+func (s *Scope) CounterSnapshot() map[string]int64 {
+	out := make(map[string]int64)
+	s.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	return out
+}
+
+// FloatCounterSnapshot returns all float accumulators by name.
+func (s *Scope) FloatCounterSnapshot() map[string]float64 {
+	out := make(map[string]float64)
+	s.fcounters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*FloatCounter).Load()
+		return true
+	})
+	return out
+}
+
+// InstrumentNames lists every registered instrument, sorted.
+func (s *Scope) InstrumentNames() []string {
+	var names []string
+	for _, m := range []*sync.Map{&s.counters, &s.fcounters, &s.gauges, &s.fgauges} {
+		m.Range(func(k, _ any) bool {
+			names = append(names, k.(string))
+			return true
+		})
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- process-wide default sinks ---------------------------------------------
+
+var defaultSinks atomic.Pointer[[]Sink]
+
+// AttachDefault registers a sink attached to every Scope created
+// afterwards — how `epbench -trace` captures events from deep inside
+// the bench harness without threading a scope through every call.
+func AttachDefault(sink Sink) {
+	for {
+		old := defaultSinks.Load()
+		var cp []Sink
+		if old != nil {
+			cp = append(cp, (*old)...)
+		}
+		cp = append(cp, sink)
+		if defaultSinks.CompareAndSwap(old, &cp) {
+			return
+		}
+	}
+}
+
+// ResetDefault clears the default sink list (tests).
+func ResetDefault() { defaultSinks.Store(nil) }

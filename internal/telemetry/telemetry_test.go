@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndGaugesConcurrent(t *testing.T) {
+	sc := NewScope("q")
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sc.Counter(CtrNetBytes)
+			f := sc.FloatCounter(FCtrBusyCoreSec)
+			g := sc.Gauge(GaugeMemBytes)
+			for i := 0; i < per; i++ {
+				c.Add(2)
+				f.Add(0.5)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := sc.Counter(CtrNetBytes).Load(); got != 2*workers*per {
+		t.Fatalf("counter = %d, want %d", got, 2*workers*per)
+	}
+	if got := sc.FloatCounter(FCtrBusyCoreSec).Load(); got != 0.5*workers*per {
+		t.Fatalf("float counter = %v, want %v", got, 0.5*workers*per)
+	}
+	g := sc.Gauge(GaugeMemBytes)
+	if g.Load() != 0 {
+		t.Fatalf("gauge current = %d, want 0", g.Load())
+	}
+	if g.Peak() < 1 || g.Peak() > workers {
+		t.Fatalf("gauge peak = %d, want within [1,%d]", g.Peak(), workers)
+	}
+}
+
+func TestGaugePeak(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Set(3)
+	if g.Load() != 3 || g.Peak() != 10 {
+		t.Fatalf("got cur=%d peak=%d", g.Load(), g.Peak())
+	}
+	var fg FloatGauge
+	fg.Set(2.5)
+	fg.Set(1.25)
+	if fg.Load() != 1.25 || fg.Peak() != 2.5 {
+		t.Fatalf("got cur=%v peak=%v", fg.Load(), fg.Peak())
+	}
+}
+
+func TestConcurrentEmitAndSinks(t *testing.T) {
+	sc := NewScope("q", WithRingSize(64))
+	mem := NewMemSink()
+	sc.Attach(mem)
+	const workers = 6
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sc.Emit(BlockSent{Exchange: w, From: 0, To: 1, Tuples: i, Bytes: 64})
+				if i%100 == 0 {
+					_ = sc.Tail() // concurrent ring reads must be safe
+				}
+			}
+		}(w)
+	}
+	// Attach a second sink mid-stream; it sees a suffix of the stream.
+	late := NewMemSink(KindBlockSent)
+	sc.Attach(late)
+	wg.Wait()
+	if mem.Len() != workers*per {
+		t.Fatalf("mem sink kept %d events, want %d", mem.Len(), workers*per)
+	}
+	if sc.EventCount() != workers*per {
+		t.Fatalf("event count = %d, want %d", sc.EventCount(), workers*per)
+	}
+	if late.Len() > mem.Len() {
+		t.Fatalf("late sink saw more events (%d) than the full sink (%d)", late.Len(), mem.Len())
+	}
+}
+
+func TestRingTail(t *testing.T) {
+	sc := NewScope("q", WithRingSize(4))
+	for i := 0; i < 10; i++ {
+		sc.Emit(QueryPhase{Phase: "p", Detail: string(rune('a' + i))})
+	}
+	tail := sc.Tail()
+	if len(tail) != 4 {
+		t.Fatalf("tail length = %d, want 4", len(tail))
+	}
+	for i, ev := range tail {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("tail[%d].Seq = %d, want %d (oldest-first order)", i, ev.Seq, want)
+		}
+	}
+	// Zero-size ring: emission still works, tail is empty.
+	sc0 := NewScope("q0", WithRingSize(0))
+	sc0.Emit(QueryPhase{Phase: "x"})
+	if got := sc0.Tail(); got != nil {
+		t.Fatalf("zero ring tail = %v, want nil", got)
+	}
+}
+
+func TestMemSinkFilter(t *testing.T) {
+	sc := NewScope("q")
+	dec := NewMemSink(KindSchedDecision)
+	sc.Attach(dec)
+	sc.Emit(WorkerExpand{Segment: "S1", Workers: 2})
+	sc.Emit(SchedDecision{Expanded: "S1", Reason: "free core", Applied: true})
+	sc.Emit(WorkerShrink{Segment: "S1", Workers: 1})
+	if dec.Len() != 1 {
+		t.Fatalf("filtered sink kept %d events, want 1", dec.Len())
+	}
+	d := dec.Events()[0].Rec.(SchedDecision)
+	if d.Expanded != "S1" || d.Reason != "free core" || !d.Applied {
+		t.Fatalf("unexpected decision %+v", d)
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sc := NewScope("q7")
+	sc.Attach(sink)
+	sc.Emit(SchedDecision{Node: 3, Expanded: "S2", Shrunk: "S1", Reason: "algorithm1",
+		Lambda: 1e6, Gain: 5e4, Applied: true})
+	sc.Emit(BlockSent{Exchange: 1, From: 0, To: 2, Tuples: 100, Bytes: 6400})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first struct {
+		Scope string `json:"scope"`
+		Seq   uint64 `json:"seq"`
+		Kind  string `json:"kind"`
+		Rec   struct {
+			Expanded string  `json:"expanded"`
+			Lambda   float64 `json:"lambda"`
+			Applied  bool    `json:"applied"`
+		} `json:"rec"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v", err)
+	}
+	if first.Scope != "q7" || first.Seq != 1 || first.Kind != "SchedDecision" ||
+		first.Rec.Expanded != "S2" || first.Rec.Lambda != 1e6 || !first.Rec.Applied {
+		t.Fatalf("unexpected first line: %+v", first)
+	}
+}
+
+func TestSummarySink(t *testing.T) {
+	sum := NewSummarySink(nil, 0)
+	sc := NewScope("q")
+	sc.Attach(sum)
+	sc.Emit(WorkerExpand{Segment: "S1", Workers: 1})
+	sc.Emit(WorkerExpand{Segment: "S2", Workers: 1})
+	sc.Emit(SchedDecision{Expanded: "S1", Reason: "free core", Applied: true})
+	sc.Emit(SchedDecision{Shrunk: "S2", Reason: "no gain", Applied: true})
+	s := sum.Summary()
+	for _, want := range []string{"WorkerExpand=2", "SchedDecision=2", "free core:1", "no gain:1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDefaultSinks(t *testing.T) {
+	defer ResetDefault()
+	ResetDefault()
+	mem := NewMemSink()
+	AttachDefault(mem)
+	sc := NewScope("auto")
+	sc.Emit(QueryPhase{Phase: "start"})
+	if mem.Len() != 1 {
+		t.Fatalf("default sink saw %d events, want 1", mem.Len())
+	}
+	if mem.Events()[0].Scope != "auto" {
+		t.Fatalf("event scope = %q", mem.Events()[0].Scope)
+	}
+}
+
+func TestScopeClock(t *testing.T) {
+	now := 250 * time.Millisecond
+	sc := NewScope("sim", WithClock(func() time.Duration { return now }))
+	sc.Emit(QueryPhase{Phase: "start"})
+	if got := sc.Tail()[0].At; got != 250*time.Millisecond {
+		t.Fatalf("virtual At = %v, want 250ms", got)
+	}
+}
+
+func TestKindStringGuard(t *testing.T) {
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Fatalf("out-of-range kind = %q", got)
+	}
+	if got := KindBlockSent.String(); got != "BlockSent" {
+		t.Fatalf("KindBlockSent = %q", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/sse"
 	"repro/internal/telemetry"
 	"repro/internal/tpch"
@@ -39,8 +40,20 @@ func main() {
 		query    = flag.String("q", "", "run one query and exit")
 		telem    = flag.Duration("telemetry", 0,
 			"print a periodic telemetry summary to stderr every period (0 = off)")
+		faultSpec = flag.String("faults", "",
+			"inject faults, e.g. drop=0.01,delay=5ms,seed=7 (see internal/faults)")
 	)
 	flag.Parse()
+
+	if *faultSpec != "" {
+		fc, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "claims: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		faults.SetDefault(faults.New(fc))
+		fmt.Fprintf(os.Stderr, "fault injection on: %s\n", fc.String())
+	}
 
 	var summary *telemetry.SummarySink
 	if *telem > 0 {

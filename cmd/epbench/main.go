@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -57,7 +58,19 @@ func main() {
 		"experiment: "+strings.Join(expNames(), "|"))
 	trace := flag.String("trace", "",
 		"write every telemetry event as JSON lines to this file")
+	faultSpec := flag.String("faults", "",
+		"inject faults into every experiment's cluster, e.g. drop=0.01,delay=5ms,seed=7")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		fc, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		faults.SetDefault(faults.New(fc))
+		fmt.Fprintf(os.Stderr, "epbench: fault injection on: %s\n", fc.String())
+	}
 
 	want := strings.ToLower(*exp)
 	valid := want == "all"

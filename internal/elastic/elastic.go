@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/faults"
 	"repro/internal/iterator"
 	"repro/internal/telemetry"
 )
@@ -33,6 +34,12 @@ type Config struct {
 	Name string
 	// Node is the hosting node id in telemetry events.
 	Node int
+	// Faults optionally injects worker crashes: the injector is consulted
+	// at every block boundary, and a positive verdict makes the worker
+	// exit abruptly without draining — the fail-stop model the engine's
+	// recovery watchdog (and the metamorphic fault tests) exercise. Nil
+	// injects nothing.
+	Faults *faults.Injector
 }
 
 // Elastic wraps a segment's iterator chain with an elastic worker pool
@@ -196,13 +203,25 @@ func (e *Elastic) run(w *worker) {
 	if st == iterator.Terminated {
 		return
 	}
+	// Crashes are injected only at block boundaries (before the worker
+	// pulls its next block), so no in-flight data is lost with the
+	// worker: everything it has applied lives in shared operator state,
+	// everything it has not pulled is still in the child. That makes a
+	// crash semantically a shrink nobody asked for — recoverable by
+	// re-expansion without state repair.
+	var blocks int64
 	for {
+		if e.cfg.Faults.WorkerCrash(e.cfg.Node, e.cfg.Name, w.id, blocks) {
+			e.crashed(w, blocks)
+			return
+		}
 		b, st := e.child.Next(w.ctx)
 		switch st {
 		case iterator.OK:
 			e.outTuples.Add(int64(b.NumTuples()))
 			e.outBlocks.Add(1)
 			e.buf.Insert(b)
+			blocks++
 		case iterator.Terminated:
 			return
 		case iterator.End:
@@ -212,6 +231,18 @@ func (e *Elastic) run(w *worker) {
 			return
 		}
 	}
+}
+
+// crashed records an injected worker crash on the telemetry scope.
+func (e *Elastic) crashed(w *worker, blocks int64) {
+	if e.cfg.Scope == nil {
+		return
+	}
+	e.cfg.Scope.Counter(telemetry.CtrFaultsInjected).Inc()
+	e.cfg.Scope.Emit(telemetry.FaultInjected{
+		Site: "worker", Fault: "crash",
+		Segment: e.cfg.Name, Worker: w.id, Seq: uint64(blocks),
+	})
 }
 
 func (e *Elastic) finish(w *worker) {
@@ -263,6 +294,17 @@ func (e *Elastic) Finished() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.sawEnd && e.active == 0
+}
+
+// Dead reports whether the pool has lost every worker without reaching
+// end-of-flow: it once had workers, none remain, no worker saw End, and
+// the iterator was not closed. A dead pool's consumer is blocked on the
+// joint buffer forever unless someone re-expands — the condition the
+// engine's recovery watchdog polls for after injected worker crashes.
+func (e *Elastic) Dead() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nextWID > 0 && e.active == 0 && !e.sawEnd && !e.closed
 }
 
 // ExpandDelays drains the recorded expansion delays (Figure 9a).

@@ -19,6 +19,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/faults"
 	"repro/internal/network"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
@@ -70,6 +71,15 @@ type Config struct {
 	ExchangeBuffer int
 	// BlockSize is the storage block payload size (default 64 KB).
 	BlockSize int
+	// Faults injects faults into the cluster's fabric and worker pools.
+	// Nil falls back to the process default (faults.Default()), which the
+	// -faults CLI flag installs; use faults.New to attach a private
+	// injector (tests schedule link severances and worker crashes on it).
+	Faults *faults.Injector
+	// Retry overrides the transports' reliable-send policy. Setting it
+	// forces the reliable (ack + retransmit) protocol on even without an
+	// injector; leave nil outside recovery tests.
+	Retry *network.RetryPolicy
 }
 
 func (c *Config) defaults() {
@@ -103,16 +113,33 @@ type Cluster struct {
 	cat    *catalog.Catalog
 	stores []*storage.Store
 	fabric network.Fabric
+	// faultInj is the resolved fault injector (Config.Faults or the
+	// process default at construction time); nil when faults are off.
+	faultInj *faults.Injector
 	// tcpNodes holds the sockets of a TCP-backed cluster, for Close.
 	tcpNodes map[int]*network.TCPNode
+}
+
+// resolveFaults picks the cluster's injector: an explicit Config.Faults
+// wins, otherwise the process default installed by the -faults flag.
+func (c *Config) resolveFaults() *faults.Injector {
+	if c.Faults != nil {
+		return c.Faults
+	}
+	return faults.Default()
 }
 
 // NewCluster creates a cluster with empty stores over the in-process
 // exchange fabric (optionally bandwidth-limited via NetBytesPerSec).
 func NewCluster(cfg Config, cat *catalog.Catalog) *Cluster {
 	cfg.defaults()
-	c := &Cluster{cfg: cfg, cat: cat,
-		fabric: network.InProcFabric{T: network.NewInProc(cfg.NetBytesPerSec)}}
+	inj := cfg.resolveFaults()
+	c := &Cluster{cfg: cfg, cat: cat, faultInj: inj,
+		fabric: network.InProcFabric{
+			T:      network.NewInProc(cfg.NetBytesPerSec),
+			Faults: inj,
+			Retry:  cfg.Retry,
+		}}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.stores = append(c.stores, storage.NewStore(cfg.Sockets))
 	}
@@ -125,6 +152,7 @@ func NewCluster(cfg Config, cat *catalog.Catalog) *Cluster {
 // cluster to release the sockets.
 func NewClusterTCP(cfg Config, cat *catalog.Catalog) (*Cluster, error) {
 	cfg.defaults()
+	inj := cfg.resolveFaults()
 	nodes := make(map[int]*network.TCPNode)
 	peers := make(map[int]string)
 	for i := 0; i <= cfg.Nodes; i++ { // slaves + master
@@ -135,10 +163,14 @@ func NewClusterTCP(cfg Config, cat *catalog.Catalog) (*Cluster, error) {
 			}
 			return nil, err
 		}
+		n.SetFaults(inj)
+		if cfg.Retry != nil {
+			n.SetRetryPolicy(*cfg.Retry)
+		}
 		nodes[i] = n
 		peers[i] = n.Addr() // the shared map is read lazily on dial
 	}
-	c := &Cluster{cfg: cfg, cat: cat,
+	c := &Cluster{cfg: cfg, cat: cat, faultInj: inj,
 		fabric:   network.NewTCPFabric(nodes),
 		tcpNodes: nodes,
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,10 +68,43 @@ type exec struct {
 	coreCur   []atomic.Int64 // per node, for core id assignment
 	stop      chan struct{}
 
+	// failOnce/failErr implement fail-fast teardown: the first error
+	// aborts every exchange so no sender, receiver or worker stays
+	// wedged on a dataflow that will never complete.
+	failOnce sync.Once
+	failMu   sync.Mutex
+	failErr  error
+
 	scope     *telemetry.Scope
 	memGauge  *telemetry.Gauge
 	traceSink *telemetry.MemSink // retains ParallelismSample events
 	startAt   time.Duration      // scope clock when execution began
+}
+
+// fail records the query's first error and tears the dataflow down:
+// every exchange (result collector included) is aborted, which fails
+// pending reliable sends, unblocks and drains all inboxes, and lets
+// every segment's workers and sender run to completion. Later errors —
+// typically the "exchange aborted" cascade from the teardown itself —
+// are dropped.
+func (e *exec) fail(err error) {
+	e.failOnce.Do(func() {
+		e.failMu.Lock()
+		e.failErr = err
+		e.failMu.Unlock()
+		e.scope.Emit(telemetry.QueryPhase{Phase: "error", Detail: err.Error()})
+		for _, ex := range e.exchanges {
+			ex.Abort()
+		}
+		e.resultEx.Abort()
+	})
+}
+
+// err returns the first recorded failure.
+func (e *exec) err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
 }
 
 // nodesOf lists the nodes a segment group is instantiated on.
@@ -171,6 +205,16 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 	samplerDone := make(chan struct{})
 	go e.sampler(samplerDone)
 
+	// Recovery watchdog: with faults in play, injected worker crashes
+	// can empty a pool mid-query; the watchdog re-expands dead pools on
+	// the surviving elastic path so the query degrades instead of
+	// hanging.
+	var watchdogDone chan struct{}
+	if c.faultInj.Enabled() {
+		watchdogDone = make(chan struct{})
+		go e.watchdog(watchdogDone)
+	}
+
 	// Execute under the selected mode.
 	var err error
 	switch c.cfg.Mode {
@@ -179,12 +223,22 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 	default:
 		err = e.runPipelined()
 	}
+	if err == nil {
+		err = e.err()
+	}
 	close(e.stop)
 	<-samplerDone
-	<-resDone
+	if watchdogDone != nil {
+		<-watchdogDone
+	}
 	if err != nil {
+		// The result reader unblocks because fail() abandoned the
+		// collector's inboxes.
+		e.fail(err)
+		<-resDone
 		return nil, err
 	}
+	<-resDone
 
 	// Final peak estimate: the exchange tracker records its own
 	// high-water mark (covering sub-sampling-interval queries), and
@@ -247,6 +301,7 @@ func (e *exec) instantiate(seg *plan.Segment, node int) (*segInst, error) {
 		Scope:           e.scope,
 		Name:            fmt.Sprintf("S%d", seg.ID),
 		Node:            node,
+		Faults:          e.c.faultInj,
 	})
 
 	// Output: the segment's exchange, or the result collector.
@@ -379,9 +434,51 @@ func (e *exec) startInst(inst *segInst, parallelism int) {
 	go func() {
 		defer close(inst.done)
 		ctx := &iterator.Ctx{Term: &iterator.TermFlag{}}
-		_ = inst.sender.Run(ctx)
+		if err := inst.sender.Run(ctx); err != nil {
+			e.fail(fmt.Errorf("segment S%d on node %d: %w", inst.seg.ID, inst.node, err))
+		}
 		inst.el.Close()
 	}()
+}
+
+// maxRecoveryExpands bounds watchdog re-expansions per query, so a
+// pathological crash schedule cannot spin the pool forever.
+const maxRecoveryExpands = 256
+
+// watchdog polls for dead worker pools (every worker crashed before
+// end-of-flow) and re-expands them through the ordinary elastic expand
+// path — graceful degradation onto the surviving workers instead of a
+// wedged query. Only started when the cluster's fault injector is
+// enabled.
+func (e *exec) watchdog(done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	expands := 0
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+		}
+		for _, inst := range e.insts {
+			if !inst.el.Dead() {
+				continue
+			}
+			if expands >= maxRecoveryExpands {
+				e.fail(fmt.Errorf("engine: recovery budget exhausted after %d re-expansions", expands))
+				return
+			}
+			if e.expand(inst) {
+				expands++
+				e.scope.Counter(telemetry.CtrRecoverExpands).Inc()
+				e.scope.Emit(telemetry.Recovery{
+					Node: inst.node, Segment: fmt.Sprintf("S%d", inst.seg.ID),
+					Action: "re-expand", Workers: inst.el.Parallelism(),
+				})
+			}
+		}
+	}
 }
 
 // expand adds one worker to an instance, assigning a core and socket.

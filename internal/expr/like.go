@@ -67,6 +67,14 @@ func (l *Like) Match(s string) bool {
 	}
 	rest := s
 	for i, seg := range l.segs {
+		// Without a trailing %, the final segment must sit at the very end
+		// of the string; its leftmost occurrence may end too early.
+		if i == len(l.segs)-1 && !l.trailPct {
+			if !strings.HasSuffix(rest, seg) {
+				return false
+			}
+			return l.leadPct || i > 0 || len(rest) == len(seg)
+		}
 		idx := strings.Index(rest, seg)
 		if idx < 0 {
 			return false
@@ -75,9 +83,6 @@ func (l *Like) Match(s string) bool {
 			return false
 		}
 		rest = rest[idx+len(seg):]
-	}
-	if !l.trailPct && rest != "" {
-		return false
 	}
 	return true
 }
@@ -89,12 +94,14 @@ func likeGeneral(s, p string) bool {
 	star, sStar := -1, 0
 	for si < len(s) {
 		switch {
-		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
-			si++
-			pi++
+		// The wildcard case must precede the literal case: a '%' in the
+		// pattern aligned with a literal '%' byte in s is still a wildcard.
 		case pi < len(p) && p[pi] == '%':
 			star = pi
 			sStar = si
+			pi++
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
 			pi++
 		case star >= 0:
 			sStar++

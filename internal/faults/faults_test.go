@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := Parse("drop=0.01,delay=5ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Drop != 0.01 || cfg.Delay != 5*time.Millisecond || cfg.Seed != 7 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.DelayProb != 1 {
+		t.Fatalf("delayp should default to 1 when delay set, got %g", cfg.DelayProb)
+	}
+	cfg, err = Parse(" dup=0.5 , corrupt=0.25 , crashworker=0.1 , delayp=0.5 , delay=1s ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dup != 0.5 || cfg.Corrupt != 0.25 || cfg.CrashWorker != 0.1 || cfg.DelayProb != 0.5 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg, err := Parse(""); err != nil || !cfg.zero() {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"drop=2", "drop=x", "nope=1", "delay=-3ms", "drop"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFrameVerdictsDeterministic(t *testing.T) {
+	a := New(Config{Seed: 7, Drop: 0.3, Dup: 0.2, Corrupt: 0.1, Delay: time.Millisecond})
+	b := New(Config{Seed: 7, Drop: 0.3, Dup: 0.2, Corrupt: 0.1, Delay: time.Millisecond})
+	for seq := uint64(0); seq < 500; seq++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			va := a.Frame(0, 1, 5, seq, attempt)
+			vb := b.Frame(0, 1, 5, seq, attempt)
+			if va != vb {
+				t.Fatalf("seq %d attempt %d: %+v != %+v", seq, attempt, va, vb)
+			}
+		}
+	}
+}
+
+func TestFrameProbabilitiesRoughlyCalibrated(t *testing.T) {
+	j := New(Config{Seed: 3, Drop: 0.2})
+	drops := 0
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		if j.Frame(1, 2, 0, seq, 0).Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.2) > 0.02 {
+		t.Fatalf("drop rate %g, want ~0.2", got)
+	}
+}
+
+func TestSeverHealAndNodeCrash(t *testing.T) {
+	j := New(Config{})
+	if j.Severed(0, 1) {
+		t.Fatal("fresh injector severs nothing")
+	}
+	j.SeverLink(0, 1)
+	if !j.Severed(0, 1) || j.Severed(1, 0) {
+		t.Fatal("sever is directed")
+	}
+	j.HealLink(0, 1)
+	if j.Severed(0, 1) {
+		t.Fatal("heal did not restore the link")
+	}
+	j.CrashNode(2)
+	if !j.NodeCrashed(2) || !j.Severed(2, 0) || !j.Severed(1, 2) {
+		t.Fatal("node crash must sever all touching links")
+	}
+}
+
+func TestPlanSeverFiresMidStream(t *testing.T) {
+	j := New(Config{})
+	j.PlanSever(0, 1, 3)
+	for i := 0; i < 3; i++ {
+		j.Frame(0, 1, 0, uint64(i), 0)
+		if j.Severed(0, 1) {
+			t.Fatalf("severed after only %d frames", i+1)
+		}
+	}
+	j.Frame(0, 1, 0, 3, 0)
+	if !j.Severed(0, 1) {
+		t.Fatal("plan did not fire after the 4th frame")
+	}
+}
+
+func TestPlanWorkerCrashFiresOnce(t *testing.T) {
+	j := New(Config{})
+	j.PlanWorkerCrash("S1", 2)
+	if j.WorkerCrash(0, "S0", 0, 5) {
+		t.Fatal("wrong segment crashed")
+	}
+	if j.WorkerCrash(0, "S1", 0, 1) {
+		t.Fatal("crashed before afterBlocks")
+	}
+	if !j.WorkerCrash(0, "S1", 0, 2) {
+		t.Fatal("plan should fire at block 2")
+	}
+	if j.WorkerCrash(0, "S1", 1, 2) {
+		t.Fatal("plan must fire exactly once")
+	}
+	j.PlanWorkerCrash("*", 0)
+	if !j.WorkerCrash(3, "Sx", 7, 0) {
+		t.Fatal("wildcard plan should match any segment")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var j *Injector
+	if j.Enabled() || j.Severed(0, 1) || j.NodeCrashed(0) ||
+		j.WorkerCrash(0, "S0", 0, 0) || j.Frame(0, 1, 0, 0, 0).Faulty() {
+		t.Fatal("nil injector must inject nothing")
+	}
+	if j.Summary() == "" {
+		t.Fatal("nil summary")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if New(Config{Seed: 9}).Enabled() {
+		t.Fatal("zero config with only a seed is not enabled")
+	}
+	if !New(Config{Drop: 0.1}).Enabled() {
+		t.Fatal("drop config is enabled")
+	}
+	j := New(Config{})
+	j.SeverLink(0, 1)
+	if !j.Enabled() {
+		t.Fatal("programmatic severance enables the injector")
+	}
+	j2 := New(Config{})
+	j2.PlanWorkerCrash("*", 0)
+	if !j2.Enabled() {
+		t.Fatal("crash plan enables the injector")
+	}
+}
+
+func TestDefaultInjector(t *testing.T) {
+	defer SetDefault(nil)
+	if Default() != nil {
+		SetDefault(nil)
+	}
+	j := New(Config{Drop: 0.5})
+	SetDefault(j)
+	if Default() != j {
+		t.Fatal("default injector not installed")
+	}
+}

@@ -96,7 +96,10 @@ func NewSender(child Iterator, sch *types.Schema, out Outbox, part PartitionFn) 
 func (s *Sender) SetBlockSize(n int) { s.blockSize = n }
 
 // Run drives the sender to completion: open child, pump all blocks,
-// close the streams. It returns the first error from the outbox.
+// close the streams. It returns the first error from the outbox; even
+// then the streams are closed best-effort, so downstream consumers of a
+// failed exchange are not left waiting for end-of-stream markers that
+// will never come.
 func (s *Sender) Run(ctx *Ctx) error {
 	n := s.out.Destinations()
 	s.pending = make([]*block.Block, n)
@@ -110,12 +113,14 @@ func (s *Sender) Run(ctx *Ctx) error {
 			break
 		}
 		if err := s.route(b); err != nil {
+			_ = s.out.CloseSend()
 			return err
 		}
 	}
 	for d, p := range s.pending {
 		if p != nil && p.NumTuples() > 0 {
 			if err := s.ship(d, p); err != nil {
+				_ = s.out.CloseSend()
 				return err
 			}
 		}

@@ -3,8 +3,10 @@ package network
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
+	"repro/internal/faults"
 	"repro/internal/iterator"
 	"repro/internal/telemetry"
 	"repro/internal/types"
@@ -30,6 +32,10 @@ type Fabric interface {
 type FabricExchange interface {
 	Inbox(i int) *Inbox
 	Outbox(producerNode int) iterator.Outbox
+	// Abort abandons the exchange after a query failure: inboxes
+	// unblock and discard, pending reliable sends fail fast. Idempotent;
+	// safe to call concurrently with senders and receivers.
+	Abort()
 }
 
 // scopedOutbox is the shared telemetry shim both transports wrap their
@@ -91,19 +97,34 @@ func (o *scopedOutbox) CloseSend() error { return o.inner.CloseSend() }
 
 // --- in-process fabric -------------------------------------------------------
 
-// InProcFabric adapts InProc to the Fabric interface.
-type InProcFabric struct{ T *InProc }
+// InProcFabric adapts InProc to the Fabric interface. Faults optionally
+// attaches a fault injector: in-process "frames" (block handoffs) then
+// pass through the same drop/delay/duplicate/corrupt verdicts as TCP
+// frames, with loss surfacing as a backoff-and-retransmit delay and
+// duplicates suppressed by the receiver model — so fault schedules run
+// identically against both fabrics. Retry overrides the backoff policy.
+type InProcFabric struct {
+	T      *InProc
+	Faults *faults.Injector
+	Retry  *RetryPolicy
+}
 
 // NewExchange implements Fabric. The in-process transport moves blocks
 // by pointer, so the schema is not needed for decoding.
 func (f InProcFabric) NewExchange(id, producers int, consumerNodes []int,
 	_ *types.Schema, bufBlocks int, tracker *block.Tracker,
 	scope *telemetry.Scope) FabricExchange {
+	pol := DefaultRetryPolicy
+	if f.Retry != nil {
+		pol = f.Retry.withDefaults()
+	}
 	return inprocExchange{
 		ex:            f.T.NewExchange(id, producers, consumerNodes, bufBlocks, tracker),
 		scope:         scope,
 		id:            id,
 		consumerNodes: consumerNodes,
+		inj:           f.Faults,
+		pol:           pol,
 	}
 }
 
@@ -117,12 +138,149 @@ type inprocExchange struct {
 	scope         *telemetry.Scope
 	id            int
 	consumerNodes []int
+	inj           *faults.Injector
+	pol           RetryPolicy
 }
 
 func (e inprocExchange) Inbox(i int) *Inbox { return e.ex.Inbox(i) }
 
+func (e inprocExchange) Abort() { e.ex.Abort() }
+
 func (e inprocExchange) Outbox(node int) iterator.Outbox {
-	return wrapOutbox(e.ex.Outbox(node), e.scope, e.id, node, e.consumerNodes)
+	var inner iterator.Outbox = e.ex.Outbox(node)
+	if e.inj.Enabled() {
+		inner = &faultyOutbox{
+			inner:         inner,
+			inj:           e.inj,
+			pol:           e.pol,
+			scope:         e.scope,
+			exchange:      e.id,
+			node:          node,
+			consumerNodes: e.consumerNodes,
+			seqs:          make([]uint64, len(e.consumerNodes)),
+			abort:         e.ex.abortCh,
+		}
+	}
+	return wrapOutbox(inner, e.scope, e.id, node, e.consumerNodes)
+}
+
+// faultyOutbox subjects in-process block handoffs to the fault
+// injector, mirroring the TCP reliable path's observable behavior:
+// dropped or corrupted frames cost an ack-timeout backoff and a
+// retransmission, delays sleep, duplicates are suppressed at the
+// receiver (the transport moves pointers, so applying one would corrupt
+// shared state — suppression is mandatory, and counted like TCP's
+// dedupe), and a severed link fails the send.
+type faultyOutbox struct {
+	inner         iterator.Outbox
+	inj           *faults.Injector
+	pol           RetryPolicy
+	scope         *telemetry.Scope
+	exchange      int
+	node          int
+	consumerNodes []int
+	seqs          []uint64
+	abort         <-chan struct{}
+}
+
+// Destinations implements iterator.Outbox.
+func (o *faultyOutbox) Destinations() int { return o.inner.Destinations() }
+
+// Send implements iterator.Outbox.
+func (o *faultyOutbox) Send(dest int, b *block.Block) error {
+	return o.ship(dest, func() error { return o.inner.Send(dest, b) })
+}
+
+// CloseSend implements iterator.Outbox. End-of-stream markers pay the
+// same fault schedule per destination, then close the inner streams.
+func (o *faultyOutbox) CloseSend() error {
+	for dest := range o.consumerNodes {
+		if err := o.ship(dest, func() error { return nil }); err != nil {
+			return err
+		}
+	}
+	return o.inner.CloseSend()
+}
+
+// ship runs one logical frame through the fault/retry loop and calls
+// deliver on success.
+func (o *faultyOutbox) ship(dest int, deliver func() error) error {
+	to := o.consumerNodes[dest]
+	seq := o.seqs[dest]
+	o.seqs[dest]++
+	if to == o.node {
+		// Same-node traffic bypasses the emulated wire, faults included.
+		return deliver()
+	}
+	deadline := time.Now().Add(o.pol.Deadline)
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-o.abort:
+			return fmt.Errorf("network: exchange %d aborted", o.exchange)
+		default:
+		}
+		if o.inj.Severed(o.node, to) {
+			o.emitFault("sever", to, seq, 0)
+			return fmt.Errorf("network: link %d->%d severed", o.node, to)
+		}
+		v := o.inj.Frame(o.node, to, o.exchange, seq, attempt)
+		if v.Delay > 0 {
+			o.emitFault("delay", to, seq, v.Delay)
+			time.Sleep(v.Delay)
+		}
+		if !v.Drop && !v.Corrupt {
+			if v.Dup {
+				// The duplicate "arrives" and is suppressed by sequence
+				// number, exactly like the TCP receiver's dedupe.
+				o.emitFault("dup", to, seq, 0)
+				if o.scope != nil {
+					o.scope.Counter(telemetry.CtrNetDupDropped).Inc()
+					o.scope.Emit(telemetry.Recovery{Node: to, Action: "dup-drop"})
+				}
+			}
+			return deliver()
+		}
+		// Lost (or checksum-failed) frame: the sender waits out the ack
+		// timeout, then retransmits.
+		kind := "drop"
+		if v.Corrupt {
+			kind = "corrupt"
+			if o.scope != nil {
+				o.scope.Counter(telemetry.CtrNetCorruptDropped).Inc()
+			}
+		}
+		o.emitFault(kind, to, seq, 0)
+		wait := o.pol.Timeout(attempt, seq*0x9e3779b97f4a7c15+uint64(attempt))
+		timer := time.NewTimer(wait)
+		select {
+		case <-o.abort:
+			timer.Stop()
+			return fmt.Errorf("network: exchange %d aborted", o.exchange)
+		case <-timer.C:
+		}
+		if (o.pol.MaxAttempts > 0 && attempt+1 >= o.pol.MaxAttempts) || time.Now().After(deadline) {
+			return fmt.Errorf("network: send to node %d (exchange %d, seq %d) undeliverable after %d attempts",
+				to, o.exchange, seq, attempt+1)
+		}
+		if o.scope != nil {
+			o.scope.Counter(telemetry.CtrNetRetries).Inc()
+			o.scope.Emit(telemetry.NetRetry{
+				Exchange: o.exchange, From: o.node, To: to, Seq: seq,
+				Attempt: attempt + 1, Backoff: wait, Cause: "timeout",
+			})
+		}
+	}
+}
+
+func (o *faultyOutbox) emitFault(kind string, to int, seq uint64, d time.Duration) {
+	if o.scope == nil {
+		return
+	}
+	o.scope.Counter(telemetry.CtrFaultsInjected).Inc()
+	o.scope.Emit(telemetry.FaultInjected{
+		Site: "link", Fault: kind, From: o.node, To: to,
+		Exchange: o.exchange, Seq: seq, Delay: d,
+	})
 }
 
 // --- TCP fabric ---------------------------------------------------------------
@@ -155,10 +313,18 @@ func (f *TCPFabric) NewExchange(id, producers int, consumerNodes []int,
 		if !ok {
 			panic(fmt.Sprintf("network: TCP fabric has no node %d", cn))
 		}
+		node.SetExchangeScope(id, scope)
 		ex.inboxes = append(ex.inboxes,
 			node.RegisterInbox(id, i, producers, sch, bufBlocks, tracker))
 	}
 	return ex
+}
+
+// SetFaults attaches one injector to every node of the fabric.
+func (f *TCPFabric) SetFaults(j *faults.Injector) {
+	for _, n := range f.nodes {
+		n.SetFaults(j)
+	}
 }
 
 // NodeEgressBytes implements Fabric.
@@ -180,14 +346,24 @@ type tcpExchange struct {
 // Inbox implements FabricExchange.
 func (e *tcpExchange) Inbox(i int) *Inbox { return e.inboxes[i] }
 
+// Abort implements FabricExchange: every node of the fabric abandons
+// the exchange, so senders, read loops and consumers all unwedge.
+func (e *tcpExchange) Abort() {
+	for _, n := range e.fabric.nodes {
+		n.AbortExchange(e.id)
+	}
+}
+
 // Outbox implements FabricExchange.
 func (e *tcpExchange) Outbox(producerNode int) iterator.Outbox {
 	node, ok := e.fabric.nodes[producerNode]
 	if !ok {
 		panic(fmt.Sprintf("network: TCP fabric has no node %d", producerNode))
 	}
+	ob := node.NewOutbox(e.id, e.consumerNodes)
+	ob.SetScope(e.scope)
 	inner := &countingOutbox{
-		inner:   node.NewOutbox(e.id, e.consumerNodes),
+		inner:   ob,
 		counter: e.fabric.egress[producerNode],
 	}
 	return wrapOutbox(inner, e.scope, e.id, producerNode, e.consumerNodes)

@@ -65,6 +65,7 @@ type Exchange struct {
 	consumerNodes []int
 	producers     int
 	inboxes       []*Inbox
+	abortCh       chan struct{}
 }
 
 // NewExchange declares an exchange: producers instances will send to
@@ -78,6 +79,7 @@ func (t *InProc) NewExchange(id, producers int, consumerNodes []int,
 		tr: t, id: id,
 		consumerNodes: consumerNodes,
 		producers:     producers,
+		abortCh:       make(chan struct{}),
 	}
 	for range consumerNodes {
 		ex.inboxes = append(ex.inboxes, newInbox(producers, bufBlocks, tracker))
@@ -87,6 +89,19 @@ func (t *InProc) NewExchange(id, producers int, consumerNodes []int,
 
 // Inbox returns consumer instance i's inbox.
 func (e *Exchange) Inbox(i int) *Inbox { return e.inboxes[i] }
+
+// Abort abandons the exchange: every inbox unblocks and discards, and
+// pending fault-path retries fail fast. Idempotent.
+func (e *Exchange) Abort() {
+	select {
+	case <-e.abortCh:
+	default:
+		close(e.abortCh)
+	}
+	for _, in := range e.inboxes {
+		in.Abandon()
+	}
+}
 
 // Outbox returns an outbox for the producer instance running on the
 // given node.
@@ -134,10 +149,11 @@ type Inbox struct {
 	capB     int // <=0: unbounded
 	expected int
 	done     int
-	tracker  *block.Tracker
-	buffered int64
-	peakBuf  int64
-	received int64
+	tracker   *block.Tracker
+	buffered  int64
+	peakBuf   int64
+	received  int64
+	abandoned bool
 }
 
 func newInbox(producers, capB int, tracker *block.Tracker) *Inbox {
@@ -150,8 +166,11 @@ func newInbox(producers, capB int, tracker *block.Tracker) *Inbox {
 func (in *Inbox) put(b *block.Block) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for in.capB > 0 && len(in.queue) >= in.capB {
+	for in.capB > 0 && len(in.queue) >= in.capB && !in.abandoned {
 		in.notFull.Wait()
+	}
+	if in.abandoned {
+		return // dead dataflow: drop instead of wedging the producer
 	}
 	in.queue = append(in.queue, b)
 	in.received += int64(b.NumTuples())
@@ -257,4 +276,28 @@ func (in *Inbox) PeakBufferedBytes() int64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.peakBuf
+}
+
+// Abandon marks the inbox dead: buffered blocks are discarded (their
+// tracker bytes freed), blocked producers drop instead of waiting, and
+// every Recv — current or future — returns EOF. The engine abandons all
+// inboxes of a failed query so neither the transport read loops nor the
+// consuming workers stay wedged on a dataflow that will never drain.
+func (in *Inbox) Abandon() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.abandoned {
+		return
+	}
+	in.abandoned = true
+	if in.tracker != nil && in.buffered > 0 {
+		in.tracker.Free(in.buffered)
+	}
+	in.queue = nil
+	in.buffered = 0
+	if in.done < in.expected {
+		in.done = in.expected
+	}
+	in.notEmpty.Broadcast()
+	in.notFull.Broadcast()
 }

@@ -1,0 +1,73 @@
+package network
+
+import "time"
+
+// RetryPolicy governs the reliable send path of the transports: how
+// long to wait for a frame acknowledgement before retransmitting, and
+// when to give up. Backoff is exponential from Base to Max with
+// deterministic jitter, so a retry storm from many senders decorrelates
+// without losing reproducibility.
+type RetryPolicy struct {
+	// MaxAttempts bounds transmissions per frame (0 = bounded only by
+	// Deadline).
+	MaxAttempts int
+	// Base is the first ack-wait timeout.
+	Base time.Duration
+	// Max caps the exponential backoff.
+	Max time.Duration
+	// Deadline is the total per-send budget; a send that cannot be
+	// acknowledged within it fails.
+	Deadline time.Duration
+	// Jitter is the fraction of the backoff randomized (±Jitter/2),
+	// drawn deterministically from the frame coordinates.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the transports' default reliable-send policy.
+// The generous deadline keeps backpressure stalls (a full inbox delays
+// the ack of the next frame) from masquerading as loss.
+var DefaultRetryPolicy = RetryPolicy{
+	Base:     25 * time.Millisecond,
+	Max:      2 * time.Second,
+	Deadline: 30 * time.Second,
+	Jitter:   0.2,
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = DefaultRetryPolicy.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetryPolicy.Max
+	}
+	if p.Deadline <= 0 {
+		p.Deadline = DefaultRetryPolicy.Deadline
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Timeout returns the ack-wait timeout for the given attempt (0-based):
+// Base·2^attempt capped at Max, jittered by ±Jitter/2 using the hash h
+// as the deterministic randomness source.
+func (p RetryPolicy) Timeout(attempt int, h uint64) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		// frac in [-0.5, 0.5) of the jitter band.
+		frac := float64(h>>11)/float64(1<<53) - 0.5
+		d += time.Duration(frac * p.Jitter * float64(d))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+	}
+	return d
+}

@@ -4,12 +4,17 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
+	"repro/internal/faults"
 	"repro/internal/iterator"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -18,22 +23,39 @@ import (
 // single connection pair per peer. Frames are length-prefixed:
 //
 //	uint32 frameLen | uint32 exchangeID | uint32 destInstance |
-//	uint8  kind (0=data, 1=eof) | payload (encoded block)
+//	uint8  kind (0=data, 1=eof, 2=ack) | uint32 srcNode |
+//	uint64 seq | uint32 checksum | payload (encoded block)
+//
+// Every data/eof frame carries a per-stream sequence number (stream =
+// exchange × destination instance × source node) and a CRC of its
+// payload. The receiver applies each sequence number at most once, so
+// retransmissions and injected duplicates never double-apply; corrupted
+// frames fail the checksum and are dropped, forcing a retransmit.
+//
+// When a fault injector is attached (or a retry policy is forced), the
+// node runs its reliable path: the receiver acknowledges every applied
+// frame, and Send retransmits on ack timeout with exponential backoff
+// plus jitter until the policy's deadline. Without an injector the wire
+// is a healthy TCP socket, so Send stays fire-and-forget and pays no
+// round trip.
 //
 // The receiving loop is the per-node "merging thread" of Appendix
 // Algorithm 5: it keeps draining the socket into inboxes even while the
-// consuming segments are fully shrunk.
-
-const (
-	frameData = 0
-	frameEOF  = 1
-)
-
-// TCPNode is one process's endpoint in a TCP-connected cluster.
+// consuming segments are fully shrunk. Acknowledgements are written
+// BEFORE the (possibly blocking) inbox insert: the sender is
+// synchronous per stream, so at most one unapplied frame per stream is
+// in flight and backpressure propagates through the ack of the next
+// frame — while acks themselves are never stuck behind a full inbox,
+// which would deadlock two nodes exchanging data in both directions.
 type TCPNode struct {
 	id    int
 	ln    net.Listener
 	peers map[int]string // node id → address
+
+	flts   atomic.Pointer[faults.Injector]
+	retry  atomic.Pointer[RetryPolicy]
+	forced atomic.Bool // reliable path on even without an injector
+	epoch  atomic.Uint32
 
 	mu       sync.Mutex
 	conns    map[int]*tcpConn
@@ -41,13 +63,43 @@ type TCPNode struct {
 	inboxes  map[inboxKey]*Inbox
 	schemas  map[int]*types.Schema
 	trackers map[int]*block.Tracker
+	scopes   map[int]*telemetry.Scope
+	streams  map[streamKey]uint64 // next expected seq per stream
+	aborts   map[int]chan struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	ackMu sync.Mutex
+	acks  map[ackKey]chan struct{}
 }
+
+const (
+	frameData = 0
+	frameEOF  = 1
+	frameAck  = 2
+)
+
+// headerLen is the fixed frame header: frameLen(4) exchange(4) inst(4)
+// kind(1) srcNode(4) seq(8) checksum(4).
+const headerLen = 4 + 4 + 4 + 1 + 4 + 8 + 4
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 type inboxKey struct {
 	exchange int
 	instance int
+}
+
+type streamKey struct {
+	exchange int
+	instance int
+	src      int
+}
+
+type ackKey struct {
+	exchange int
+	instance int
+	seq      uint64
 }
 
 type tcpConn struct {
@@ -69,6 +121,10 @@ func NewTCPNode(id int, addr string, peers map[int]string) (*TCPNode, error) {
 		inboxes:  make(map[inboxKey]*Inbox),
 		schemas:  make(map[int]*types.Schema),
 		trackers: make(map[int]*block.Tracker),
+		scopes:   make(map[int]*telemetry.Scope),
+		streams:  make(map[streamKey]uint64),
+		aborts:   make(map[int]chan struct{}),
+		acks:     make(map[ackKey]chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -77,6 +133,35 @@ func NewTCPNode(id int, addr string, peers map[int]string) (*TCPNode, error) {
 
 // Addr returns the node's bound listen address.
 func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// SetFaults attaches a fault injector consulted on every outgoing
+// frame. Attach the SAME injector to every node of a mesh: an enabled
+// injector switches the node into its reliable (ack + retransmit)
+// protocol, and senders and receivers must agree on it.
+func (n *TCPNode) SetFaults(j *faults.Injector) { n.flts.Store(j) }
+
+// SetRetryPolicy overrides the reliable-send policy and forces the
+// reliable protocol on even without a fault injector (tests use it to
+// exercise retry paths against real peer failures).
+func (n *TCPNode) SetRetryPolicy(p RetryPolicy) {
+	p = p.withDefaults()
+	n.retry.Store(&p)
+	n.forced.Store(true)
+}
+
+func (n *TCPNode) faults() *faults.Injector { return n.flts.Load() }
+
+func (n *TCPNode) policy() RetryPolicy {
+	if p := n.retry.Load(); p != nil {
+		return *p
+	}
+	return DefaultRetryPolicy
+}
+
+// reliable reports whether the node runs the ack + retransmit protocol.
+func (n *TCPNode) reliable() bool {
+	return n.forced.Load() || n.faults().Enabled()
+}
 
 func (n *TCPNode) acceptLoop() {
 	defer n.wg.Done()
@@ -115,20 +200,98 @@ func (n *TCPNode) RegisterInbox(exchange, instance, nProducers int,
 	return in
 }
 
-func (n *TCPNode) inbox(exchange, instance int) (*Inbox, *types.Schema, *block.Tracker, error) {
+// SetExchangeScope attaches the telemetry scope receiver-side events of
+// an exchange (duplicate suppression, corrupt-frame drops) are counted
+// on.
+func (n *TCPNode) SetExchangeScope(exchange int, sc *telemetry.Scope) {
+	n.mu.Lock()
+	n.scopes[exchange] = sc
+	n.mu.Unlock()
+}
+
+// AbortExchange abandons an exchange: pending reliable sends fail
+// immediately, future sends fail fast, and the exchange's inboxes on
+// this node unblock and discard. The engine calls it on every node when
+// a query errors, so no goroutine stays wedged on a dead dataflow.
+func (n *TCPNode) AbortExchange(exchange int) {
+	n.mu.Lock()
+	ch, ok := n.aborts[exchange]
+	if !ok {
+		ch = make(chan struct{})
+		n.aborts[exchange] = ch
+	}
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+	var ins []*Inbox
+	for k, in := range n.inboxes {
+		if k.exchange == exchange {
+			ins = append(ins, in)
+		}
+	}
+	n.mu.Unlock()
+	for _, in := range ins {
+		in.Abandon()
+	}
+}
+
+// abortCh returns the exchange's abort channel, creating it open.
+func (n *TCPNode) abortCh(exchange int) chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.aborts[exchange]
+	if !ok {
+		ch = make(chan struct{})
+		n.aborts[exchange] = ch
+	}
+	return ch
+}
+
+// resetAbort reopens an exchange's abort state for reuse by a new
+// query (plan exchange ids repeat across queries on one cluster).
+func (n *TCPNode) resetAbort(exchange int) {
+	n.mu.Lock()
+	if ch, ok := n.aborts[exchange]; ok {
+		select {
+		case <-ch:
+			n.aborts[exchange] = make(chan struct{})
+		default:
+		}
+	}
+	n.mu.Unlock()
+}
+
+func (n *TCPNode) inbox(exchange, instance int) (*Inbox, *types.Schema, *block.Tracker, *telemetry.Scope, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	in, ok := n.inboxes[inboxKey{exchange, instance}]
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("network: no inbox for exchange %d instance %d", exchange, instance)
+		return nil, nil, nil, nil, fmt.Errorf("network: no inbox for exchange %d instance %d", exchange, instance)
 	}
-	return in, n.schemas[exchange], n.trackers[exchange], nil
+	return in, n.schemas[exchange], n.trackers[exchange], n.scopes[exchange], nil
+}
+
+// applyOnce reports whether the frame (stream, seq) should be applied:
+// it advances the stream watermark exactly once per sequence number.
+// The sender is synchronous per stream, so frames arrive in order and
+// any seq below the watermark is a duplicate (retransmit racing a late
+// ack, or an injected duplicate).
+func (n *TCPNode) applyOnce(k streamKey, seq uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if next, ok := n.streams[k]; ok && seq < next {
+		return false
+	}
+	n.streams[k] = seq + 1
+	return true
 }
 
 func (n *TCPNode) readLoop(c net.Conn) {
 	defer c.Close()
 	r := bufio.NewReaderSize(c, 1<<20)
-	var hdr [13]byte
+	var hdr [headerLen]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
@@ -137,14 +300,46 @@ func (n *TCPNode) readLoop(c net.Conn) {
 		exID := int(binary.LittleEndian.Uint32(hdr[4:]))
 		inst := int(binary.LittleEndian.Uint32(hdr[8:]))
 		kind := hdr[12]
+		src := int(int32(binary.LittleEndian.Uint32(hdr[13:])))
+		seq := binary.LittleEndian.Uint64(hdr[17:])
+		sum := binary.LittleEndian.Uint32(hdr[25:])
 		payload := make([]byte, frameLen)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
-		in, sch, trk, err := n.inbox(exID, inst)
+
+		if kind == frameAck {
+			n.dispatchAck(ackKey{exID, inst, seq})
+			continue
+		}
+		in, sch, trk, scope, err := n.inbox(exID, inst)
 		if err != nil {
 			continue // stray frame for an unregistered exchange
 		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			// Corrupted in transit: drop without acking so the sender
+			// retransmits. This is the recovery path injected Corrupt
+			// faults exercise.
+			if scope != nil {
+				scope.Counter(telemetry.CtrNetCorruptDropped).Inc()
+			}
+			continue
+		}
+		sk := streamKey{exID, inst, src}
+		if !n.applyOnce(sk, seq) {
+			// Duplicate: suppress, but re-acknowledge — the original ack
+			// may have been lost to the sender's timeout.
+			if scope != nil {
+				scope.Counter(telemetry.CtrNetDupDropped).Inc()
+				scope.Emit(telemetry.Recovery{Node: n.id, Action: "dup-drop"})
+			}
+			n.sendAck(src, exID, inst, seq)
+			continue
+		}
+		// Ack before the (possibly blocking) inbox insert; see the type
+		// comment for why this ordering is deadlock-free and still
+		// backpressured.
+		n.sendAck(src, exID, inst, seq)
 		switch kind {
 		case frameEOF:
 			in.producerDone()
@@ -154,6 +349,51 @@ func (n *TCPNode) readLoop(c net.Conn) {
 				in.put(b)
 			}
 		}
+	}
+}
+
+// sendAck acknowledges frame (exchange, inst, seq) back to the source
+// node. Only meaningful under the reliable protocol; otherwise no one
+// is waiting, so skip the reverse traffic.
+func (n *TCPNode) sendAck(src, exchange, inst int, seq uint64) {
+	if !n.reliable() {
+		return
+	}
+	c, err := n.conn(src)
+	if err != nil {
+		return // the sender will time out and retransmit
+	}
+	if err := c.send(exchange, inst, frameAck, n.id, seq, 0, nil); err != nil {
+		n.dropConn(src, c)
+	}
+}
+
+// registerAck installs a waiter channel for the frame's ack.
+func (n *TCPNode) registerAck(k ackKey) chan struct{} {
+	ch := make(chan struct{})
+	n.ackMu.Lock()
+	n.acks[k] = ch
+	n.ackMu.Unlock()
+	return ch
+}
+
+func (n *TCPNode) unregisterAck(k ackKey) {
+	n.ackMu.Lock()
+	delete(n.acks, k)
+	n.ackMu.Unlock()
+}
+
+// dispatchAck wakes the waiter of an arrived ack; duplicate acks (from
+// re-acked retransmissions) find no waiter and are ignored.
+func (n *TCPNode) dispatchAck(k ackKey) {
+	n.ackMu.Lock()
+	ch, ok := n.acks[k]
+	if ok {
+		delete(n.acks, k)
+	}
+	n.ackMu.Unlock()
+	if ok {
+		close(ch)
 	}
 }
 
@@ -180,12 +420,26 @@ func (n *TCPNode) conn(peer int) (*tcpConn, error) {
 	return c, nil
 }
 
-func (c *tcpConn) send(exID, inst int, kind byte, payload []byte) error {
-	var hdr [13]byte
+// dropConn invalidates a cached connection after a write error so the
+// next attempt redials instead of reusing a dead socket.
+func (n *TCPNode) dropConn(peer int, c *tcpConn) {
+	n.mu.Lock()
+	if cur, ok := n.conns[peer]; ok && cur == c {
+		delete(n.conns, peer)
+	}
+	n.mu.Unlock()
+	c.c.Close()
+}
+
+func (c *tcpConn) send(exID, inst int, kind byte, src int, seq uint64, sum uint32, payload []byte) error {
+	var hdr [headerLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(exID))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(inst))
 	hdr[12] = kind
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(src))
+	binary.LittleEndian.PutUint64(hdr[17:], seq)
+	binary.LittleEndian.PutUint32(hdr[25:], sum)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.w.Write(hdr[:]); err != nil {
@@ -203,39 +457,178 @@ type TCPOutbox struct {
 	exchange      int
 	consumerNodes []int // node id per destination instance
 	buf           []byte
+	seqs          []uint64 // next seq per destination
+	scope         *telemetry.Scope
 }
 
 // NewOutbox creates an outbox sending from this node to the consumer
-// instances located on the given nodes.
+// instances located on the given nodes. Sequence numbers are based on a
+// node-wide epoch so streams of consecutive queries reusing an exchange
+// id never collide.
 func (n *TCPNode) NewOutbox(exchange int, consumerNodes []int) *TCPOutbox {
-	return &TCPOutbox{node: n, exchange: exchange, consumerNodes: consumerNodes}
+	n.resetAbort(exchange)
+	base := uint64(n.epoch.Add(1)) << 32
+	seqs := make([]uint64, len(consumerNodes))
+	for i := range seqs {
+		seqs[i] = base
+	}
+	return &TCPOutbox{node: n, exchange: exchange, consumerNodes: consumerNodes, seqs: seqs}
 }
+
+// SetScope attaches the telemetry scope sender-side events (injected
+// faults, retries) are recorded on.
+func (o *TCPOutbox) SetScope(sc *telemetry.Scope) { o.scope = sc }
 
 // Destinations implements iterator.Outbox.
 func (o *TCPOutbox) Destinations() int { return len(o.consumerNodes) }
 
 // Send implements iterator.Outbox.
 func (o *TCPOutbox) Send(dest int, b *block.Block) error {
-	c, err := o.node.conn(o.consumerNodes[dest])
-	if err != nil {
-		return err
-	}
 	o.buf = b.Encode(o.buf)
-	return c.send(o.exchange, dest, frameData, o.buf)
+	return o.sendFrame(dest, frameData, o.buf)
 }
 
-// CloseSend implements iterator.Outbox.
+// CloseSend implements iterator.Outbox. End-of-stream markers ride the
+// same reliable path as data frames.
 func (o *TCPOutbox) CloseSend() error {
-	for dest, peer := range o.consumerNodes {
-		c, err := o.node.conn(peer)
-		if err != nil {
-			return err
-		}
-		if err := c.send(o.exchange, dest, frameEOF, nil); err != nil {
+	for dest := range o.consumerNodes {
+		if err := o.sendFrame(dest, frameEOF, nil); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sendFrame ships one frame to dest. On the reliable path it consults
+// the fault injector per attempt, waits for the receiver's ack with
+// exponential backoff + jitter, and retransmits until acknowledged or
+// the retry policy's budget is exhausted.
+func (o *TCPOutbox) sendFrame(dest int, kind byte, payload []byte) error {
+	n := o.node
+	peer := o.consumerNodes[dest]
+	seq := o.seqs[dest]
+	o.seqs[dest]++
+	sum := crc32.Checksum(payload, crcTable)
+
+	if !n.reliable() {
+		// Fire-and-forget fast path: the socket is trustworthy, pay no
+		// round trip.
+		c, err := n.conn(peer)
+		if err != nil {
+			return err
+		}
+		if err := c.send(o.exchange, dest, kind, n.id, seq, sum, payload); err != nil {
+			n.dropConn(peer, c)
+			return err
+		}
+		return nil
+	}
+
+	inj := n.faults()
+	pol := n.policy()
+	deadline := time.Now().Add(pol.Deadline)
+	ak := ackKey{o.exchange, dest, seq}
+	ackCh := n.registerAck(ak)
+	defer n.unregisterAck(ak)
+	abort := n.abortCh(o.exchange)
+
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-abort:
+			return fmt.Errorf("network: exchange %d aborted", o.exchange)
+		default:
+		}
+		if inj.Severed(n.id, peer) {
+			o.emitFault(telemetry.FaultInjected{
+				Site: "link", Fault: "sever", From: n.id, To: peer,
+				Exchange: o.exchange, Seq: seq,
+			})
+			return fmt.Errorf("network: link %d->%d severed", n.id, peer)
+		}
+
+		var v faults.FrameVerdict
+		if peer != n.id {
+			v = inj.Frame(n.id, peer, o.exchange, seq, attempt)
+		}
+		if v.Delay > 0 {
+			o.emitFault(telemetry.FaultInjected{
+				Site: "link", Fault: "delay", From: n.id, To: peer,
+				Exchange: o.exchange, Seq: seq, Delay: v.Delay,
+			})
+			time.Sleep(v.Delay)
+		}
+		cause := "timeout"
+		if v.Drop {
+			o.emitFault(telemetry.FaultInjected{
+				Site: "link", Fault: "drop", From: n.id, To: peer,
+				Exchange: o.exchange, Seq: seq,
+			})
+			// The frame never reaches the wire; the ack timeout below
+			// turns into a retransmission.
+		} else {
+			wire := payload
+			if v.Corrupt {
+				wire = append([]byte(nil), payload...)
+				if len(wire) > 0 {
+					wire[len(wire)/2] ^= 0xA5
+				} else {
+					// A corrupted empty frame: poison the checksum instead.
+					sum ^= 0xDEAD
+				}
+				o.emitFault(telemetry.FaultInjected{
+					Site: "link", Fault: "corrupt", From: n.id, To: peer,
+					Exchange: o.exchange, Seq: seq,
+				})
+			}
+			c, err := n.conn(peer)
+			if err != nil {
+				cause = "dial"
+			} else if err := c.send(o.exchange, dest, kind, n.id, seq, sum, wire); err != nil {
+				n.dropConn(peer, c)
+				cause = "write"
+			} else if v.Dup {
+				o.emitFault(telemetry.FaultInjected{
+					Site: "link", Fault: "dup", From: n.id, To: peer,
+					Exchange: o.exchange, Seq: seq,
+				})
+				_ = c.send(o.exchange, dest, kind, n.id, seq, sum, wire)
+			}
+			if v.Corrupt && len(payload) == 0 {
+				sum = crc32.Checksum(payload, crcTable) // restore for retries
+			}
+		}
+
+		wait := pol.Timeout(attempt, seq*0x9e3779b97f4a7c15+uint64(attempt))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ackCh:
+			timer.Stop()
+			return nil
+		case <-abort:
+			timer.Stop()
+			return fmt.Errorf("network: exchange %d aborted", o.exchange)
+		case <-timer.C:
+		}
+		if (pol.MaxAttempts > 0 && attempt+1 >= pol.MaxAttempts) || time.Now().After(deadline) {
+			return fmt.Errorf("network: send to node %d (exchange %d, seq %d) unacknowledged after %d attempts (last cause: %s)",
+				peer, o.exchange, seq, attempt+1, cause)
+		}
+		if o.scope != nil {
+			o.scope.Counter(telemetry.CtrNetRetries).Inc()
+			o.scope.Emit(telemetry.NetRetry{
+				Exchange: o.exchange, From: n.id, To: peer, Seq: seq,
+				Attempt: attempt + 1, Backoff: wait, Cause: cause,
+			})
+		}
+	}
+}
+
+func (o *TCPOutbox) emitFault(rec telemetry.FaultInjected) {
+	if o.scope == nil {
+		return
+	}
+	o.scope.Counter(telemetry.CtrFaultsInjected).Inc()
+	o.scope.Emit(rec)
 }
 
 // Close shuts the node down, closing the listener and all connections.
@@ -250,7 +643,17 @@ func (n *TCPNode) Close() {
 	accepted := n.accepted
 	n.conns = make(map[int]*tcpConn)
 	n.accepted = nil
+	aborts := n.aborts
+	n.aborts = make(map[int]chan struct{})
 	n.mu.Unlock()
+	// Fail pending reliable sends so no Send outlives the node.
+	for _, ch := range aborts {
+		select {
+		case <-ch:
+		default:
+			close(ch)
+		}
+	}
 	n.ln.Close()
 	for _, c := range conns {
 		c.c.Close()

@@ -192,6 +192,12 @@ func (s *NodeScheduler) Decisions() int64 { return s.applied.Load() }
 // applied moves, and the event lands on the configured scope.
 func (s *NodeScheduler) decide(d telemetry.SchedDecision) {
 	d.Node = s.node
+	// λ is +Inf before any segment has a measured bottleneck; JSON has
+	// no representation for non-finite floats, so record it as 0
+	// ("unmeasured") to keep JSONL traces losslessly encodable.
+	if math.IsInf(d.Lambda, 0) || math.IsNaN(d.Lambda) {
+		d.Lambda = 0
+	}
 	if d.Applied {
 		s.applied.Add(1)
 	}
@@ -251,12 +257,29 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		return
 	}
 
+	// 1b. Revive: a live segment whose worker pool died entirely (a
+	// fault-injected crash fires only between blocks, so no input was
+	// lost) is given a worker back before any provisioning math — a
+	// zero-worker pipeline would never drive its dataflow to EOF.
+	revived := make(map[*segState]bool)
+	for _, st := range active {
+		if st.last.Parallelism == 0 && st.h.Expand() {
+			st.last.Parallelism = 1
+			used++
+			revived[st] = true
+			s.decide(telemetry.SchedDecision{
+				Expanded: st.name, Reason: "revive", Applied: true,
+			})
+		}
+	}
+
 	// 2. Publish local bottleneck; read global λ. Starved segments are
 	// excluded: their measured rate reflects missing input, not
-	// capacity, and would drag λ to zero.
+	// capacity, and would drag λ to zero. Just-revived segments are
+	// excluded for the same reason: their zero rate measured the crash.
 	localMin := math.Inf(1)
 	for _, st := range active {
-		if st.last.Starved {
+		if st.last.Starved || revived[st] {
 			continue
 		}
 		if st.normRate < localMin {

@@ -34,6 +34,16 @@ const (
 	// KindUtilSample is one CPU/network utilization timeline slice
 	// (Table 6).
 	KindUtilSample
+	// KindFaultInjected is one fault the injector (internal/faults)
+	// applied: a dropped/delayed/duplicated/corrupted frame, a severed
+	// link, or a crashed worker.
+	KindFaultInjected
+	// KindNetRetry is one retransmission attempt of the reliable
+	// transport path (ack timeout, write failure, or injected loss).
+	KindNetRetry
+	// KindRecovery is one recovery decision: a dead worker pool
+	// re-expanded on survivors, or a duplicate frame suppressed.
+	KindRecovery
 
 	numKinds
 )
@@ -41,6 +51,7 @@ const (
 var kindNames = [...]string{
 	"SchedDecision", "WorkerExpand", "WorkerShrink", "SegmentStageChange",
 	"BlockSent", "QueryPhase", "Barrier", "ParallelismSample", "UtilSample",
+	"FaultInjected", "NetRetry", "Recovery",
 }
 
 // String renders the kind; out-of-range values render as "Kind(n)".
@@ -181,3 +192,52 @@ type UtilSample struct {
 
 // Kind implements Record.
 func (UtilSample) Kind() Kind { return KindUtilSample }
+
+// FaultInjected records one applied fault. Site is the injection point
+// ("link" for frame faults, "worker" for crashes); Fault is the fault
+// kind ("drop", "delay", "dup", "corrupt", "sever", "crash").
+type FaultInjected struct {
+	Site     string        `json:"site"`
+	Fault    string        `json:"fault"`
+	From     int           `json:"from,omitempty"`
+	To       int           `json:"to,omitempty"`
+	Exchange int           `json:"exchange,omitempty"`
+	Seq      uint64        `json:"seq,omitempty"`
+	Segment  string        `json:"segment,omitempty"`
+	Worker   int           `json:"worker,omitempty"`
+	Delay    time.Duration `json:"delay_ns,omitempty"`
+}
+
+// Kind implements Record.
+func (FaultInjected) Kind() Kind { return KindFaultInjected }
+
+// NetRetry records one retransmission decision of the reliable
+// transport path: frame Seq on the From→To link is being resent as
+// Attempt (1-based retry count) after waiting Backoff.
+type NetRetry struct {
+	Exchange int           `json:"exchange"`
+	From     int           `json:"from"`
+	To       int           `json:"to"`
+	Seq      uint64        `json:"seq"`
+	Attempt  int           `json:"attempt"`
+	Backoff  time.Duration `json:"backoff_ns"`
+	Cause    string        `json:"cause,omitempty"` // "timeout", "write", "dial"
+}
+
+// Kind implements Record.
+func (NetRetry) Kind() Kind { return KindNetRetry }
+
+// Recovery records one recovery action. Action is "re-expand" (a
+// segment whose worker pool died was re-grown via the elastic expand
+// path) or "dup-drop" (a duplicate frame was suppressed by its
+// sequence number).
+type Recovery struct {
+	Node    int    `json:"node"`
+	Segment string `json:"segment,omitempty"`
+	Action  string `json:"action"`
+	// Workers is the pool size after a re-expansion.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Kind implements Record.
+func (Recovery) Kind() Kind { return KindRecovery }

@@ -105,17 +105,16 @@ type jsonEvent struct {
 // JSONLSink writes one JSON object per event — `epbench -trace
 // out.jsonl` attaches it as a process-wide default sink.
 type JSONLSink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu      sync.Mutex
+	w       *bufio.Writer
+	err     error
+	dropped int
 }
 
 // NewJSONLSink wraps w in a buffered JSON-lines writer; call Flush
 // before closing the underlying writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	bw := bufio.NewWriter(w)
-	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	return &JSONLSink{w: bufio.NewWriter(w)}
 }
 
 // Emit implements Sink.
@@ -125,13 +124,29 @@ func (s *JSONLSink) Emit(ev Event) {
 	if s.err != nil {
 		return
 	}
-	s.err = s.enc.Encode(jsonEvent{
+	b, err := json.Marshal(jsonEvent{
 		Scope: ev.Scope,
 		Seq:   ev.Seq,
 		AtUs:  ev.At.Microseconds(),
 		Kind:  ev.Rec.Kind().String(),
 		Rec:   ev.Rec,
 	})
+	if err != nil {
+		// One unmarshalable record (e.g. a non-finite float) must not
+		// poison the stream: drop it and keep the sink alive. Only write
+		// errors are sticky.
+		s.dropped++
+		return
+	}
+	_, s.err = s.w.Write(append(b, '\n'))
+}
+
+// Dropped reports how many events could not be marshaled and were
+// skipped.
+func (s *JSONLSink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Flush implements Sink.

@@ -138,6 +138,25 @@ const (
 	// GaugeMemBytes tracks materialized state (staging + operator
 	// arenas); its peak is the Table 4 footprint.
 	GaugeMemBytes = "mem.bytes"
+	// CtrFaultsInjected counts faults the injector applied (all sites).
+	CtrFaultsInjected = "faults.injected"
+	// CtrNetRetries counts retransmission attempts of the reliable
+	// transport path.
+	CtrNetRetries = "net.retries"
+	// CtrNetDupDropped counts duplicate frames the receiver suppressed
+	// via block sequence numbers (retransmits that raced a late ack,
+	// or injected duplicates).
+	CtrNetDupDropped = "net.dup_dropped"
+	// CtrNetDupApplied counts duplicate frames applied to an inbox. The
+	// sequence-number protocol makes this impossible by construction;
+	// the counter is defensive instrumentation and must stay 0.
+	CtrNetDupApplied = "net.dup_applied"
+	// CtrNetCorruptDropped counts frames the receiver rejected on a
+	// checksum mismatch.
+	CtrNetCorruptDropped = "net.corrupt_dropped"
+	// CtrRecoverExpands counts dead worker pools re-expanded on
+	// surviving workers by the engine's recovery watchdog.
+	CtrRecoverExpands = "recover.expands"
 	// Simulator float accumulators (core-second integrals and fluid
 	// traffic).
 	FCtrBusyCoreSec      = "cpu.busy_core_sec"

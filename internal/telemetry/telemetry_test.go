@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -163,6 +164,28 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 	if first.Scope != "q7" || first.Seq != 1 || first.Kind != "SchedDecision" ||
 		first.Rec.Expanded != "S2" || first.Rec.Lambda != 1e6 || !first.Rec.Applied {
 		t.Fatalf("unexpected first line: %+v", first)
+	}
+}
+
+// TestJSONLSinkSurvivesUnmarshalableRecord: one record JSON cannot
+// represent (a non-finite float) is dropped without poisoning the
+// stream — events after it still reach the writer.
+func TestJSONLSinkSurvivesUnmarshalableRecord(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sc := NewScope("q8")
+	sc.Attach(sink)
+	sc.Emit(SchedDecision{Node: 1, Reason: "starved", Lambda: math.Inf(1)})
+	sc.Emit(BlockSent{Exchange: 1, From: 0, To: 2, Tuples: 100, Bytes: 6400})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], `"BlockSent"`) {
+		t.Fatalf("expected only the BlockSent line, got %q", buf.String())
 	}
 }
 

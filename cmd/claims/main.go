@@ -42,6 +42,8 @@ func main() {
 			"print a periodic telemetry summary to stderr every period (0 = off)")
 		faultSpec = flag.String("faults", "",
 			"inject faults, e.g. drop=0.01,delay=5ms,seed=7 (see internal/faults)")
+		rowExec = flag.Bool("rowexec", false,
+			"force row-at-a-time expression evaluation (disable batch kernels)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,7 @@ func main() {
 		Mode:             m,
 		FixedParallelism: *par,
 		NetBytesPerSec:   *netBps,
+		RowExec:          *rowExec,
 	}, cat)
 
 	fmt.Printf("loading %s workload onto %d nodes...\n", *workload, *nodes)

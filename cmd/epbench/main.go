@@ -60,7 +60,15 @@ func main() {
 		"write every telemetry event as JSON lines to this file")
 	faultSpec := flag.String("faults", "",
 		"inject faults into every experiment's cluster, e.g. drop=0.01,delay=5ms,seed=7")
+	rowExec := flag.Bool("rowexec", false,
+		"force row-at-a-time expression evaluation in every experiment's cluster")
 	flag.Parse()
+
+	if *rowExec {
+		// Experiment clusters are built inside internal/bench; the env
+		// var reaches every Config through its defaults.
+		os.Setenv("CLAIMS_ROWEXEC", "1")
+	}
 
 	if *faultSpec != "" {
 		fc, err := faults.Parse(*faultSpec)

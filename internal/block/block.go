@@ -126,6 +126,12 @@ func (b *Block) AppendRowTo() []byte {
 // EnsureRoom grows the block's payload so at least n more tuples fit.
 // Operators with data-dependent fan-out (join probe, aggregation
 // emission) use it to stay single-block per call.
+//
+// Accounting: while a tracker is attached, growth records only the byte
+// delta (New recorded the initial allocation), so Release — which frees
+// len(buf), the grown size — balances exactly. A block grown after
+// Release stays untracked: Release detached the tracker, accounting for
+// that block ended there, and the block never re-attaches one.
 func (b *Block) EnsureRoom(n int) {
 	need := b.n + n
 	if need <= b.cap {
@@ -144,11 +150,54 @@ func (b *Block) EnsureRoom(n int) {
 	b.cap = newCap
 }
 
-// Reset empties the block for reuse, keeping metadata defaults.
+// Reset empties the block for reuse, keeping metadata defaults. Socket
+// deliberately survives Reset: it describes where the block's backing
+// memory physically lives (its NUMA home), a property of the buffer
+// itself that reuse does not change — unlike VisitRate and Seq, which
+// describe the tuples and are re-stamped by the next producer.
 func (b *Block) Reset() {
 	b.n = 0
 	b.VisitRate = 1.0
 	b.Seq = 0
+}
+
+// SetLen sets the tuple count directly. Vectorized writers (batch
+// projection) pre-size a block and fill rows in place through Bytes
+// instead of appending row-at-a-time. n must not exceed Cap.
+func (b *Block) SetLen(n int) {
+	if n < 0 || n > b.cap {
+		panic(fmt.Sprintf("block: SetLen(%d) outside capacity %d", n, b.cap))
+	}
+	b.n = n
+}
+
+// AppendSelected bulk-copies the rows of src named by the selection
+// vector sel, growing the block as needed. Runs of consecutive indexes
+// coalesce into single copies, so a low-selectivity filter degenerates
+// to a handful of memmoves instead of one copy per surviving tuple.
+// src must share this block's record layout (equal strides).
+func (b *Block) AppendSelected(src *Block, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	st := b.sch.Stride()
+	if src.sch.Stride() != st {
+		panic("block: AppendSelected across different record layouts")
+	}
+	b.EnsureRoom(len(sel))
+	dst := b.buf[b.n*st:]
+	d := 0
+	for i := 0; i < len(sel); {
+		j := i + 1
+		for j < len(sel) && sel[j] == sel[j-1]+1 {
+			j++
+		}
+		run := (j - i) * st
+		copy(dst[d:d+run], src.buf[int(sel[i])*st:])
+		d += run
+		i = j
+	}
+	b.n += len(sel)
 }
 
 // Get reads column col of tuple row.
@@ -207,8 +256,12 @@ func Decode(sch *types.Schema, src []byte, tr *Tracker) (*Block, error) {
 	b := New(sch, size, tr)
 	if n > b.cap {
 		// Re-allocate exactly; New rounds down by stride so this only
-		// trips when stride rounding lost a slot.
-		b = &Block{sch: sch, buf: make([]byte, n*sch.Stride()), cap: n, tracker: tr}
+		// trips when stride rounding lost a slot. Release the block New
+		// just charged first, or Tracker.Current drifts upward by one
+		// abandoned allocation per oversized frame.
+		b.Release()
+		b = &Block{sch: sch, buf: make([]byte, n*sch.Stride()), cap: n,
+			VisitRate: 1.0, tracker: tr}
 		if tr != nil {
 			tr.Alloc(int64(len(b.buf)))
 		}

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/block"
@@ -80,6 +81,14 @@ type Config struct {
 	// forces the reliable (ack + retransmit) protocol on even without an
 	// injector; leave nil outside recovery tests.
 	Retry *network.RetryPolicy
+	// RowExec forces row-at-a-time (tuple-per-tuple) expression
+	// evaluation in filters, projections, join key computation and
+	// aggregation, bypassing the vectorized batch kernels. The two paths
+	// are semantically identical by construction; this escape hatch lets
+	// the metamorphic tests diff them and serves as a fallback if a
+	// kernel misbehaves. The CLAIMS_ROWEXEC environment variable (any
+	// non-empty value) forces it on process-wide.
+	RowExec bool
 }
 
 func (c *Config) defaults() {
@@ -103,6 +112,9 @@ func (c *Config) defaults() {
 	}
 	if c.BlockSize <= 0 {
 		c.BlockSize = block.DefaultSize
+	}
+	if os.Getenv("CLAIMS_ROWEXEC") != "" {
+		c.RowExec = true
 	}
 }
 

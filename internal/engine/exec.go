@@ -336,7 +336,9 @@ func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterat
 		inst.hasScan = true
 		var it iterator.Iterator = iterator.NewScanWithSchema(part, n.Sch)
 		if n.Pred != nil {
-			it = iterator.NewFilter(it, n.Sch, n.Pred)
+			f := iterator.NewFilter(it, n.Sch, n.Pred)
+			f.RowExec = e.c.cfg.RowExec
+			it = f
 		}
 		return it, nil
 
@@ -362,14 +364,18 @@ func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterat
 		if err != nil {
 			return nil, err
 		}
-		return iterator.NewFilter(child, n.Child.Schema(), n.Pred), nil
+		f := iterator.NewFilter(child, n.Child.Schema(), n.Pred)
+		f.RowExec = e.c.cfg.RowExec
+		return f, nil
 
 	case *plan.PProject:
 		child, err := e.buildOp(n.Child, node, inst)
 		if err != nil {
 			return nil, err
 		}
-		return iterator.NewProject(child, n.Child.Schema(), n.Sch, n.Exprs), nil
+		pr := iterator.NewProject(child, n.Child.Schema(), n.Sch, n.Exprs)
+		pr.RowExec = e.c.cfg.RowExec
+		return pr, nil
 
 	case *plan.PHashJoin:
 		build, err := e.buildOp(n.Build, node, inst)
@@ -382,6 +388,7 @@ func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterat
 		}
 		hj := iterator.NewHashJoin(build, probe, n.Build.Schema(), n.Probe.Schema(),
 			n.BuildKeys, n.ProbeKeys)
+		hj.RowExec = e.c.cfg.RowExec
 		inst.joins = append(inst.joins, hj)
 		return hj, nil
 
@@ -391,6 +398,7 @@ func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterat
 			return nil, err
 		}
 		ha := iterator.NewHashAgg(child, n.Child.Schema(), n.Keys, n.KeyNames, n.Specs, n.Algo)
+		ha.RowExec = e.c.cfg.RowExec
 		inst.aggs = append(inst.aggs, ha)
 		return ha, nil
 

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/faults"
+	"repro/internal/types"
+)
+
+// vecQueries exercises every fused batch-kernel shape plus the
+// row-at-a-time fallbacks (OR, CASE, NOT) through full distributed
+// plans: filters into selection vectors, projection kernels, batch key
+// encoding for joins and aggregation, LIKE over CHAR columns.
+var vecQueries = []string{
+	// Fused filter shapes: col-op-const over int/float/date, BETWEEN, IN,
+	// conjunctions narrowing one selection vector.
+	"SELECT count(*) FROM trades WHERE trade_volume < 700",
+	"SELECT count(*) FROM trades WHERE acct_id >= 100 AND trade_volume < 900 AND sec_code <> 7",
+	"SELECT count(*) FROM trades WHERE trade_volume BETWEEN 250 AND 750",
+	"SELECT count(*) FROM trades WHERE sec_code IN (1, 2, 3, 5, 8, 13, 21)",
+	// Fallback shapes: disjunction and NOT.
+	"SELECT count(*) FROM trades WHERE acct_id < 50 OR trade_volume > 950",
+	"SELECT count(*) FROM trades WHERE NOT (trade_volume < 500)",
+	// Column-op-column comparison.
+	"SELECT count(*) FROM trades WHERE acct_id < sec_code",
+	// Projection kernels: arithmetic, date EXTRACT; aggregation over
+	// computed arguments (fused batch arg kernels).
+	`SELECT sec_code, sum(trade_volume * 0.07), min(trade_volume - 10), count(*)
+	 FROM trades WHERE acct_id < 300 GROUP BY sec_code`,
+	"SELECT EXTRACT(YEAR FROM trade_date), count(*) FROM trades GROUP BY EXTRACT(YEAR FROM trade_date)",
+	// CASE rides the fallback kernel inside a vectorized aggregation.
+	`SELECT sec_code, sum(CASE WHEN trade_volume > 500 THEN 1 ELSE 0 END)
+	 FROM trades GROUP BY sec_code`,
+	// String kernels: LIKE / NOT LIKE over CHAR columns, string
+	// comparisons, string group keys (batch key encoding of CHAR data).
+	"SELECT count(*) FROM accounts WHERE name LIKE 'acct%'",
+	"SELECT count(*) FROM accounts WHERE name NOT LIKE '%7%'",
+	"SELECT count(*) FROM accounts WHERE region = 'east'",
+	"SELECT region, count(*), sum(balance) FROM accounts GROUP BY region",
+	// Distributed join with int keys; join feeding a string group-by.
+	`SELECT T.sec_code, count(*) FROM trades T, securities S
+	 WHERE T.acct_id = S.acct_id AND S.entry_volume < 600 GROUP BY T.sec_code`,
+	`SELECT A.region, count(*) FROM trades T, accounts A
+	 WHERE T.acct_id = A.acct_id AND T.trade_volume > 200 GROUP BY A.region`,
+}
+
+// buildVecCluster is buildFaultCluster plus a CHAR-bearing accounts
+// table, so the equivalence suite covers string kernels end to end.
+func buildVecCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cat := catalog.New(cfg.Nodes)
+	trades := types.NewSchema(
+		types.Col("acct_id", types.Int64),
+		types.Col("sec_code", types.Int64),
+		types.Col("trade_date", types.Date),
+		types.Col("trade_volume", types.Float64),
+	)
+	cat.MustAdd(&catalog.Table{Name: "trades", Schema: trades, PartKey: []int{1}})
+	secs := types.NewSchema(
+		types.Col("acct_id", types.Int64),
+		types.Col("sec_code", types.Int64),
+		types.Col("entry_date", types.Date),
+		types.Col("entry_volume", types.Float64),
+	)
+	cat.MustAdd(&catalog.Table{Name: "securities", Schema: secs, PartKey: []int{0}})
+	accounts := types.NewSchema(
+		types.Col("acct_id", types.Int64),
+		types.Char("name", 12),
+		types.Char("region", 8),
+		types.Col("balance", types.Float64),
+	)
+	cat.MustAdd(&catalog.Table{Name: "accounts", Schema: accounts, PartKey: []int{0}})
+
+	c := NewCluster(cfg, cat)
+
+	rng := rand.New(rand.NewSource(42))
+	day := types.MustParseDate("2010-10-30")
+	tl, _ := c.NewTableLoader("trades")
+	for i := 0; i < 8000; i++ {
+		r := tl.Row()
+		types.PutValue(r, trades, 0, types.IntVal(int64(rng.Intn(500))))
+		types.PutValue(r, trades, 1, types.IntVal(int64(rng.Intn(50))))
+		types.PutValue(r, trades, 2, types.DateVal(day-int64(rng.Intn(5))))
+		types.PutValue(r, trades, 3, types.FloatVal(float64(rng.Intn(1000))))
+		tl.Add()
+	}
+	tl.Close()
+	sl, _ := c.NewTableLoader("securities")
+	for i := 0; i < 2000; i++ {
+		r := sl.Row()
+		types.PutValue(r, secs, 0, types.IntVal(int64(rng.Intn(500))))
+		types.PutValue(r, secs, 1, types.IntVal(int64(rng.Intn(50))))
+		types.PutValue(r, secs, 2, types.DateVal(day-int64(rng.Intn(3))))
+		types.PutValue(r, secs, 3, types.FloatVal(float64(rng.Intn(1000))))
+		sl.Add()
+	}
+	sl.Close()
+	regions := []string{"east", "west", "north", "south"}
+	al, _ := c.NewTableLoader("accounts")
+	for i := 0; i < 500; i++ {
+		r := al.Row()
+		types.PutValue(r, accounts, 0, types.IntVal(int64(i)))
+		types.PutValue(r, accounts, 1, types.StrVal(fmt.Sprintf("acct-%04d", i)))
+		types.PutValue(r, accounts, 2, types.StrVal(regions[rng.Intn(len(regions))]))
+		types.PutValue(r, accounts, 3, types.FloatVal(float64(rng.Intn(100000))/100))
+		al.Add()
+	}
+	al.Close()
+	return c
+}
+
+// TestVectorizedRowExecEquivalence is the tentpole's metamorphic
+// harness: every query must produce identical canonical results on the
+// default (vectorized) path and under Config.RowExec, across execution
+// modes.
+func TestVectorizedRowExecEquivalence(t *testing.T) {
+	for _, mode := range []Mode{EP, SP} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := faultBaseConfig(mode, 2)
+			vec := buildVecCluster(t, cfg)
+			rowCfg := cfg
+			rowCfg.RowExec = true
+			row := buildVecCluster(t, rowCfg)
+			for qi, q := range vecQueries {
+				vres, err := vec.Run(q)
+				if err != nil {
+					t.Fatalf("query %d vectorized: %v", qi, err)
+				}
+				rres, err := row.Run(q)
+				if err != nil {
+					t.Fatalf("query %d rowexec: %v", qi, err)
+				}
+				if vf, rf := fingerprint(vres), fingerprint(rres); vf != rf {
+					t.Errorf("query %d diverged (%s)\nquery: %s\nvec: %.200s\nrow: %.200s",
+						qi, mode, q, vf, rf)
+				}
+			}
+		})
+	}
+}
+
+// TestVectorizedRowExecEquivalenceUnderFaults repeats the equivalence
+// check with a seeded fault schedule active on both clusters: frame
+// drops, duplicates, corruption and worker crashes must not open a gap
+// between the vectorized and row-at-a-time paths (the issue's required
+// fault-schedule acceptance case).
+func TestVectorizedRowExecEquivalenceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault schedules are slow under -short")
+	}
+	fc := faults.Config{Seed: 11, Drop: 0.03, Dup: 0.02, Corrupt: 0.01, CrashWorker: 0.001}
+
+	cfg := faultBaseConfig(EP, 2)
+	cfg.Faults = faults.New(fc)
+	cfg.Retry = &fastFaultRetry
+	vec := buildVecCluster(t, cfg)
+
+	rowCfg := faultBaseConfig(EP, 2)
+	rowCfg.Faults = faults.New(fc)
+	rowCfg.Retry = &fastFaultRetry
+	rowCfg.RowExec = true
+	row := buildVecCluster(t, rowCfg)
+
+	for qi, q := range vecQueries {
+		vres, err := vec.Run(q)
+		if err != nil {
+			t.Fatalf("query %d vectorized under %s: %v", qi, fc.String(), err)
+		}
+		rres, err := row.Run(q)
+		if err != nil {
+			t.Fatalf("query %d rowexec under %s: %v", qi, fc.String(), err)
+		}
+		if vf, rf := fingerprint(vres), fingerprint(rres); vf != rf {
+			t.Errorf("query %d diverged under faults %s\nquery: %s\nvec: %.200s\nrow: %.200s",
+				qi, fc.String(), q, vf, rf)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package expr
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// batchTestSchema covers every column kind the kernels dispatch on.
+func batchTestSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("a", types.Int64),
+		types.Col("b", types.Int64),
+		types.Col("f", types.Float64),
+		types.Col("g", types.Float64),
+		types.Col("d", types.Date),
+		types.Char("s", 10),
+	)
+}
+
+// fillBatchBlock populates a block with deterministic pseudo-random
+// rows, including zeros (division-by-zero NULLs), negative values and
+// string variety for LIKE.
+func fillBatchBlock(sch *types.Schema, n int, seed int64) *block.Block {
+	rng := rand.New(rand.NewSource(seed))
+	b := block.New(sch, n*sch.Stride(), nil)
+	words := []string{"alpha", "beta", "gamma", "alphabet", "", "ab", "a%b", "a_b", "beta-max"}
+	for i := 0; i < n; i++ {
+		r := b.AppendRowTo()
+		types.PutValue(r, sch, 0, types.IntVal(int64(rng.Intn(100)-50)))
+		types.PutValue(r, sch, 1, types.IntVal(int64(rng.Intn(10))))
+		types.PutValue(r, sch, 2, types.FloatVal(float64(rng.Intn(200)-100)/4))
+		types.PutValue(r, sch, 3, types.FloatVal(float64(rng.Intn(5)))) // zeros for x/0
+		types.PutValue(r, sch, 4, types.DateVal(int64(14000+rng.Intn(800))))
+		types.PutValue(r, sch, 5, types.StrVal(words[rng.Intn(len(words))]))
+	}
+	return b
+}
+
+func col(sch *types.Schema, name string) *Col {
+	return NewCol(sch.ColIndex(name), name)
+}
+
+// batchExprCases returns expressions spanning every fused kernel shape
+// plus the row fallback (CASE, OR, NOT, LIKE inside projection).
+func batchExprCases(sch *types.Schema) []Expr {
+	a, b, f, g := col(sch, "a"), col(sch, "b"), col(sch, "f"), col(sch, "g")
+	d, s := col(sch, "d"), col(sch, "s")
+	return []Expr{
+		a, f, d, s,
+		NewConst(types.IntVal(7)),
+		NewConst(types.StrVal("alpha")),
+		NewArith(Add, a, b),
+		NewArith(Sub, a, NewConst(types.IntVal(3))),
+		NewArith(Mul, a, f),
+		NewArith(Div, f, g),                          // g hits 0 → NULL
+		NewArith(Div, a, b),                          // int/int division → float, b hits 0 → NULL
+		NewArith(Add, d, NewConst(types.IntVal(30))), // date + days
+		NewCmp(LT, a, b),
+		NewCmp(GE, f, NewConst(types.FloatVal(2.5))),
+		NewCmp(EQ, a, f), // mixed int/float compare
+		NewCmp(NE, d, NewConst(types.DateVal(14100))),
+		NewExtract(Year, d),
+		NewExtract(Month, d),
+		// Fallback shapes.
+		NewCase([]When{{Cond: NewCmp(GT, a, b), Then: a}}, b),
+		NewCase([]When{{Cond: NewCmp(GT, f, g), Then: f}}, nil), // no ELSE → NULL
+		NewLike(s, "alpha%", false),
+		NewLike(s, "%a_b%", true),
+		NewOr(NewCmp(LT, a, NewConst(types.IntVal(0))), NewCmp(GT, b, NewConst(types.IntVal(5)))),
+		NewNot(NewCmp(EQ, b, NewConst(types.IntVal(0)))),
+	}
+}
+
+// TestCompileBatchMatchesEval verifies every kernel against row-at-a-time
+// Eval on every row, both with sel == nil and under a sparse selection.
+func TestCompileBatchMatchesEval(t *testing.T) {
+	sch := batchTestSchema()
+	blk := fillBatchBlock(sch, 257, 1)
+	var sparse []int32
+	for i := 0; i < blk.NumTuples(); i += 3 {
+		sparse = append(sparse, int32(i))
+	}
+	for ci, e := range batchExprCases(sch) {
+		k := CompileBatch(e, sch)
+		for _, tc := range []struct {
+			name string
+			sel  []int32
+		}{{"all", nil}, {"sparse", sparse}} {
+			var out Vec
+			k.EvalVec(blk, tc.sel, &out)
+			n := blk.NumTuples()
+			if tc.sel != nil {
+				n = len(tc.sel)
+			}
+			if out.Len() != n {
+				t.Fatalf("case %d (%s) %s: vec len %d, want %d", ci, e, tc.name, out.Len(), n)
+			}
+			for j := 0; j < n; j++ {
+				row := j
+				if tc.sel != nil {
+					row = int(tc.sel[j])
+				}
+				want := e.Eval(blk.Row(row), sch)
+				got := out.Value(j)
+				if want.Null != got.Null {
+					t.Fatalf("case %d (%s) %s row %d: null %v, want %v", ci, e, tc.name, row, got.Null, want.Null)
+				}
+				if !want.Null && want.Compare(got) != 0 {
+					t.Fatalf("case %d (%s) %s row %d: got %s, want %s", ci, e, tc.name, row, got, want)
+				}
+			}
+		}
+	}
+}
+
+// batchPredCases returns predicates spanning the fused filter shapes and
+// the row fallback.
+func batchPredCases(sch *types.Schema) []Expr {
+	a, b, f, d, s := col(sch, "a"), col(sch, "b"), col(sch, "f"), col(sch, "d"), col(sch, "s")
+	var preds []Expr
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		preds = append(preds,
+			NewCmp(op, a, NewConst(types.IntVal(5))),
+			NewCmp(op, NewConst(types.IntVal(5)), a), // const-op-col flips
+			NewCmp(op, f, NewConst(types.FloatVal(-1.25))),
+			NewCmp(op, a, NewConst(types.FloatVal(2.5))), // int col, float const
+			NewCmp(op, d, NewConst(types.DateVal(14400))),
+			NewCmp(op, s, NewConst(types.StrVal("beta"))),
+			NewCmp(op, a, b), // col-op-col
+			NewCmp(op, a, f), // mixed col-op-col
+		)
+	}
+	preds = append(preds,
+		NewBetween(a, NewConst(types.IntVal(-10)), NewConst(types.IntVal(10))),
+		NewBetween(f, NewConst(types.IntVal(-5)), NewConst(types.FloatVal(12.5))),
+		NewBetween(d, NewConst(types.DateVal(14100)), NewConst(types.DateVal(14500))),
+		NewIn(a, []types.Value{types.IntVal(1), types.IntVal(4), types.IntVal(-9)}),
+		NewLike(s, "alpha%", false),
+		NewLike(s, "%a_b%", true),
+		NewLike(s, "a%b", false),
+		NewAnd(NewCmp(GT, a, NewConst(types.IntVal(-20))),
+			NewCmp(LT, f, NewConst(types.FloatVal(20))),
+			NewCmp(NE, b, NewConst(types.IntVal(3)))),
+		// Fallbacks inside and around conjunctions.
+		NewOr(NewCmp(LT, a, NewConst(types.IntVal(0))), NewLike(s, "be%", false)),
+		NewAnd(NewCmp(GT, a, NewConst(types.IntVal(-40))),
+			NewOr(NewCmp(LT, b, NewConst(types.IntVal(2))), NewCmp(GT, f, NewConst(types.FloatVal(0))))),
+		NewNot(NewBetween(a, NewConst(types.IntVal(0)), NewConst(types.IntVal(25)))),
+		NewCase([]When{{Cond: NewCmp(GT, a, b), Then: NewConst(types.IntVal(1))}}, nil),
+	)
+	return preds
+}
+
+// TestCompilePredicateMatchesEval verifies batch selection vectors
+// against Truthy(Eval) row by row, in both append (sel == nil) and
+// in-place narrowing modes.
+func TestCompilePredicateMatchesEval(t *testing.T) {
+	sch := batchTestSchema()
+	blk := fillBatchBlock(sch, 311, 2)
+	n := blk.NumTuples()
+	for ci, e := range batchPredCases(sch) {
+		p := CompilePredicate(e, sch)
+		var want []int32
+		for i := 0; i < n; i++ {
+			if Truthy(e.Eval(blk.Row(i), sch)) {
+				want = append(want, int32(i))
+			}
+		}
+		got := p.Select(blk, nil, nil)
+		if !equalSel(got, want) {
+			t.Fatalf("case %d (%s): select all = %v, want %v", ci, e, got, want)
+		}
+		// Narrowing: start from the even rows; survivors must be the even
+		// qualifying rows, in order, written into the prefix.
+		evens := make([]int32, 0, n/2)
+		for i := 0; i < n; i += 2 {
+			evens = append(evens, int32(i))
+		}
+		var wantEven []int32
+		for _, i := range evens {
+			if Truthy(e.Eval(blk.Row(int(i)), sch)) {
+				wantEven = append(wantEven, i)
+			}
+		}
+		narrowed := p.Select(blk, evens, nil)
+		if !equalSel(narrowed, wantEven) {
+			t.Fatalf("case %d (%s): narrowed = %v, want %v", ci, e, narrowed, wantEven)
+		}
+	}
+}
+
+func equalSel(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchKeyEncoderMatchesRowEncoder requires byte-identical keys and
+// hashes between EncodeBlock and the row-at-a-time KeyEncoder — the
+// invariant that lets batch-built and row-built hash state interoperate.
+func TestBatchKeyEncoderMatchesRowEncoder(t *testing.T) {
+	sch := batchTestSchema()
+	blk := fillBatchBlock(sch, 203, 3)
+	a, f, d, s := col(sch, "a"), col(sch, "f"), col(sch, "d"), col(sch, "s")
+	keySets := [][]Expr{
+		{a},       // single int: the common join key
+		{s},       // string key
+		{f},       // float key
+		{d, a},    // composite
+		{a, s, f}, // mixed composite
+		{NewArith(Add, a, NewConst(types.IntVal(2)))},                                      // fused kernel key
+		{NewCase([]When{{Cond: NewCmp(GT, a, NewConst(types.IntVal(0))), Then: a}}, f), s}, // fallback + direct
+		{}, // scalar aggregation: empty key
+	}
+	var sparse []int32
+	for i := 1; i < blk.NumTuples(); i += 7 {
+		sparse = append(sparse, int32(i))
+	}
+	for ki, keys := range keySets {
+		row := NewKeyEncoder(keys)
+		benc := NewBatchKeyEncoder(keys, sch)
+		for _, tc := range []struct {
+			name string
+			sel  []int32
+		}{{"all", nil}, {"sparse", sparse}} {
+			cnt := benc.EncodeBlock(blk, tc.sel)
+			wantN := blk.NumTuples()
+			if tc.sel != nil {
+				wantN = len(tc.sel)
+			}
+			if cnt != wantN {
+				t.Fatalf("keys %d %s: EncodeBlock = %d rows, want %d", ki, tc.name, cnt, wantN)
+			}
+			for j := 0; j < cnt; j++ {
+				r := j
+				if tc.sel != nil {
+					r = int(tc.sel[j])
+				}
+				want := row.Encode(blk.Row(r), sch)
+				if got := benc.Key(j); !bytes.Equal(got, want) {
+					t.Fatalf("keys %d %s row %d: key %x, want %x", ki, tc.name, r, got, want)
+				}
+				if got, want := benc.Hash(j), Hash64(want); got != want {
+					t.Fatalf("keys %d %s row %d: hash %x, want %x", ki, tc.name, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKernelsUnderConcurrency runs one shared compiled kernel and
+// predicate from many goroutines — the elastic worker-pool usage — under
+// the race detector.
+func TestBatchKernelsUnderConcurrency(t *testing.T) {
+	sch := batchTestSchema()
+	blk := fillBatchBlock(sch, 500, 4)
+	e := NewArith(Mul, col(sch, "a"), col(sch, "f"))
+	k := CompileBatch(e, sch)
+	p := CompilePredicate(NewAnd(
+		NewCmp(GT, col(sch, "a"), NewConst(types.IntVal(-10))),
+		NewCmp(LT, col(sch, "f"), NewConst(types.FloatVal(20)))), sch)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for it := 0; it < 50; it++ {
+				v := GetVec()
+				k.EvalVec(blk, nil, v)
+				if v.Len() != blk.NumTuples() {
+					done <- fmt.Errorf("vec len %d", v.Len())
+					return
+				}
+				PutVec(v)
+				sel := p.Select(blk, nil, nil)
+				for x := 1; x < len(sel); x++ {
+					if sel[x] <= sel[x-1] {
+						done <- fmt.Errorf("unsorted selection")
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPredVectorized spot-checks the planner annotation helpers.
+func TestPredVectorized(t *testing.T) {
+	sch := batchTestSchema()
+	a, s := col(sch, "a"), col(sch, "s")
+	if !PredVectorized(NewCmp(LT, a, NewConst(types.IntVal(1))), sch) {
+		t.Error("col<const should be fused")
+	}
+	if !PredVectorized(NewLike(s, "a%", false), sch) {
+		t.Error("LIKE over CHAR col should be fused")
+	}
+	if PredVectorized(NewOr(NewCmp(LT, a, NewConst(types.IntVal(1))), NewCmp(GT, a, NewConst(types.IntVal(5)))), sch) {
+		t.Error("OR should fall back")
+	}
+	if !ProjVectorized([]Expr{a, NewArith(Add, a, NewConst(types.IntVal(1)))}, sch) {
+		t.Error("col + arith projection should be fused")
+	}
+	if ProjVectorized([]Expr{NewCase([]When{{Cond: a, Then: a}}, nil)}, sch) {
+		t.Error("CASE projection should fall back")
+	}
+}

@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -17,9 +18,11 @@ type Like struct {
 	Negate  bool
 
 	segs     []string // literal segments between %s
+	segsB    [][]byte // segs as bytes, for the allocation-free matcher
 	leadPct  bool     // pattern starts with %
 	trailPct bool     // pattern ends with %
 	hasUnder bool     // pattern contains _, forcing the general matcher
+	patternB []byte   // pattern bytes, for the general byte matcher
 }
 
 // NewLike compiles a LIKE pattern.
@@ -32,9 +35,11 @@ func NewLike(e Expr, pattern string, negate bool) *Like {
 		for _, s := range strings.Split(pattern, "%") {
 			if s != "" {
 				l.segs = append(l.segs, s)
+				l.segsB = append(l.segsB, []byte(s))
 			}
 		}
 	}
+	l.patternB = []byte(pattern)
 	return l
 }
 
@@ -85,6 +90,67 @@ func (l *Like) Match(s string) bool {
 		rest = rest[idx+len(seg):]
 	}
 	return true
+}
+
+// MatchBytes is Match over a byte-slice view of the string, mirroring
+// its logic branch for branch. Batch kernels call it on the raw
+// fixed-width CHAR bytes of a block (NUL padding pre-trimmed) so LIKE
+// evaluation stays allocation-free per tuple.
+func (l *Like) MatchBytes(s []byte) bool {
+	if l.hasUnder {
+		return likeGeneralBytes(s, l.patternB)
+	}
+	if len(l.segsB) == 0 {
+		if l.Pattern == "" {
+			return len(s) == 0
+		}
+		return true
+	}
+	rest := s
+	for i, seg := range l.segsB {
+		if i == len(l.segsB)-1 && !l.trailPct {
+			if !bytes.HasSuffix(rest, seg) {
+				return false
+			}
+			return l.leadPct || i > 0 || len(rest) == len(seg)
+		}
+		idx := bytes.Index(rest, seg)
+		if idx < 0 {
+			return false
+		}
+		if i == 0 && !l.leadPct && idx != 0 {
+			return false
+		}
+		rest = rest[idx+len(seg):]
+	}
+	return true
+}
+
+// likeGeneralBytes is likeGeneral over byte slices.
+func likeGeneralBytes(s, p []byte) bool {
+	si, pi := 0, 0
+	star, sStar := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sStar = si
+			pi++
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case star >= 0:
+			sStar++
+			si = sStar
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
 }
 
 // likeGeneral is the full wildcard matcher handling '_' via iterative

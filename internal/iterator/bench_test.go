@@ -98,3 +98,86 @@ func BenchmarkSort(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
 }
+
+// Row-vs-batch pairs: the same operators with RowExec forced, so
+// `go test -bench` shows the vectorization win next to the baseline
+// (the default constructors above run the batch kernels).
+
+func BenchmarkFilterRowExec(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	pred := expr.NewCmp(expr.LT, expr.NewCol(0, "k"), expr.NewConst(types.IntVal(5000)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFilter(mk(), sch, pred)
+		f.RowExec = true
+		drainAll(b, f)
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkProjection(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	outSch := types.NewSchema(types.Col("e0", types.Float64), types.Col("e1", types.Int64))
+	exprs := []expr.Expr{
+		expr.NewArith(expr.Mul, expr.NewCol(1, "v"), expr.NewConst(types.FloatVal(0.07))),
+		expr.NewArith(expr.Add, expr.NewCol(0, "k"), expr.NewConst(types.IntVal(7))),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainAll(b, NewProject(mk(), sch, outSch, exprs))
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkProjectionRowExec(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	outSch := types.NewSchema(types.Col("e0", types.Float64), types.Col("e1", types.Int64))
+	exprs := []expr.Expr{
+		expr.NewArith(expr.Mul, expr.NewCol(1, "v"), expr.NewConst(types.FloatVal(0.07))),
+		expr.NewArith(expr.Add, expr.NewCol(0, "k"), expr.NewConst(types.IntVal(7))),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewProject(mk(), sch, outSch, exprs)
+		p.RowExec = true
+		drainAll(b, p)
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkHashAggSharedRowExec(b *testing.B) {
+	const rows = 200_000
+	sch, mk := benchPartition(b, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ha := NewHashAgg(mk(), sch,
+			[]expr.Expr{expr.NewCol(0, "k")}, []string{"k"},
+			[]AggSpec{{Func: Sum, Arg: expr.NewCol(1, "v"), Name: "s"}},
+			SharedAgg)
+		ha.RowExec = true
+		drainAll(b, ha)
+	}
+	b.ReportMetric(float64(b.N)*rows/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkHashJoinBuildProbeRowExec(b *testing.B) {
+	const buildRows, probeRows = 20_000, 200_000
+	sch, _ := benchPartition(b, 1)
+	bp := buildPartition(sch, buildRows, 64*1024, func(i int, rec []byte) {
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i)))
+	})
+	pp := buildPartition(sch, probeRows, 64*1024, func(i int, rec []byte) {
+		types.PutValue(rec, sch, 0, types.IntVal(int64(i%(buildRows*2))))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hj := NewHashJoin(NewScan(bp), NewScan(pp), sch, sch,
+			[]expr.Expr{expr.NewCol(0, "k")}, []expr.Expr{expr.NewCol(0, "k")})
+		hj.RowExec = true
+		drainAll(b, hj)
+	}
+	b.ReportMetric(float64(b.N)*probeRows/b.Elapsed().Seconds(), "probe-tuples/s")
+}

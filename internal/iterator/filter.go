@@ -1,6 +1,7 @@
 package iterator
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/block"
@@ -8,15 +9,32 @@ import (
 	"repro/internal/types"
 )
 
+// selPool recycles selection-vector buffers across Next calls; workers
+// call Next concurrently, so the buffer cannot live on the iterator.
+var selPool = sync.Pool{New: func() any { return make([]int32, 0, 1024) }}
+
+func getSel() []int32  { return selPool.Get().([]int32)[:0] }
+func putSel(s []int32) { selPool.Put(s) }
+
 // Filter drops tuples failing a predicate. Its state (the compiled
 // predicate) is read-only after Open, so Next needs no synchronization
 // (Appendix A.2.3). The operator keeps cumulative input/output counters
 // to stamp downstream visit rates with its running selectivity
 // (Section 4.3).
+//
+// By default the predicate runs block-at-a-time: a compiled
+// expr.BatchPredicate evaluates each input block into a selection
+// vector and survivors are gathered with one bulk AppendSelected copy.
+// RowExec forces the original tuple-at-a-time loop — the equivalence
+// escape hatch the metamorphic tests diff against.
 type Filter struct {
 	child Iterator
 	sch   *types.Schema
 	pred  expr.Expr
+	bpred expr.BatchPredicate
+
+	// RowExec forces row-at-a-time evaluation (set before Open).
+	RowExec bool
 
 	// BlockPerBlock, when set, makes Next consume exactly one child
 	// block per output block (possibly emitting an empty block). This
@@ -33,8 +51,13 @@ type Filter struct {
 
 // NewFilter builds a filter over child with the given predicate.
 func NewFilter(child Iterator, sch *types.Schema, pred expr.Expr) *Filter {
-	return &Filter{child: child, sch: sch, pred: pred, barrier: NewBarrier()}
+	return &Filter{child: child, sch: sch, pred: pred,
+		bpred: expr.CompilePredicate(pred, sch), barrier: NewBarrier()}
 }
+
+// Vectorized reports whether the predicate compiled entirely to fused
+// batch kernels (plan display; RowExec still bypasses them at runtime).
+func (f *Filter) Vectorized() bool { return f.bpred.Fused() }
 
 // Schema returns the (unchanged) output schema.
 func (f *Filter) Schema() *types.Schema { return f.sch }
@@ -65,6 +88,11 @@ func (f *Filter) Open(ctx *Ctx) Status {
 // Next pulls child blocks and emits the qualifying tuples.
 func (f *Filter) Next(ctx *Ctx) (*block.Block, Status) {
 	var outB *block.Block
+	var sel []int32
+	if !f.RowExec {
+		sel = getSel()
+		defer func() { putSel(sel) }()
+	}
 	target := 0
 	for {
 		in, st := f.child.Next(ctx)
@@ -84,14 +112,20 @@ func (f *Filter) Next(ctx *Ctx) (*block.Block, Status) {
 			target = outB.Cap()/2 + 1
 		}
 		n := in.NumTuples()
-		outB.EnsureRoom(n)
-		kept := 0
-		for i := 0; i < n; i++ {
-			rec := in.Row(i)
-			if expr.Truthy(f.pred.Eval(rec, f.sch)) {
-				outB.AppendRow(rec)
-				kept++
+		var kept int
+		if f.RowExec {
+			outB.EnsureRoom(n)
+			for i := 0; i < n; i++ {
+				rec := in.Row(i)
+				if expr.Truthy(f.pred.Eval(rec, f.sch)) {
+					outB.AppendRow(rec)
+					kept++
+				}
 			}
+		} else {
+			sel = f.bpred.Select(in, nil, sel)
+			outB.AppendSelected(in, sel)
+			kept = len(sel)
 		}
 		f.in.Add(int64(n))
 		f.out.Add(int64(kept))
@@ -113,20 +147,45 @@ func (f *Filter) Close() { f.child.Close() }
 
 // Project evaluates an expression list per tuple, producing a new
 // schema. Like Filter, its state is read-only after construction.
+//
+// The default path evaluates each expression column-at-a-time through
+// compiled batch kernels and scatters the typed vectors into the output
+// block's fixed-stride rows; RowExec forces the original per-tuple
+// PutValue loop.
 type Project struct {
 	child  Iterator
 	inSch  *types.Schema
 	outSch *types.Schema
 	exprs  []expr.Expr
-	opened once
+	kerns  []expr.BatchExpr
+
+	// RowExec forces row-at-a-time evaluation (set before Open).
+	RowExec bool
+
+	opened  once
 	barrier *Barrier
 }
 
 // NewProject builds a projection. outSch must have one column per
 // expression, with kinds matching the expressions' result kinds.
 func NewProject(child Iterator, inSch, outSch *types.Schema, exprs []expr.Expr) *Project {
+	kerns := make([]expr.BatchExpr, len(exprs))
+	for i, e := range exprs {
+		kerns[i] = expr.CompileBatch(e, inSch)
+	}
 	return &Project{child: child, inSch: inSch, outSch: outSch, exprs: exprs,
-		barrier: NewBarrier()}
+		kerns: kerns, barrier: NewBarrier()}
+}
+
+// Vectorized reports whether every projection expression compiled to
+// fused batch kernels (plan display).
+func (p *Project) Vectorized() bool {
+	for _, k := range p.kerns {
+		if !k.Fused() {
+			return false
+		}
+	}
+	return true
 }
 
 // Schema returns the projected schema.
@@ -149,18 +208,73 @@ func (p *Project) Next(ctx *Ctx) (*block.Block, Status) {
 	if st != OK {
 		return nil, st
 	}
-	out := block.New(p.outSch, in.NumTuples()*p.outSch.Stride(), ctx.Tracker)
+	n := in.NumTuples()
+	out := block.New(p.outSch, n*p.outSch.Stride(), ctx.Tracker)
 	out.Seq = in.Seq
 	out.Socket = in.Socket
 	out.VisitRate = in.VisitRate
-	for i := 0; i < in.NumTuples(); i++ {
-		rec := in.Row(i)
-		dst := out.AppendRowTo()
-		for c, e := range p.exprs {
-			types.PutValue(dst, p.outSch, c, e.Eval(rec, p.inSch))
+	if p.RowExec {
+		for i := 0; i < n; i++ {
+			rec := in.Row(i)
+			dst := out.AppendRowTo()
+			for c, e := range p.exprs {
+				types.PutValue(dst, p.outSch, c, e.Eval(rec, p.inSch))
+			}
+		}
+		return out, OK
+	}
+	out.SetLen(n)
+	v := expr.GetVec()
+	for c, k := range p.kerns {
+		k.EvalVec(in, nil, v)
+		writeVecColumn(out, c, v)
+	}
+	expr.PutVec(v)
+	return out, OK
+}
+
+// writeVecColumn scatters vector v into column c of every row of out,
+// mirroring types.PutValue's coercions: the column kind decides the
+// stored representation, and NULLs store as zero values (records carry
+// no null bitmap).
+func writeVecColumn(out *block.Block, c int, v *expr.Vec) {
+	sch := out.Schema()
+	col := sch.Cols[c]
+	off := sch.Offset(c)
+	st := sch.Stride()
+	buf := out.Bytes()
+	n := out.NumTuples()
+	// Kind-class mismatch between the expression and the output column
+	// (should not happen: NewProject requires matching kinds) falls back
+	// to the boxed coercion path rather than guessing.
+	if (col.Kind == types.String) != (v.Kind == types.String) {
+		for i := 0; i < n; i++ {
+			types.PutValue(buf[i*st:], sch, c, v.Value(i))
+		}
+		return
+	}
+	switch col.Kind {
+	case types.Int64, types.Date:
+		for i := 0; i < n; i++ {
+			var x int64
+			if !v.Null[i] {
+				x = v.AsInt(i)
+			}
+			types.PutInt(buf[i*st:], off, x)
+		}
+	case types.Float64:
+		for i := 0; i < n; i++ {
+			var x float64
+			if !v.Null[i] {
+				x = v.AsFloat(i)
+			}
+			types.PutFloat(buf[i*st:], off, x)
+		}
+	default: // String; NULL stores the empty string, like PutValue
+		for i := 0; i < n; i++ {
+			types.PutString(buf[i*st:], off, col.Width, v.S[i])
 		}
 	}
-	return out, OK
 }
 
 // Close implements Iterator.

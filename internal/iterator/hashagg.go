@@ -206,12 +206,25 @@ type privTable struct {
 // under the configured algorithm; Next emits result blocks from the
 // global table behind an atomic shard cursor.
 type HashAgg struct {
-	child     Iterator
-	inSch     *types.Schema
-	outSch    *types.Schema
-	keys      []expr.Expr
-	specs     []AggSpec
-	algo      AggAlgorithm
+	child  Iterator
+	inSch  *types.Schema
+	outSch *types.Schema
+	keys   []expr.Expr
+	specs  []AggSpec
+	algo   AggAlgorithm
+
+	// RowExec forces row-at-a-time key and argument computation (set
+	// before Open). The default computes group keys block-at-a-time via
+	// a BatchKeyEncoder and evaluates fused aggregate arguments
+	// column-at-a-time; both paths produce identical keys, hashes and
+	// argument values, so aggregation state is bit-equal either way.
+	RowExec bool
+
+	// argKerns[j] is the fused batch kernel for specs[j].Arg, nil when
+	// the argument is COUNT(*) or falls outside the fused shapes (those
+	// stay row-evaluated even on the batch path).
+	argKerns []expr.BatchExpr
+
 	shards    []aggShard
 	mask      uint64
 	done      *Barrier
@@ -258,6 +271,15 @@ func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
 	for i := range ha.shards {
 		ha.shards[i].groups = make(map[string]*group)
 	}
+	ha.argKerns = make([]expr.BatchExpr, len(specs))
+	for j, s := range specs {
+		if s.Arg == nil {
+			continue
+		}
+		if k := expr.CompileBatch(s.Arg, inSch); k.Fused() {
+			ha.argKerns[j] = k
+		}
+	}
 	if len(keys) == 0 {
 		// Scalar aggregation returns exactly one row even on empty
 		// input (COUNT(*) of nothing is 0): pre-seed the single group.
@@ -271,6 +293,20 @@ func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
 
 // Schema returns the aggregation output schema.
 func (ha *HashAgg) Schema() *types.Schema { return ha.outSch }
+
+// Vectorized reports whether the group keys and every aggregate
+// argument avoid the row-at-a-time fallback (plan display).
+func (ha *HashAgg) Vectorized() bool {
+	if !expr.NewBatchKeyEncoder(ha.keys, ha.inSch).Vectorized() {
+		return false
+	}
+	for j, s := range ha.specs {
+		if s.Arg != nil && ha.argKerns[j] == nil {
+			return false
+		}
+	}
+	return true
+}
 
 // Groups returns the current number of groups in the global table.
 func (ha *HashAgg) Groups() int64 { return ha.memGroups.Load() }
@@ -293,7 +329,23 @@ func (ha *HashAgg) Open(ctx *Ctx) Status {
 		}
 	}
 
-	enc := expr.NewKeyEncoder(ha.keys)
+	// Per-worker evaluation state: a key encoder plus, on the batch
+	// path, one scratch vector per fused aggregate argument.
+	var enc *expr.KeyEncoder
+	var benc *expr.BatchKeyEncoder
+	var argVecs []*expr.Vec
+	if ha.RowExec {
+		enc = expr.NewKeyEncoder(ha.keys)
+	} else {
+		benc = expr.NewBatchKeyEncoder(ha.keys, ha.inSch)
+		argVecs = make([]*expr.Vec, len(ha.specs))
+		for j, k := range ha.argKerns {
+			if k != nil {
+				argVecs[j] = new(expr.Vec)
+			}
+		}
+	}
+	argVals := make([]types.Value, len(ha.specs))
 	for {
 		b, st := ha.child.Next(ctx)
 		if st == Terminated {
@@ -312,14 +364,39 @@ func (ha *HashAgg) Open(ctx *Ctx) Status {
 			ha.lastVR.Store(b.VisitRate)
 		}
 		n := b.NumTuples()
+		if !ha.RowExec {
+			// Column passes: one vectorized sweep per key column and per
+			// fused aggregate argument, then a row loop over the results.
+			benc.EncodeBlock(b, nil)
+			for j, k := range ha.argKerns {
+				if k != nil {
+					k.EvalVec(b, nil, argVecs[j])
+				}
+			}
+		}
 		for i := 0; i < n; i++ {
 			rec := b.Row(i)
-			key := enc.Encode(rec, ha.inSch)
+			var key []byte
+			var h uint64
+			if ha.RowExec {
+				key = enc.Encode(rec, ha.inSch)
+				h = expr.Hash64(key)
+			} else {
+				key = benc.Key(i)
+				h = benc.Hash(i)
+			}
+			for j := range ha.specs {
+				if argVecs != nil && argVecs[j] != nil {
+					argVals[j] = argVecs[j].Value(i)
+				} else {
+					argVals[j] = ha.evalArg(j, rec)
+				}
+			}
 			switch ha.algo {
 			case SharedAgg:
-				ha.updateGlobal(key, rec)
+				ha.updateGlobal(key, h, rec, argVals)
 			default:
-				ha.updatePrivate(priv, key, rec)
+				ha.updatePrivate(priv, key, h, rec, argVals)
 			}
 		}
 		ha.rowsIn.Add(int64(n))
@@ -341,8 +418,10 @@ func (ha *HashAgg) Open(ctx *Ctx) Status {
 	return OK
 }
 
-func (ha *HashAgg) updateGlobal(key []byte, rec []byte) {
-	h := expr.Hash64(key)
+// updateGlobal folds one tuple into the global table. h must be
+// Hash64(key); argument values are pre-evaluated so no expression work
+// happens under the shard lock.
+func (ha *HashAgg) updateGlobal(key []byte, h uint64, rec []byte, argVals []types.Value) {
 	sh := &ha.shards[h&ha.mask]
 	sh.mu.Lock()
 	g, ok := sh.groups[string(key)]
@@ -352,27 +431,25 @@ func (ha *HashAgg) updateGlobal(key []byte, rec []byte) {
 		ha.memGroups.Add(1)
 	}
 	for j := range ha.specs {
-		v := ha.evalArg(j, rec)
-		g.cells[j].update(ha.specs[j].Func, v)
+		g.cells[j].update(ha.specs[j].Func, argVals[j])
 	}
 	sh.mu.Unlock()
 }
 
-func (ha *HashAgg) updatePrivate(priv *privTable, key []byte, rec []byte) {
+func (ha *HashAgg) updatePrivate(priv *privTable, key []byte, h uint64, rec []byte, argVals []types.Value) {
 	g, ok := priv.groups[string(key)]
 	if !ok {
 		if ha.algo == HybridAgg && len(priv.groups) >= maxPrivateGroups {
 			// Private table full: route this tuple straight to the
 			// global table (overflow flush).
-			ha.updateGlobal(key, rec)
+			ha.updateGlobal(key, h, rec, argVals)
 			return
 		}
 		g = ha.newGroup(rec)
 		priv.groups[string(key)] = g
 	}
 	for j := range ha.specs {
-		v := ha.evalArg(j, rec)
-		g.cells[j].update(ha.specs[j].Func, v)
+		g.cells[j].update(ha.specs[j].Func, argVals[j])
 	}
 }
 

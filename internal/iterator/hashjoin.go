@@ -28,6 +28,14 @@ type HashJoin struct {
 	buildKeys    []expr.Expr
 	probeKeys    []expr.Expr
 
+	// RowExec forces row-at-a-time key computation (set before Open).
+	// The default computes build and probe keys block-at-a-time through
+	// a BatchKeyEncoder: one vectorized pass per key column per block
+	// instead of an Eval + encode + hash round trip per tuple. Both
+	// paths produce byte-identical keys and Hash64 placements, so they
+	// interoperate freely.
+	RowExec bool
+
 	shards     []joinShard
 	shardMask  uint64
 	built      *Barrier
@@ -65,6 +73,13 @@ func NewHashJoin(build, probe Iterator, buildSch, probeSch *types.Schema,
 // Schema returns the join output schema.
 func (hj *HashJoin) Schema() *types.Schema { return hj.outSch }
 
+// Vectorized reports whether both key sets avoid the row-at-a-time
+// fallback when computed batch-at-a-time (plan display).
+func (hj *HashJoin) Vectorized() bool {
+	return expr.NewBatchKeyEncoder(hj.buildKeys, hj.buildSch).Vectorized() &&
+		expr.NewBatchKeyEncoder(hj.probeKeys, hj.probeSch).Vectorized()
+}
+
 // BuildRows returns the number of rows inserted into the hash table.
 func (hj *HashJoin) BuildRows() int64 { return hj.buildRows.Load() }
 
@@ -81,7 +96,15 @@ func (hj *HashJoin) Open(ctx *Ctx) Status {
 		ctx.BroadcastExit()
 		return Terminated
 	}
-	enc := expr.NewKeyEncoder(hj.buildKeys)
+	// Each worker owns its key encoder; the table inserts stay per-row
+	// under the shard locks either way.
+	var enc *expr.KeyEncoder
+	var benc *expr.BatchKeyEncoder
+	if hj.RowExec {
+		enc = expr.NewKeyEncoder(hj.buildKeys)
+	} else {
+		benc = expr.NewBatchKeyEncoder(hj.buildKeys, hj.buildSch)
+	}
 	stride := hj.buildSch.Stride()
 	for {
 		b, st := hj.build.Next(ctx)
@@ -93,10 +116,20 @@ func (hj *HashJoin) Open(ctx *Ctx) Status {
 			break
 		}
 		n := b.NumTuples()
+		if !hj.RowExec {
+			benc.EncodeBlock(b, nil)
+		}
 		for i := 0; i < n; i++ {
 			rec := b.Row(i)
-			key := enc.Encode(rec, hj.buildSch)
-			h := expr.Hash64(key)
+			var key []byte
+			var h uint64
+			if hj.RowExec {
+				key = enc.Encode(rec, hj.buildSch)
+				h = expr.Hash64(key)
+			} else {
+				key = benc.Key(i)
+				h = benc.Hash(i)
+			}
 			sh := &hj.shards[h&hj.shardMask]
 			sh.mu.Lock()
 			off := int32(len(sh.arena))
@@ -123,7 +156,13 @@ func (hj *HashJoin) Open(ctx *Ctx) Status {
 // Next probes the table with tuples from the probe side and emits
 // concatenated matches. Probing is read-only, so no locking is needed.
 func (hj *HashJoin) Next(ctx *Ctx) (*block.Block, Status) {
-	enc := expr.NewKeyEncoder(hj.probeKeys)
+	var enc *expr.KeyEncoder
+	var benc *expr.BatchKeyEncoder
+	if hj.RowExec {
+		enc = expr.NewKeyEncoder(hj.probeKeys)
+	} else {
+		benc = expr.NewBatchKeyEncoder(hj.probeKeys, hj.probeSch)
+	}
 	bStride := hj.buildSch.Stride()
 	target := block.DefaultSize/hj.outSch.Stride()/2 + 1
 	var out *block.Block
@@ -141,10 +180,20 @@ func (hj *HashJoin) Next(ctx *Ctx) (*block.Block, Status) {
 			out.Socket = in.Socket
 		}
 		n := in.NumTuples()
+		if !hj.RowExec {
+			benc.EncodeBlock(in, nil)
+		}
 		for i := 0; i < n; i++ {
 			rec := in.Row(i)
-			key := enc.Encode(rec, hj.probeSch)
-			h := expr.Hash64(key)
+			var key []byte
+			var h uint64
+			if hj.RowExec {
+				key = enc.Encode(rec, hj.probeSch)
+				h = expr.Hash64(key)
+			} else {
+				key = benc.Key(i)
+				h = benc.Hash(i)
+			}
 			sh := &hj.shards[h&hj.shardMask]
 			offs, hit := sh.table[string(key)]
 			if !hit {

@@ -55,7 +55,49 @@ func LowerOpts(root Logical, opts Options) (*Plan, error) {
 	final := lw.finishSegment(phys, nil, prop.gathered)
 	lw.plan.Final = final
 	lw.plan.OutputNames = outputNames(root)
+	for _, seg := range lw.plan.Segments {
+		annotateVec(seg.Root)
+	}
 	return &lw.plan, nil
+}
+
+// annotateVec records, per operator, whether its expression work
+// compiles entirely to fused batch kernels — the vectorization marks
+// Explain output renders as [vec]. Purely informational: the engine
+// compiles its own kernels at iterator construction.
+func annotateVec(op PhysOp) {
+	switch n := op.(type) {
+	case *PScan:
+		if n.Pred != nil {
+			n.Vectorized = expr.PredVectorized(n.Pred, n.Sch)
+		}
+	case *PFilter:
+		annotateVec(n.Child)
+		n.Vectorized = expr.PredVectorized(n.Pred, n.Child.Schema())
+	case *PProject:
+		annotateVec(n.Child)
+		n.Vectorized = expr.ProjVectorized(n.Exprs, n.Child.Schema())
+	case *PHashJoin:
+		annotateVec(n.Build)
+		annotateVec(n.Probe)
+		n.VecKeys = expr.NewBatchKeyEncoder(n.BuildKeys, n.Build.Schema()).Vectorized() &&
+			expr.NewBatchKeyEncoder(n.ProbeKeys, n.Probe.Schema()).Vectorized()
+	case *PHashAgg:
+		annotateVec(n.Child)
+		inSch := n.Child.Schema()
+		n.VecKeys = expr.NewBatchKeyEncoder(n.Keys, inSch).Vectorized()
+		for _, s := range n.Specs {
+			if s.Arg != nil && !expr.CompileBatch(s.Arg, inSch).Fused() {
+				n.VecKeys = false
+			}
+		}
+	case *PSort:
+		annotateVec(n.Child)
+	case *PTopN:
+		annotateVec(n.Child)
+	case *PLimit:
+		annotateVec(n.Child)
+	}
 }
 
 // partProp is the partitioning property of a physical subtree.

@@ -23,6 +23,9 @@ type PScan struct {
 	Alias string
 	Pred  expr.Expr
 	Sch   *types.Schema // qualified schema
+	// Vectorized reports whether Pred compiles entirely to fused batch
+	// kernels (set by the post-lowering annotate pass; Explain only).
+	Vectorized bool
 }
 
 // Schema implements PhysOp.
@@ -32,6 +35,9 @@ func (s *PScan) Schema() *types.Schema { return s.Sch }
 type PFilter struct {
 	Child PhysOp
 	Pred  expr.Expr
+	// Vectorized reports whether Pred compiles entirely to fused batch
+	// kernels (Explain only).
+	Vectorized bool
 }
 
 // Schema implements PhysOp.
@@ -42,6 +48,9 @@ type PProject struct {
 	Child PhysOp
 	Exprs []expr.Expr
 	Sch   *types.Schema
+	// Vectorized reports whether every expression compiles entirely to
+	// fused batch kernels (Explain only).
+	Vectorized bool
 }
 
 // Schema implements PhysOp.
@@ -50,9 +59,12 @@ func (p *PProject) Schema() *types.Schema { return p.Sch }
 // PHashJoin joins Build and Probe within one segment; either child may
 // be a PMerger rooting a network input.
 type PHashJoin struct {
-	Build, Probe        PhysOp
+	Build, Probe         PhysOp
 	BuildKeys, ProbeKeys []expr.Expr
 	Sch                  *types.Schema
+	// VecKeys reports whether both key sets compile to fused batch
+	// kernels (Explain only).
+	VecKeys bool
 }
 
 // Schema implements PhysOp.
@@ -66,6 +78,9 @@ type PHashAgg struct {
 	Specs    []iterator.AggSpec
 	Algo     iterator.AggAlgorithm
 	Sch      *types.Schema
+	// VecKeys reports whether the group keys and every aggregate
+	// argument compile to fused batch kernels (Explain only).
+	VecKeys bool
 }
 
 // Schema implements PhysOp.
@@ -179,23 +194,23 @@ func renderOp(sb *strings.Builder, op PhysOp, depth int) {
 	case *PScan:
 		fmt.Fprintf(sb, "%sscan %s", pad, n.Table.Name)
 		if n.Pred != nil {
-			fmt.Fprintf(sb, " filter %s", n.Pred)
+			fmt.Fprintf(sb, " filter %s%s", n.Pred, vecTag(n.Vectorized))
 		}
 		sb.WriteByte('\n')
 	case *PFilter:
-		fmt.Fprintf(sb, "%sfilter %s\n", pad, n.Pred)
+		fmt.Fprintf(sb, "%sfilter %s%s\n", pad, n.Pred, vecTag(n.Vectorized))
 		renderOp(sb, n.Child, depth+1)
 	case *PProject:
-		fmt.Fprintf(sb, "%sproject (%d exprs)\n", pad, len(n.Exprs))
+		fmt.Fprintf(sb, "%sproject (%d exprs)%s\n", pad, len(n.Exprs), vecTag(n.Vectorized))
 		renderOp(sb, n.Child, depth+1)
 	case *PHashJoin:
-		fmt.Fprintf(sb, "%shash join\n", pad)
+		fmt.Fprintf(sb, "%shash join%s\n", pad, vecTag(n.VecKeys))
 		fmt.Fprintf(sb, "%s  build:\n", pad)
 		renderOp(sb, n.Build, depth+2)
 		fmt.Fprintf(sb, "%s  probe:\n", pad)
 		renderOp(sb, n.Probe, depth+2)
 	case *PHashAgg:
-		fmt.Fprintf(sb, "%shash agg (%d keys, %d aggs)\n", pad, len(n.Keys), len(n.Specs))
+		fmt.Fprintf(sb, "%shash agg (%d keys, %d aggs)%s\n", pad, len(n.Keys), len(n.Specs), vecTag(n.VecKeys))
 		renderOp(sb, n.Child, depth+1)
 	case *PSort:
 		fmt.Fprintf(sb, "%ssort (%d keys)\n", pad, len(n.Keys))
@@ -209,4 +224,13 @@ func renderOp(sb *strings.Builder, op PhysOp, depth int) {
 	case *PMerger:
 		fmt.Fprintf(sb, "%smerger (exchange %d)\n", pad, n.Exchange)
 	}
+}
+
+// vecTag renders the Explain marker for operators whose expression work
+// runs entirely on fused batch kernels.
+func vecTag(v bool) string {
+	if v {
+		return " [vec]"
+	}
+	return ""
 }

@@ -276,6 +276,18 @@ func GetString(rec []byte, off, width int) string {
 	return string(b)
 }
 
+// GetStringBytes reads a fixed-width string field as a byte-slice view
+// into the record, trimming NUL padding. Unlike GetString it performs no
+// allocation; batch kernels (LIKE, comparisons, key encoding) use it to
+// stay allocation-free per tuple. The view must not outlive the record.
+func GetStringBytes(rec []byte, off, width int) []byte {
+	b := rec[off : off+width]
+	if i := indexZero(b); i >= 0 {
+		b = b[:i]
+	}
+	return b
+}
+
 // PutString writes a fixed-width string field, truncating or NUL-padding.
 func PutString(rec []byte, off, width int, v string) {
 	b := rec[off : off+width]

@@ -26,18 +26,34 @@ import (
 	"repro/internal/expr"
 	"repro/internal/iterator"
 	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
 func main() {
 	var (
-		id      = flag.Int("id", 0, "this node's id")
-		listen  = flag.String("listen", ":7100", "listen address")
-		peerStr = flag.String("peers", "", "comma-separated id=host:port list (all nodes)")
-		drive   = flag.Bool("drive", false, "drive a throughput test against the mesh")
-		rows    = flag.Int("rows", 2_000_000, "rows to ship in the throughput test")
+		id       = flag.Int("id", 0, "this node's id")
+		listen   = flag.String("listen", ":7100", "listen address")
+		peerStr  = flag.String("peers", "", "comma-separated id=host:port list (all nodes)")
+		drive    = flag.Bool("drive", false, "drive a throughput test against the mesh")
+		rows     = flag.Int("rows", 2_000_000, "rows to ship in the throughput test")
+		httpAddr = flag.String("http", "",
+			"serve the observability HTTP API on this address, e.g. :8081 "+
+				"(/metrics, /queries, /debug/pprof/)")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		reg := telemetry.NewRegistry(true)
+		telemetry.SetDefaultRegistry(reg)
+		srv, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("observability HTTP on http://%s (/metrics /queries /debug/pprof/)", srv.Addr())
+	}
 
 	peers := map[int]string{}
 	for _, p := range strings.Split(*peerStr, ",") {

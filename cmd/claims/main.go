@@ -22,6 +22,9 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sql"
 	"repro/internal/sse"
 	"repro/internal/telemetry"
 	"repro/internal/tpch"
@@ -44,8 +47,25 @@ func main() {
 			"inject faults, e.g. drop=0.01,delay=5ms,seed=7 (see internal/faults)")
 		rowExec = flag.Bool("rowexec", false,
 			"force row-at-a-time expression evaluation (disable batch kernels)")
+		httpAddr = flag.String("http", "",
+			"serve the observability HTTP API on this address, e.g. :8080 "+
+				"(/metrics, /queries, /queries/<id>/trace, /debug/pprof/)")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		// The registry captures spans, so every query run while the
+		// server is up is fully traced and its per-operator counters are
+		// live on /metrics.
+		reg := telemetry.NewRegistry(true)
+		telemetry.SetDefaultRegistry(reg)
+		srv, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability HTTP on http://%s (/metrics /queries /debug/pprof/)\n", srv.Addr())
+	}
 
 	if *faultSpec != "" {
 		fc, err := faults.Parse(*faultSpec)
@@ -112,7 +132,7 @@ func main() {
 		return
 	}
 
-	fmt.Println(`type SQL terminated by ';' — \q quits, \mode shows the execution mode, \telemetry the event summary`)
+	fmt.Println(`type SQL terminated by ';' — EXPLAIN [ANALYZE] <query> shows the (measured) plan; \q quits, \mode shows the execution mode, \telemetry the event summary`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -146,7 +166,28 @@ func main() {
 }
 
 func runQuery(c *engine.Cluster, q string) {
-	res, err := c.Run(strings.TrimSuffix(strings.TrimSpace(q), ";"))
+	stmt, explain, analyze := sql.StripExplain(strings.TrimSuffix(strings.TrimSpace(q), ";"))
+	switch {
+	case explain && analyze:
+		// Execute with instrumentation and print the annotated plan
+		// instead of the rows.
+		_, an, err := c.ExplainAnalyze(stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Print(an.Render())
+		return
+	case explain:
+		p, err := plan.Compile(stmt, c.Catalog())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Print(p.String())
+		return
+	}
+	res, err := c.Run(stmt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return

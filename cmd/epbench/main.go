@@ -54,10 +54,20 @@ func expNames() []string {
 }
 
 func main() {
+	// All work happens in run so its defers — in particular the -trace
+	// and -spans sink flushes — run on every exit path, error exits
+	// included (os.Exit skips defers).
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all",
 		"experiment: "+strings.Join(expNames(), "|"))
 	trace := flag.String("trace", "",
 		"write every telemetry event as JSON lines to this file")
+	spans := flag.String("spans", "",
+		"trace every query's spans and write them as Chrome trace-event JSON "+
+			"to this file (load in Perfetto or chrome://tracing)")
 	faultSpec := flag.String("faults", "",
 		"inject faults into every experiment's cluster, e.g. drop=0.01,delay=5ms,seed=7")
 	rowExec := flag.Bool("rowexec", false,
@@ -74,7 +84,7 @@ func main() {
 		fc, err := faults.Parse(*faultSpec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "epbench: -faults: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		faults.SetDefault(faults.New(fc))
 		fmt.Fprintf(os.Stderr, "epbench: fault injection on: %s\n", fc.String())
@@ -90,24 +100,45 @@ func main() {
 	if !valid {
 		fmt.Fprintf(os.Stderr, "epbench: unknown experiment %q (valid: %s)\n",
 			*exp, strings.Join(expNames(), ", "))
-		os.Exit(2)
+		return 2
 	}
 
-	flush := func() {}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "epbench: -trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		sink := telemetry.NewJSONLSink(f)
 		telemetry.AttachDefault(sink)
-		flush = func() {
+		// Deferred, not called at the end: a failing experiment must
+		// still leave a complete, flushed JSONL file behind — the trace
+		// of a failed run is exactly the one worth reading.
+		defer func() {
 			if err := sink.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "epbench: -trace flush: %v\n", err)
 			}
 			f.Close()
+		}()
+	}
+
+	if *spans != "" {
+		// Open up front so an unwritable path fails before the experiment
+		// runs, not after; the trace itself is written at teardown.
+		f, err := os.Create(*spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epbench: -spans: %v\n", err)
+			return 1
 		}
+		spanSink := telemetry.NewMemSink(telemetry.KindSpan)
+		telemetry.EnableSpansByDefault() // every query scope traces; engine auto-instruments
+		telemetry.AttachDefault(spanSink)
+		defer func() {
+			defer f.Close()
+			if err := telemetry.WriteChromeTrace(f, spanSink.Events()); err != nil {
+				fmt.Fprintf(os.Stderr, "epbench: -spans: %v\n", err)
+			}
+		}()
 	}
 
 	for _, e := range experiments() {
@@ -117,10 +148,9 @@ func main() {
 		rep, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "epbench: %s: %v\n", e.name, err)
-			flush()
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(rep)
 	}
-	flush()
+	return 0
 }

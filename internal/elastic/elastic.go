@@ -74,6 +74,9 @@ type worker struct {
 	began   atomic.Int64  // ns timestamp when data processing began
 	termAt  atomic.Int64  // ns timestamp when termination was requested
 	done    chan struct{} // closed when the goroutine exits
+	// expandSpan traces Expand-to-first-work when span tracing is on
+	// (nil otherwise); ended exactly once by the worker goroutine.
+	expandSpan *telemetry.Span
 }
 
 // delayRecorder keeps the most recent delays for Figure 9 measurements.
@@ -148,6 +151,11 @@ func (e *Elastic) Expand(core, socket int) int {
 		e.cfg.Scope.Emit(telemetry.WorkerExpand{
 			Node: e.cfg.Node, Segment: e.cfg.Name, Workers: pool, Core: core,
 		})
+		e.cfg.Scope.Gauge(telemetry.GaugeSegWorkers(e.cfg.Name)).Set(int64(pool))
+		// The expansion span covers request-to-first-work — the Figure 9a
+		// expansion latency, visible per worker in the trace view.
+		w.expandSpan = e.cfg.Scope.StartSpan("expand", "elastic").
+			WithNode(e.cfg.Node).WithWorker(id).WithSegment(e.cfg.Name)
 	}
 	go e.run(w)
 	return id
@@ -175,10 +183,16 @@ func (e *Elastic) Shrink() <-chan time.Duration {
 	if victim == nil {
 		return nil
 	}
+	var shrinkSpan *telemetry.Span
 	if e.cfg.Scope != nil {
 		e.cfg.Scope.Emit(telemetry.WorkerShrink{
 			Node: e.cfg.Node, Segment: e.cfg.Name, Workers: remaining,
 		})
+		e.cfg.Scope.Gauge(telemetry.GaugeSegWorkers(e.cfg.Name)).Set(int64(remaining))
+		// The shrink span covers request-to-detach — the Figure 9b
+		// shrinkage latency.
+		shrinkSpan = e.cfg.Scope.StartSpan("shrink", "elastic").
+			WithNode(e.cfg.Node).WithWorker(victim.id).WithSegment(e.cfg.Name)
 	}
 	victim.termAt.Store(time.Now().UnixNano())
 	victim.ctx.Term.Request()
@@ -187,6 +201,7 @@ func (e *Elastic) Shrink() <-chan time.Duration {
 		<-victim.done
 		d := time.Duration(time.Now().UnixNano() - victim.termAt.Load())
 		e.shrinkDelays.add(d)
+		shrinkSpan.End()
 		out <- d
 	}()
 	return out
@@ -200,6 +215,7 @@ func (e *Elastic) run(w *worker) {
 		w.began.Store(time.Now().UnixNano())
 	}
 	e.expandDelays.add(time.Duration(w.began.Load() - w.started.UnixNano()))
+	w.expandSpan.End()
 	if st == iterator.Terminated {
 		return
 	}
@@ -266,6 +282,9 @@ func (e *Elastic) finish(w *worker) {
 		// buffer reached end-of-flow.
 		if e.cfg.Scope != nil {
 			e.cfg.Scope.Emit(telemetry.Barrier{Node: e.cfg.Node, Segment: e.cfg.Name})
+			// Instant span so the barrier shows up on the trace timeline.
+			e.cfg.Scope.StartSpan("barrier", "elastic").
+				WithNode(e.cfg.Node).WithSegment(e.cfg.Name).End()
 		}
 	}
 }

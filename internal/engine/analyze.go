@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/telemetry"
+)
+
+// ExplainAnalyze compiles and executes a query with per-operator
+// instrumentation on, returning the result together with an Analysis:
+// the physical plan annotated with measured rows, blocks, operator
+// time, exchange traffic and worker parallelism. Every number in the
+// analysis is read back from the query's telemetry scope — the same
+// counters, gauges and events any attached sink observes — so the
+// annotated plan cannot drift from the telemetry stream.
+func (c *Cluster) ExplainAnalyze(query string) (*Result, *Analysis, error) {
+	return c.ExplainAnalyzeScoped(query, newQueryScope())
+}
+
+// ExplainAnalyzeScoped is ExplainAnalyze under a caller-owned scope.
+func (c *Cluster) ExplainAnalyzeScoped(query string, sc *telemetry.Scope) (*Result, *Analysis, error) {
+	p, err := plan.Compile(query, c.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	az := &analyzeState{}
+	res, err := c.runPlan(p, sc, query, az)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, az.an, nil
+}
+
+// analyzeState collects the extra measurements EXPLAIN ANALYZE reports
+// beyond the always-on scope instruments: per-exchange traffic (from
+// BlockSent events) and, after the run, the per-operator counter and
+// per-segment gauge snapshot packaged as an Analysis.
+type analyzeState struct {
+	sent *telemetry.MemSink
+	an   *Analysis
+}
+
+// attach hooks the state into a starting execution.
+func (az *analyzeState) attach(e *exec) {
+	az.sent = telemetry.NewMemSink(telemetry.KindBlockSent)
+	e.scope.Attach(az.sent)
+}
+
+// finish snapshots the completed execution into an Analysis.
+func (az *analyzeState) finish(e *exec) {
+	an := &Analysis{
+		Plan:     e.p,
+		Scope:    e.scope,
+		Mode:     e.c.cfg.Mode.String(),
+		Nodes:    e.c.cfg.Nodes,
+		Duration: e.scope.Elapsed() - e.startAt,
+		ops:      e.ops,
+		exBytes:  map[int]int64{},
+		exBlocks: map[int]int64{},
+		exRows:   map[int]int64{},
+		segPeak:  map[string]int64{},
+		segMean:  map[string]float64{},
+	}
+	for _, ev := range az.sent.Events() {
+		bs := ev.Rec.(telemetry.BlockSent)
+		an.exBytes[bs.Exchange] += int64(bs.Bytes)
+		an.exBlocks[bs.Exchange]++
+		an.exRows[bs.Exchange] += int64(bs.Tuples)
+	}
+	// Worker parallelism: peak from the per-segment worker gauge (set on
+	// every expand/shrink), mean from the 25ms parallelism samples.
+	// Zero-worker samples are taken after the segment hit its barrier
+	// (the sampler outlives individual segments), so they are not part
+	// of the segment's execution and are excluded; short queries may
+	// finish between samples entirely, in which case the mean falls back
+	// to the peak.
+	counts := map[string]int{}
+	for _, ev := range e.traceSink.Events() {
+		for seg, w := range ev.Rec.(telemetry.ParallelismSample).Parallelism {
+			if w > 0 {
+				an.segMean[seg] += float64(w)
+				counts[seg]++
+			}
+		}
+	}
+	for _, s := range e.p.Segments {
+		name := fmt.Sprintf("S%d", s.ID)
+		peak := e.scope.Gauge(telemetry.GaugeSegWorkers(name)).Peak()
+		an.segPeak[name] = peak
+		if n := counts[name]; n > 0 {
+			an.segMean[name] /= float64(n)
+		} else {
+			an.segMean[name] = float64(peak)
+		}
+	}
+	az.an = an
+}
+
+// Analysis is the measured view of one executed plan, rendered by
+// EXPLAIN ANALYZE. All figures are cluster-wide totals: the plan's
+// operator templates are instantiated once per node, and the instances
+// share counters keyed by plan-node id.
+type Analysis struct {
+	Plan  *plan.Plan
+	Scope *telemetry.Scope
+	Mode  string
+	Nodes int
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+
+	ops      map[plan.PhysOp]int
+	exBytes  map[int]int64 // exchange id → bytes crossing node boundaries
+	exBlocks map[int]int64
+	exRows   map[int]int64
+	segPeak  map[string]int64
+	segMean  map[string]float64
+}
+
+// OpID returns the instrumentation id of a plan operator — the <id> in
+// its op.<id>.* scope counters.
+func (a *Analysis) OpID(op plan.PhysOp) (int, bool) {
+	id, ok := a.ops[op]
+	return id, ok
+}
+
+// OpStats returns an operator's measured totals, straight from the
+// scope counters the execution wrote. busy is cumulative worker time
+// inside the operator's Open and Next — Open included because blocking
+// operators (hash agg, hash join build, sort) do their real work
+// draining the child during Open, with Next just replaying results.
+func (a *Analysis) OpStats(op plan.PhysOp) (rows, blocks int64, busy time.Duration) {
+	id, ok := a.ops[op]
+	if !ok {
+		return 0, 0, 0
+	}
+	return a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpRows)).Load(),
+		a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpBlocks)).Load(),
+		time.Duration(a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpBusyNs)).Load() +
+			a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpOpenNs)).Load())
+}
+
+// ExchangeStats returns an exchange's measured cross-node traffic.
+// Co-located producer/consumer instances short-circuit locally and do
+// not count (matching the net.bytes counter).
+func (a *Analysis) ExchangeStats(ex int) (rows, blocks, bytes int64) {
+	return a.exRows[ex], a.exBlocks[ex], a.exBytes[ex]
+}
+
+// SegmentWorkers returns a segment's worker-parallelism peak and mean.
+func (a *Analysis) SegmentWorkers(seg *plan.Segment) (peak int64, mean float64) {
+	name := fmt.Sprintf("S%d", seg.ID)
+	return a.segPeak[name], a.segMean[name]
+}
+
+// selfTime is an operator's busy time minus its children's: the time
+// workers spent in this operator itself. Busy time is cumulative across
+// concurrent workers, so totals can exceed wall time.
+func (a *Analysis) selfTime(op plan.PhysOp) time.Duration {
+	_, _, busy := a.OpStats(op)
+	for _, c := range plan.Children(op) {
+		_, _, cb := a.OpStats(c)
+		busy -= cb
+	}
+	if busy < 0 {
+		busy = 0
+	}
+	return busy
+}
+
+// Render renders the analyzed plan: the EXPLAIN tree with a measurement
+// suffix on every line.
+func (a *Analysis) Render() string {
+	head := fmt.Sprintf("mode=%s nodes=%d duration=%v\n",
+		a.Mode, a.Nodes, a.Duration.Round(time.Microsecond))
+	return head + a.Plan.Render(plan.Annotations{
+		Op: func(op plan.PhysOp) string {
+			rows, blocks, busy := a.OpStats(op)
+			return fmt.Sprintf("  (rows=%d blocks=%d time=%v self=%v)",
+				rows, blocks,
+				busy.Round(time.Microsecond),
+				a.selfTime(op).Round(time.Microsecond))
+		},
+		Segment: func(s *plan.Segment) string {
+			peak, mean := a.SegmentWorkers(s)
+			return fmt.Sprintf("  (workers peak=%d mean=%.1f)", peak, mean)
+		},
+		Out: func(s *plan.Segment) string {
+			ex := resultExchangeID
+			if s.Out != nil {
+				ex = s.Out.Exchange
+			}
+			rows, blocks, bytes := a.ExchangeStats(ex)
+			return fmt.Sprintf("  (rows=%d blocks=%d net=%dB)", rows, blocks, bytes)
+		},
+	})
+}

@@ -20,11 +20,7 @@ const resultExchangeID = 1 << 20
 
 // Run compiles and executes a SQL query.
 func (c *Cluster) Run(query string) (*Result, error) {
-	p, err := plan.Compile(query, c.cat)
-	if err != nil {
-		return nil, err
-	}
-	return c.RunPlan(p)
+	return c.RunScoped(query, newQueryScope())
 }
 
 // RunScoped compiles and executes a SQL query under the given telemetry
@@ -34,7 +30,7 @@ func (c *Cluster) RunScoped(query string, sc *telemetry.Scope) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return c.RunPlanScoped(p, sc)
+	return c.runPlan(p, sc, query, nil)
 }
 
 // queryScopeSeq numbers the auto-created query scopes of a process.
@@ -79,6 +75,14 @@ type exec struct {
 	memGauge  *telemetry.Gauge
 	traceSink *telemetry.MemSink // retains ParallelismSample events
 	startAt   time.Duration      // scope clock when execution began
+
+	// ops assigns plan-operator ids for per-operator instrumentation.
+	// Nil on the default path: no iterator wrapping, no extra counters —
+	// the hot loops run exactly as without observability. Populated for
+	// analyzed or span-traced queries; ids are per plan-template node, so
+	// the per-node instantiations of one segment share counters and
+	// aggregate cluster-wide by construction.
+	ops map[plan.PhysOp]int
 }
 
 // fail records the query's first error and tears the dataflow down:
@@ -119,15 +123,33 @@ func (e *exec) nodesOf(seg *plan.Segment) []int {
 	return nodes
 }
 
+// newQueryScope creates the auto-named telemetry scope of one query.
+func newQueryScope() *telemetry.Scope {
+	return telemetry.NewScope(fmt.Sprintf("q%d", queryScopeSeq.Add(1)))
+}
+
 // RunPlan executes a compiled plan under the cluster's mode, with a
 // fresh telemetry scope per query.
 func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
-	return c.RunPlanScoped(p, telemetry.NewScope(fmt.Sprintf("q%d", queryScopeSeq.Add(1))))
+	return c.RunPlanScoped(p, newQueryScope())
 }
 
 // RunPlanScoped executes a compiled plan under the cluster's mode,
 // recording all measurements on the given scope.
 func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, error) {
+	return c.runPlan(p, sc, "", nil)
+}
+
+// runPlan is the single execution entry point behind Run/RunScoped/
+// RunPlan/RunPlanScoped and ExplainAnalyze. sqlText (when known) labels
+// the query in the process registry; az non-nil collects the extra
+// per-exchange measurements EXPLAIN ANALYZE reports.
+func (c *Cluster) runPlan(p *plan.Plan, sc *telemetry.Scope, sqlText string, az *analyzeState) (res *Result, err error) {
+	qrec := telemetry.DefaultRegistry().Begin(sc, sqlText)
+	defer func() { telemetry.DefaultRegistry().Finish(qrec, err) }()
+	qsp := sc.StartSpan("query", "query")
+	defer qsp.End()
+
 	e := &exec{
 		c: c, p: p,
 		tracker:   block.NewTracker(),
@@ -141,7 +163,25 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 		startAt:   sc.Elapsed(),
 	}
 	sc.Attach(e.traceSink)
+	if az != nil {
+		az.attach(e)
+	}
+	// Per-operator instrumentation is keyed off the same switch that
+	// turns on spans: analyzed queries and span-traced queries get the
+	// iterator.Instrumented wrappers, everything else runs the bare
+	// iterator chain.
+	if az != nil || sc.SpansEnabled() {
+		e.ops = make(map[plan.PhysOp]int)
+		for _, s := range p.Segments {
+			plan.Walk(s.Root, func(op plan.PhysOp) {
+				if _, ok := e.ops[op]; !ok {
+					e.ops[op] = len(e.ops)
+				}
+			})
+		}
+	}
 	sc.Emit(telemetry.QueryPhase{Phase: "start", Detail: c.cfg.Mode.String()})
+	wireSp := sc.StartSpan("wire", "query")
 
 	segByID := make(map[int]*plan.Segment)
 	for _, s := range p.Segments {
@@ -184,6 +224,8 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 			e.insts = append(e.insts, inst)
 		}
 	}
+	wireSp.End()
+	execSp := sc.StartSpan("execute", "query")
 
 	// Result reader drains the collector concurrently so bounded
 	// buffers never stall the final senders.
@@ -216,7 +258,6 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 	}
 
 	// Execute under the selected mode.
-	var err error
 	switch c.cfg.Mode {
 	case ME:
 		err = e.runMaterialized()
@@ -236,9 +277,11 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 		// collector's inboxes.
 		e.fail(err)
 		<-resDone
+		execSp.End()
 		return nil, err
 	}
 	<-resDone
+	execSp.End()
 
 	// Final peak estimate: the exchange tracker records its own
 	// high-water mark (covering sub-sampling-interval queries), and
@@ -254,8 +297,11 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 	}
 	e.memGauge.Set(finalMem) // raises the gauge peak if exceeded
 	e.scope.Emit(telemetry.QueryPhase{Phase: "end"})
+	if az != nil {
+		az.finish(e)
+	}
 
-	res := &Result{
+	res = &Result{
 		Names:  p.OutputNames,
 		Schema: p.Final.Root.Schema(),
 		Blocks: resBlocks,
@@ -325,8 +371,21 @@ func (e *exec) instantiate(seg *plan.Segment, node int) (*segInst, error) {
 	return inst, nil
 }
 
-// buildOp lowers a physical operator template into iterators on a node.
+// buildOp lowers a physical operator template into iterators on a
+// node, wrapping each operator in per-operator accounting when the
+// query is analyzed or span-traced (e.ops non-nil). The wrapper writes
+// the op.<id>.* counters EXPLAIN ANALYZE reads, so the annotated plan
+// and the telemetry stream cannot disagree.
 func (e *exec) buildOp(op plan.PhysOp, node int, inst *segInst) (iterator.Iterator, error) {
+	it, err := e.buildOpInner(op, node, inst)
+	if err != nil || e.ops == nil {
+		return it, err
+	}
+	return iterator.Instrument(it, e.scope, e.ops[op], plan.OpLabel(op),
+		fmt.Sprintf("S%d", inst.seg.ID), node), nil
+}
+
+func (e *exec) buildOpInner(op plan.PhysOp, node int, inst *segInst) (iterator.Iterator, error) {
 	switch n := op.(type) {
 	case *plan.PScan:
 		part, err := e.c.store(node).Partition(n.Table.Name)
@@ -439,8 +498,14 @@ func (e *exec) startInst(inst *segInst, parallelism int) {
 	for i := 0; i < parallelism; i++ {
 		e.expand(inst)
 	}
+	// One span covers the instance's whole lifetime: first worker start
+	// to sender drain. Started here (not in the goroutine) so its begin
+	// timestamp orders before any worker span of the segment.
+	segSp := e.scope.StartSpan("segment", "segment").
+		WithNode(inst.node).WithSegment(fmt.Sprintf("S%d", inst.seg.ID))
 	go func() {
 		defer close(inst.done)
+		defer segSp.End()
 		ctx := &iterator.Ctx{Term: &iterator.TermFlag{}}
 		if err := inst.sender.Run(ctx); err != nil {
 			e.fail(fmt.Errorf("segment S%d on node %d: %w", inst.seg.ID, inst.node, err))

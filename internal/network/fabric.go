@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -88,6 +89,15 @@ func (o *scopedOutbox) Send(dest int, b *block.Block) error {
 			Tuples:   b.NumTuples(),
 			Bytes:    wire,
 		})
+		// The send span covers the cross-node handoff incl. backpressure
+		// and bandwidth waits; recv-side time shows as the consuming
+		// merger operator's busy time.
+		sp := o.scope.StartSpan("send ex"+strconv.Itoa(o.exchange), "net").
+			WithNode(o.node).WithRows(int64(b.NumTuples())).
+			WithBlocks(1).WithBytes(int64(wire))
+		err := o.inner.Send(dest, b)
+		sp.End()
+		return err
 	}
 	return o.inner.Send(dest, b)
 }

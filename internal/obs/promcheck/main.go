@@ -1,0 +1,35 @@
+// Command promcheck validates that a file parses as Prometheus text
+// exposition format (version 0.0.4) under the strict parser in
+// internal/obs — the CI obs-smoke job runs it against a live /metrics
+// scrape, so a format regression fails the build.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck <metrics-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	samples, families, err := obs.ParseProm(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: exposition has no samples")
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d samples across %d families\n", len(samples), len(families))
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format, version 0.0.4 — written by the
+// /metrics handler and re-parsed by ParseProm. The parser exists so the
+// tests and the CI smoke job can validate the endpoint round-trips
+// through an independent reading of the format (no client library —
+// the repo takes no dependencies).
+
+// Sample is one exposed metric sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// promEscape escapes a label value per the text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promWriter accumulates one exposition, grouping samples by family so
+// each family's # HELP/# TYPE header is written exactly once.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+}
+
+func (p *promWriter) sample(name string, labels [][2]string, v float64) {
+	if p.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, kv := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `%s="%s"`, kv[0], promEscape(kv[1]))
+		}
+		sb.WriteByte('}')
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s %s\n", sb.String(), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// ParseProm parses a Prometheus text-format exposition, returning the
+// samples and the family types declared by # TYPE lines. It is strict
+// about structure: every non-comment line must be a well-formed sample,
+// every sample's family must have been declared, and label syntax must
+// balance — so a passing parse is meaningful format validation.
+func ParseProm(r io.Reader) (samples []Sample, types map[string]string, err error) {
+	types = make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					types[fields[2]] = fields[3]
+				default:
+					return nil, nil, fmt.Errorf("promtext: line %d: unknown type %q", lineNo, fields[3])
+				}
+			}
+			continue // HELP and other comments
+		}
+		s, perr := parsePromSample(line)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("promtext: line %d: %w", lineNo, perr)
+		}
+		if _, ok := types[s.Name]; !ok {
+			return nil, nil, fmt.Errorf("promtext: line %d: sample %q has no # TYPE declaration", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, nil, serr
+	}
+	return samples, types, nil
+}
+
+// parsePromSample parses one `name{k="v",...} value [ts]` line.
+func parsePromSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parsePromLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after %q", s.Name)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses a `{k="v",...}` block starting at in[0] == '{'
+// and returns the index just past the closing brace.
+func parsePromLabels(in string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", in)
+		}
+		key := in[i : i+eq]
+		if !validMetricName(key) {
+			return 0, fmt.Errorf("bad label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: expected quoted value", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[key] = val.String()
+	}
+}
+
+// validMetricName checks the [a-zA-Z_:][a-zA-Z0-9_:]* rule (labels may
+// not contain ':' but the stricter check costs nothing here).
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && !(i > 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys is a tiny helper for deterministic exposition order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,195 @@
+// Package obs is the live observability surface: an opt-in admin HTTP
+// server exposing the process's telemetry — Prometheus-format metrics,
+// the query registry as JSON, per-query span traces in Chrome
+// trace-event format, and the standard pprof profiling endpoints.
+//
+//	GET /metrics                  Prometheus text exposition
+//	GET /queries                  in-flight + recent queries (JSON)
+//	GET /queries/<id>/trace       span trace (Chrome trace-event JSON)
+//	GET /debug/pprof/...          net/http/pprof
+//
+// The server reads everything through a telemetry.Registry, so it sits
+// entirely outside the execution paths: binaries that do not pass
+// -http never construct it, and nothing here runs per tuple.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server is a running admin HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *telemetry.Registry
+}
+
+// Serve starts the admin server on addr (e.g. ":8080"; use ":0" for an
+// ephemeral port — Addr reports the bound address). The registry may be
+// nil, in which case query-derived sections are empty.
+func Serve(addr string, reg *telemetry.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	s := &Server{ln: ln, reg: reg}
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed
+	return s, nil
+}
+
+// Handler returns the server's routing table; exposed so tests can
+// drive it through httptest without binding a socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/queries/", s.handleQueryTrace)
+	// net/http/pprof registers on http.DefaultServeMux from init; the
+	// explicit routes keep the admin mux self-contained instead of
+	// exposing whatever else the process put on the default mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// handleMetrics writes the Prometheus text exposition: process-level
+// query totals plus, per tracked query, every counter and gauge of its
+// telemetry scope as generic families labeled {query, name}. The
+// registry bounds the finished-query history, so series cardinality is
+// bounded too.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := &promWriter{w: w}
+
+	var started, done int64
+	var queries []*telemetry.QueryRecord
+	if s.reg != nil {
+		started, done = s.reg.Counts()
+		queries = s.reg.Queries()
+	}
+	live := 0
+	for _, q := range queries {
+		if q.State() == "running" {
+			live++
+		}
+	}
+	p.family("claims_queries_started_total", "Queries begun since process start.", "counter")
+	p.sample("claims_queries_started_total", nil, float64(started))
+	p.family("claims_queries_done_total", "Queries finished since process start.", "counter")
+	p.sample("claims_queries_done_total", nil, float64(done))
+	p.family("claims_queries_live", "Queries currently executing.", "gauge")
+	p.sample("claims_queries_live", nil, float64(live))
+
+	p.family("claims_query_duration_seconds", "Per-query runtime (final for finished queries, so-far for live ones).", "gauge")
+	for _, q := range queries {
+		p.sample("claims_query_duration_seconds",
+			[][2]string{{"query", q.ID}, {"state", q.State()}},
+			q.Duration().Seconds())
+	}
+
+	p.family("claims_scope_counter", "Telemetry scope counters, one series per query and instrument.", "gauge")
+	p.family("claims_scope_gauge", "Telemetry scope gauges (current value).", "gauge")
+	p.family("claims_scope_gauge_peak", "Telemetry scope gauges (peak value).", "gauge")
+	for _, q := range queries {
+		ctrs := q.Scope.CounterSnapshot()
+		for _, name := range sortedKeys(ctrs) {
+			p.sample("claims_scope_counter",
+				[][2]string{{"query", q.ID}, {"name", name}}, float64(ctrs[name]))
+		}
+		gs := q.Scope.GaugeSnapshot()
+		for _, name := range sortedKeys(gs) {
+			lbl := [][2]string{{"query", q.ID}, {"name", name}}
+			p.sample("claims_scope_gauge", lbl, float64(gs[name].Cur))
+			p.sample("claims_scope_gauge_peak", lbl, float64(gs[name].Peak))
+		}
+	}
+	if p.err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// queryJSON is one /queries entry.
+type queryJSON struct {
+	ID         string  `json:"id"`
+	SQL        string  `json:"sql,omitempty"`
+	State      string  `json:"state"`
+	Error      string  `json:"error,omitempty"`
+	Started    string  `json:"started"`
+	DurationMS float64 `json:"duration_ms"`
+	Events     uint64  `json:"events"`
+	Spans      int     `json:"spans"`
+	Trace      string  `json:"trace,omitempty"` // span-export URL when captured
+}
+
+// handleQueries lists in-flight and recent queries as JSON.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	out := []queryJSON{}
+	if s.reg != nil {
+		for _, q := range s.reg.Queries() {
+			j := queryJSON{
+				ID:         q.ID,
+				SQL:        q.SQL,
+				State:      q.State(),
+				Error:      q.Err(),
+				Started:    q.Started.UTC().Format(time.RFC3339Nano),
+				DurationMS: float64(q.Duration()) / float64(time.Millisecond),
+				Events:     q.Scope.EventCount(),
+			}
+			if sp := q.Spans(); sp != nil {
+				j.Spans = len(sp)
+				j.Trace = "/queries/" + q.ID + "/trace"
+			}
+			out = append(out, j)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client gone
+}
+
+// handleQueryTrace serves /queries/<id>/trace as Chrome trace-event
+// JSON (load it in Perfetto / chrome://tracing).
+func (s *Server) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/queries/")
+	id, ok := strings.CutSuffix(rest, "/trace")
+	id = strings.TrimSuffix(id, "/")
+	if !ok || id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	var q *telemetry.QueryRecord
+	if s.reg != nil {
+		q = s.reg.Lookup(id)
+	}
+	if q == nil {
+		http.NotFound(w, r)
+		return
+	}
+	spans := q.Spans()
+	if spans == nil {
+		http.Error(w, "query was not traced (registry has span capture off)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	telemetry.WriteChromeTrace(w, spans) //nolint:errcheck // client gone
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/telemetry"
+	"repro/internal/types"
+)
+
+// obsCluster builds a tiny cluster with one loaded table for driving
+// the HTTP surface.
+func obsCluster(t *testing.T) *engine.Cluster {
+	t.Helper()
+	cat := catalog.New(2)
+	sch := types.NewSchema(
+		types.Col("k", types.Int64),
+		types.Col("v", types.Float64),
+	)
+	cat.MustAdd(&catalog.Table{Name: "kv", Schema: sch, PartKey: []int{0}})
+	c := engine.NewCluster(engine.Config{Nodes: 2, CoresPerNode: 2}, cat)
+	tl, err := c.NewTableLoader("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		r := tl.Row()
+		types.PutValue(r, sch, 0, types.IntVal(int64(i%100)))
+		types.PutValue(r, sch, 1, types.FloatVal(float64(i)))
+		tl.Add()
+	}
+	tl.Close()
+	return c
+}
+
+// TestMetricsRoundTrip runs queries under a registry and checks the
+// /metrics exposition parses under the package's independent
+// Prometheus text parser, with the expected families and per-query
+// series present.
+func TestMetricsRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry(true)
+	telemetry.SetDefaultRegistry(reg)
+	defer telemetry.SetDefaultRegistry(nil)
+
+	c := obsCluster(t)
+	res, err := c.Run("SELECT k, sum(v) FROM kv GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := &Server{reg: reg}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type %q", ct)
+	}
+
+	samples, types_, err := ParseProm(rec.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if types_["claims_queries_started_total"] != "counter" {
+		t.Errorf("family types = %v", types_)
+	}
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if v := byName["claims_queries_done_total"]; len(v) != 1 || v[0].Value != 1 {
+		t.Errorf("claims_queries_done_total = %+v, want one sample of 1", v)
+	}
+	// The traced query's per-op row counters must be exposed, labeled
+	// with its scope name.
+	foundOpRows := false
+	for _, s := range byName["claims_scope_counter"] {
+		if s.Labels["query"] == res.Scope.Name() &&
+			strings.HasPrefix(s.Labels["name"], "op.") &&
+			strings.HasSuffix(s.Labels["name"], ".rows") && s.Value > 0 {
+			foundOpRows = true
+		}
+	}
+	if !foundOpRows {
+		t.Errorf("no positive per-operator rows counter for %s in exposition", res.Scope.Name())
+	}
+	if len(byName["claims_scope_gauge_peak"]) == 0 {
+		t.Error("no gauge peaks exposed")
+	}
+}
+
+// TestQueriesAndTraceEndpoints drives /queries and the per-query trace
+// export over HTTP.
+func TestQueriesAndTraceEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry(true)
+	telemetry.SetDefaultRegistry(reg)
+	defer telemetry.SetDefaultRegistry(nil)
+
+	c := obsCluster(t)
+	res, err := c.Run("SELECT count(*) n FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := res.Scope.Name()
+
+	srv := &Server{reg: reg}
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/queries", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/queries status %d", rec.Code)
+	}
+	var qs []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &qs); err != nil {
+		t.Fatalf("/queries is not JSON: %v", err)
+	}
+	if len(qs) != 1 || qs[0]["id"] != id || qs[0]["state"] != "done" {
+		t.Fatalf("/queries = %+v", qs)
+	}
+	if qs[0]["sql"] != "SELECT count(*) n FROM kv" {
+		t.Errorf("sql = %v", qs[0]["sql"])
+	}
+	traceURL, _ := qs[0]["trace"].(string)
+	if traceURL == "" {
+		t.Fatal("traced query has no trace URL")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", traceURL, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s status %d", traceURL, rec.Code)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+
+	// Unknown ids and malformed paths 404.
+	for _, path := range []string{"/queries/nope/trace", "/queries/" + id, "/queries/a/b/trace"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s status %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+// TestPprofEndpoint checks the profiling surface responds.
+func TestPprofEndpoint(t *testing.T) {
+	srv := &Server{}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/goroutine?debug=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("goroutine profile looks empty")
+	}
+}
+
+// TestServeRealSocket exercises the actual listener path used by the
+// -http flags.
+func TestServeRealSocket(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, _, err := ParseProm(resp.Body); err != nil {
+		t.Fatalf("registry-less exposition does not parse: %v", err)
+	}
+}
+
+// TestParsePromRejectsGarbage pins the parser's strictness — the CI
+// smoke test leans on a parse success meaning something.
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_decl 1\n",
+		"# TYPE m counter\nm{unterminated=\"x 1\n",
+		"# TYPE m counter\nm notanumber\n",
+		"# TYPE m wrongtype\nm 1\n",
+		"# TYPE m counter\n{label=\"v\"} 1\n",
+	} {
+		if _, _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseProm accepted %q", bad)
+		}
+	}
+	good := "# HELP m help text\n# TYPE m gauge\nm{a=\"x\\\"y\\\\z\",b=\"n\\nl\"} 4.5\nm 2\n"
+	samples, _, err := ParseProm(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ParseProm rejected valid exposition: %v", err)
+	}
+	if len(samples) != 2 || samples[0].Labels["a"] != `x"y\z` || samples[0].Labels["b"] != "n\nl" {
+		t.Errorf("samples = %+v", samples)
+	}
+}

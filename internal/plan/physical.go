@@ -165,65 +165,154 @@ type Plan struct {
 	OutputNames []string
 }
 
-// String renders the plan for inspection.
+// String renders the plan for inspection (the EXPLAIN output).
 func (p *Plan) String() string {
+	return p.Render(Annotations{})
+}
+
+// Annotations attaches per-node text to a plan rendering — how EXPLAIN
+// ANALYZE decorates the same tree EXPLAIN prints with measured rows,
+// times and bytes, without duplicating the renderer. Every callback is
+// optional; returned strings are appended verbatim after the line they
+// annotate (conventionally "  (rows=… time=…)").
+type Annotations struct {
+	// Op annotates one operator line.
+	Op func(op PhysOp) string
+	// Segment annotates a segment header line.
+	Segment func(s *Segment) string
+	// Out annotates a segment's output line (its exchange, or the
+	// result collector).
+	Out func(s *Segment) string
+}
+
+// Render renders the plan with annotations.
+func (p *Plan) Render(a Annotations) string {
 	var sb strings.Builder
 	for _, s := range p.Segments {
 		where := "all-nodes"
 		if s.OnMaster {
 			where = "master"
 		}
-		fmt.Fprintf(&sb, "segment %d (%s):\n", s.ID, where)
-		renderOp(&sb, s.Root, 1)
+		fmt.Fprintf(&sb, "segment %d (%s):%s\n", s.ID, where, annot(a.Segment, s))
+		renderOp(&sb, s.Root, 1, a)
 		if s.Out != nil {
 			kind := "gather"
 			if s.Out.PartKeys != nil {
 				kind = "repartition"
 			}
-			fmt.Fprintf(&sb, "  -> %s via exchange %d\n", kind, s.Out.Exchange)
+			fmt.Fprintf(&sb, "  -> %s via exchange %d%s\n", kind, s.Out.Exchange, annot(a.Out, s))
 		} else {
-			sb.WriteString("  -> result\n")
+			fmt.Fprintf(&sb, "  -> result%s\n", annot(a.Out, s))
 		}
 	}
 	return sb.String()
 }
 
-func renderOp(sb *strings.Builder, op PhysOp, depth int) {
+// annot applies an optional annotation callback.
+func annot[T any](fn func(T) string, v T) string {
+	if fn == nil {
+		return ""
+	}
+	return fn(v)
+}
+
+func renderOp(sb *strings.Builder, op PhysOp, depth int, a Annotations) {
 	pad := strings.Repeat("  ", depth)
+	tail := annot(a.Op, op)
 	switch n := op.(type) {
 	case *PScan:
 		fmt.Fprintf(sb, "%sscan %s", pad, n.Table.Name)
 		if n.Pred != nil {
 			fmt.Fprintf(sb, " filter %s%s", n.Pred, vecTag(n.Vectorized))
 		}
+		sb.WriteString(tail)
 		sb.WriteByte('\n')
 	case *PFilter:
-		fmt.Fprintf(sb, "%sfilter %s%s\n", pad, n.Pred, vecTag(n.Vectorized))
-		renderOp(sb, n.Child, depth+1)
+		fmt.Fprintf(sb, "%sfilter %s%s%s\n", pad, n.Pred, vecTag(n.Vectorized), tail)
+		renderOp(sb, n.Child, depth+1, a)
 	case *PProject:
-		fmt.Fprintf(sb, "%sproject (%d exprs)%s\n", pad, len(n.Exprs), vecTag(n.Vectorized))
-		renderOp(sb, n.Child, depth+1)
+		fmt.Fprintf(sb, "%sproject (%d exprs)%s%s\n", pad, len(n.Exprs), vecTag(n.Vectorized), tail)
+		renderOp(sb, n.Child, depth+1, a)
 	case *PHashJoin:
-		fmt.Fprintf(sb, "%shash join%s\n", pad, vecTag(n.VecKeys))
+		fmt.Fprintf(sb, "%shash join%s%s\n", pad, vecTag(n.VecKeys), tail)
 		fmt.Fprintf(sb, "%s  build:\n", pad)
-		renderOp(sb, n.Build, depth+2)
+		renderOp(sb, n.Build, depth+2, a)
 		fmt.Fprintf(sb, "%s  probe:\n", pad)
-		renderOp(sb, n.Probe, depth+2)
+		renderOp(sb, n.Probe, depth+2, a)
 	case *PHashAgg:
-		fmt.Fprintf(sb, "%shash agg (%d keys, %d aggs)%s\n", pad, len(n.Keys), len(n.Specs), vecTag(n.VecKeys))
-		renderOp(sb, n.Child, depth+1)
+		fmt.Fprintf(sb, "%shash agg (%d keys, %d aggs)%s%s\n", pad, len(n.Keys), len(n.Specs), vecTag(n.VecKeys), tail)
+		renderOp(sb, n.Child, depth+1, a)
 	case *PSort:
-		fmt.Fprintf(sb, "%ssort (%d keys)\n", pad, len(n.Keys))
-		renderOp(sb, n.Child, depth+1)
+		fmt.Fprintf(sb, "%ssort (%d keys)%s\n", pad, len(n.Keys), tail)
+		renderOp(sb, n.Child, depth+1, a)
 	case *PTopN:
-		fmt.Fprintf(sb, "%stop-%d\n", pad, n.N)
-		renderOp(sb, n.Child, depth+1)
+		fmt.Fprintf(sb, "%stop-%d%s\n", pad, n.N, tail)
+		renderOp(sb, n.Child, depth+1, a)
 	case *PLimit:
-		fmt.Fprintf(sb, "%slimit %d\n", pad, n.N)
-		renderOp(sb, n.Child, depth+1)
+		fmt.Fprintf(sb, "%slimit %d%s\n", pad, n.N, tail)
+		renderOp(sb, n.Child, depth+1, a)
 	case *PMerger:
-		fmt.Fprintf(sb, "%smerger (exchange %d)\n", pad, n.Exchange)
+		fmt.Fprintf(sb, "%smerger (exchange %d)%s\n", pad, n.Exchange, tail)
 	}
+}
+
+// Walk visits op and its children pre-order (build before probe for
+// joins, matching the rendered tree).
+func Walk(op PhysOp, fn func(PhysOp)) {
+	fn(op)
+	for _, c := range Children(op) {
+		Walk(c, fn)
+	}
+}
+
+// Children returns an operator's direct children, rendered order.
+func Children(op PhysOp) []PhysOp {
+	switch n := op.(type) {
+	case *PFilter:
+		return []PhysOp{n.Child}
+	case *PProject:
+		return []PhysOp{n.Child}
+	case *PHashJoin:
+		return []PhysOp{n.Build, n.Probe}
+	case *PHashAgg:
+		return []PhysOp{n.Child}
+	case *PSort:
+		return []PhysOp{n.Child}
+	case *PTopN:
+		return []PhysOp{n.Child}
+	case *PLimit:
+		return []PhysOp{n.Child}
+	}
+	return nil // PScan, PMerger
+}
+
+// OpLabel returns an operator's short display name, used for span
+// labels and analyzed-plan rows.
+func OpLabel(op PhysOp) string {
+	switch n := op.(type) {
+	case *PScan:
+		if n.Pred != nil {
+			return "scan+filter " + n.Table.Name
+		}
+		return "scan " + n.Table.Name
+	case *PFilter:
+		return "filter"
+	case *PProject:
+		return "project"
+	case *PHashJoin:
+		return "hash join"
+	case *PHashAgg:
+		return "hash agg"
+	case *PSort:
+		return "sort"
+	case *PTopN:
+		return "top-n"
+	case *PLimit:
+		return "limit"
+	case *PMerger:
+		return fmt.Sprintf("merger ex%d", n.Exchange)
+	}
+	return fmt.Sprintf("%T", op)
 }
 
 // vecTag renders the Explain marker for operators whose expression work

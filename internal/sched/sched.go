@@ -205,6 +205,10 @@ func (s *NodeScheduler) decide(d telemetry.SchedDecision) {
 		s.cfg.Scope.Emit(d)
 		if d.Applied {
 			s.cfg.Scope.Counter(telemetry.CtrSchedDecisions).Inc()
+			// Instant span: applied moves dot the trace timeline next to
+			// the expand/shrink spans they trigger.
+			s.cfg.Scope.StartSpan("decision "+d.Reason, "sched").
+				WithNode(s.node).End()
 		}
 	}
 }
@@ -224,6 +228,13 @@ func (s *NodeScheduler) UsedCores() int {
 // vectors, publish the local λ, then either hand out free cores or run
 // Algorithm 1's pairwise reassignment.
 func (s *NodeScheduler) Tick(now time.Time) {
+	// The tick span shows scheduler activity (and its overhead) on the
+	// trace timeline; no-cost when tracing is off.
+	var sp *telemetry.Span
+	if s.cfg.Scope != nil {
+		sp = s.cfg.Scope.StartSpan("sched.tick", "sched").WithNode(s.node)
+	}
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 

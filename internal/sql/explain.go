@@ -1,0 +1,22 @@
+package sql
+
+import "strings"
+
+// StripExplain recognizes and removes an EXPLAIN [ANALYZE] prefix,
+// returning the remaining statement. Keywords are case-insensitive;
+// anything that is not such a prefix comes back unchanged. Parsing of
+// the remaining statement stays Parse's job — the prefix is a shell-
+// level directive, not part of the SELECT grammar.
+func StripExplain(input string) (rest string, explain, analyze bool) {
+	rest = strings.TrimSpace(input)
+	head := strings.Fields(rest)
+	if len(head) == 0 || !strings.EqualFold(head[0], "EXPLAIN") {
+		return input, false, false
+	}
+	rest = strings.TrimSpace(rest[len(head[0]):])
+	if len(head) > 1 && strings.EqualFold(head[1], "ANALYZE") {
+		rest = strings.TrimSpace(rest[len(head[1]):])
+		return rest, true, true
+	}
+	return rest, true, false
+}

@@ -1,0 +1,28 @@
+package sql
+
+import "testing"
+
+func TestStripExplain(t *testing.T) {
+	cases := []struct {
+		in      string
+		rest    string
+		explain bool
+		analyze bool
+	}{
+		{"SELECT 1 FROM t", "SELECT 1 FROM t", false, false},
+		{"EXPLAIN SELECT 1 FROM t", "SELECT 1 FROM t", true, false},
+		{"explain analyze SELECT 1 FROM t", "SELECT 1 FROM t", true, true},
+		{"  Explain\n Analyze\n SELECT 1", "SELECT 1", true, true},
+		{"EXPLAIN", "", true, false},
+		{"EXPLAINSELECT 1", "EXPLAINSELECT 1", false, false},
+		// ANALYZE without EXPLAIN is not a prefix we recognize.
+		{"ANALYZE SELECT 1", "ANALYZE SELECT 1", false, false},
+	}
+	for _, c := range cases {
+		rest, explain, analyze := StripExplain(c.in)
+		if rest != c.rest || explain != c.explain || analyze != c.analyze {
+			t.Errorf("StripExplain(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.in, rest, explain, analyze, c.rest, c.explain, c.analyze)
+		}
+	}
+}

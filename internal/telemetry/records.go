@@ -44,6 +44,9 @@ const (
 	// KindRecovery is one recovery decision: a dead worker pool
 	// re-expanded on survivors, or a duplicate frame suppressed.
 	KindRecovery
+	// KindSpan is one completed tracing span (see span.go): a timed,
+	// attributed slice of query work, exportable as a Chrome trace.
+	KindSpan
 
 	numKinds
 )
@@ -51,7 +54,7 @@ const (
 var kindNames = [...]string{
 	"SchedDecision", "WorkerExpand", "WorkerShrink", "SegmentStageChange",
 	"BlockSent", "QueryPhase", "Barrier", "ParallelismSample", "UtilSample",
-	"FaultInjected", "NetRetry", "Recovery",
+	"FaultInjected", "NetRetry", "Recovery", "Span",
 }
 
 // String renders the kind; out-of-range values render as "Kind(n)".

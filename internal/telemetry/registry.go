@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry tracks the process's queries — in-flight and recently
+// finished — so a live observability surface (the admin HTTP server)
+// can list them, expose their instruments, and export their span
+// traces without being wired into every call path. The engine begins a
+// record on every query it runs when a default registry is installed.
+type Registry struct {
+	// captureSpans makes Begin enable span tracing on each query's
+	// scope and attach a span-retaining sink, so /queries/<id>/trace
+	// has data. It also instruments per-operator counters in the engine
+	// (the engine instruments whenever the scope is span-enabled).
+	captureSpans bool
+	// keepRecent bounds the finished-query history.
+	keepRecent int
+
+	mu     sync.Mutex
+	live   map[string]*QueryRecord
+	recent []*QueryRecord // oldest first, at most keepRecent
+
+	started atomic.Int64
+	done    atomic.Int64
+}
+
+// defaultKeepRecent bounds the finished-query ring of a registry.
+const defaultKeepRecent = 32
+
+// NewRegistry creates a registry. captureSpans turns on span tracing
+// (and therefore per-operator instrumentation) for every registered
+// query.
+func NewRegistry(captureSpans bool) *Registry {
+	return &Registry{
+		captureSpans: captureSpans,
+		keepRecent:   defaultKeepRecent,
+		live:         make(map[string]*QueryRecord),
+	}
+}
+
+// QueryRecord is one tracked query.
+type QueryRecord struct {
+	// ID is the scope name ("q17"), unique per process.
+	ID string
+	// SQL is the query text, when known ("" for direct plan runs).
+	SQL string
+	// Scope is the query's telemetry stream.
+	Scope *Scope
+	// Started is the wall-clock begin time.
+	Started time.Time
+
+	// spans retains the query's span events when the registry captures
+	// them; nil otherwise.
+	spans *MemSink
+
+	mu   sync.Mutex
+	done bool
+	err  string
+	dur  time.Duration
+}
+
+// Begin registers a query and returns its record; Finish must be called
+// when the query completes. With captureSpans the scope is span-enabled
+// and a retaining sink attached before any execution event fires.
+func (r *Registry) Begin(sc *Scope, sql string) *QueryRecord {
+	if r == nil {
+		return nil
+	}
+	q := &QueryRecord{ID: sc.Name(), SQL: sql, Scope: sc, Started: time.Now()}
+	if r.captureSpans {
+		sc.EnableSpans()
+		q.spans = NewMemSink(KindSpan)
+		sc.Attach(q.spans)
+	}
+	r.started.Add(1)
+	r.mu.Lock()
+	r.live[q.ID] = q
+	r.mu.Unlock()
+	return q
+}
+
+// Finish marks the record done (err may be nil) and moves it from the
+// live set to the recent ring.
+func (r *Registry) Finish(q *QueryRecord, err error) {
+	if r == nil || q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.done = true
+	q.dur = time.Since(q.Started)
+	if err != nil {
+		q.err = err.Error()
+	}
+	q.mu.Unlock()
+	r.done.Add(1)
+	r.mu.Lock()
+	delete(r.live, q.ID)
+	r.recent = append(r.recent, q)
+	if len(r.recent) > r.keepRecent {
+		r.recent = r.recent[len(r.recent)-r.keepRecent:]
+	}
+	r.mu.Unlock()
+}
+
+// State reports "running", "error", or "done".
+func (q *QueryRecord) State() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch {
+	case !q.done:
+		return "running"
+	case q.err != "":
+		return "error"
+	default:
+		return "done"
+	}
+}
+
+// Err returns the failure message ("" for success or still running).
+func (q *QueryRecord) Err() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Duration returns the completed runtime, or time-so-far while running.
+func (q *QueryRecord) Duration() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return q.dur
+	}
+	return time.Since(q.Started)
+}
+
+// Spans returns the retained span events (nil without span capture).
+func (q *QueryRecord) Spans() []Event {
+	if q.spans == nil {
+		return nil
+	}
+	return q.spans.Events()
+}
+
+// Queries lists every tracked query, in-flight first, then recent
+// (oldest first within each group, by start time).
+func (r *Registry) Queries() []*QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryRecord, 0, len(r.live)+len(r.recent))
+	for _, q := range r.live {
+		out = append(out, q)
+	}
+	// map iteration order is random; sort the live group by start time
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Started.Before(out[j-1].Started); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	out = append(out, r.recent...)
+	return out
+}
+
+// Lookup finds a tracked query by id (live or recent), or nil.
+func (r *Registry) Lookup(id string) *QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if q, ok := r.live[id]; ok {
+		return q
+	}
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		if r.recent[i].ID == id {
+			return r.recent[i]
+		}
+	}
+	return nil
+}
+
+// Counts reports how many queries the registry has seen begin and
+// finish.
+func (r *Registry) Counts() (started, done int64) {
+	return r.started.Load(), r.done.Load()
+}
+
+// --- process default ---------------------------------------------------------
+
+var defaultRegistry atomic.Pointer[Registry]
+
+// SetDefaultRegistry installs the process-wide registry the engine
+// registers queries on; nil uninstalls it.
+func SetDefaultRegistry(r *Registry) { defaultRegistry.Store(r) }
+
+// DefaultRegistry returns the installed registry, or nil.
+func DefaultRegistry() *Registry { return defaultRegistry.Load() }

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRingWraparound drives the event ring past its capacity and
+// checks the tail window: exactly the newest capacity-many events, in
+// emission order, with contiguous sequence numbers.
+func TestRingWraparound(t *testing.T) {
+	const cap, emitted = 8, 21
+	sc := NewScope("wrap", WithRingSize(cap))
+	for i := 0; i < emitted; i++ {
+		sc.Emit(QueryPhase{Phase: "p", Detail: fmt.Sprintf("%d", i)})
+	}
+	tail := sc.Tail()
+	if len(tail) != cap {
+		t.Fatalf("tail length = %d, want ring capacity %d", len(tail), cap)
+	}
+	for i, ev := range tail {
+		wantSeq := uint64(emitted - cap + i + 1)
+		if ev.Seq != wantSeq {
+			t.Errorf("tail[%d].Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		wantDetail := fmt.Sprintf("%d", emitted-cap+i)
+		if got := ev.Rec.(QueryPhase).Detail; got != wantDetail {
+			t.Errorf("tail[%d] detail = %q, want %q", i, got, wantDetail)
+		}
+		if i > 0 && ev.At < tail[i-1].At {
+			t.Errorf("tail[%d].At = %v before tail[%d].At = %v", i, ev.At, i-1, tail[i-1].At)
+		}
+	}
+	if sc.EventCount() != emitted {
+		t.Errorf("EventCount = %d, want %d", sc.EventCount(), emitted)
+	}
+}
+
+// TestRingTailBeforeWrap checks the partial-window case: fewer events
+// than capacity returns exactly the emitted events.
+func TestRingTailBeforeWrap(t *testing.T) {
+	sc := NewScope("partial", WithRingSize(16))
+	for i := 0; i < 5; i++ {
+		sc.Emit(Barrier{Node: i})
+	}
+	tail := sc.Tail()
+	if len(tail) != 5 {
+		t.Fatalf("tail length = %d, want 5", len(tail))
+	}
+	for i, ev := range tail {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("tail[%d].Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}
+
+// TestConcurrentEmitWraparound hammers Emit from many goroutines with a
+// tiny ring (forcing constant wraparound) while other goroutines
+// register instruments — the -race run of this test is the satellite's
+// point. Afterwards: no event was lost on the sink path, sequence
+// numbers are unique and exactly 1..N, the ring holds capacity-many
+// distinct events, and every instrument registration survived.
+func TestConcurrentEmitWraparound(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+		ringCap    = 32
+	)
+	sc := NewScope("conc", WithRingSize(ringCap))
+	sink := NewMemSink()
+	sc.Attach(sink)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Interleave instrument registration with emission so
+				// the sync.Map registries race against the ring.
+				sc.Counter(fmt.Sprintf("ctr.%d", g)).Inc()
+				sc.Gauge(fmt.Sprintf("g.%d", i%10)).Set(int64(i))
+				sc.Emit(BlockSent{From: g, Tuples: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if sc.EventCount() != total {
+		t.Fatalf("EventCount = %d, want %d", sc.EventCount(), total)
+	}
+	evs := sink.Events()
+	if len(evs) != total {
+		t.Fatalf("sink saw %d events, want %d (lost events)", len(evs), total)
+	}
+	seen := make(map[uint64]bool, total)
+	for _, ev := range evs {
+		if ev.Seq < 1 || ev.Seq > total {
+			t.Fatalf("seq %d out of range [1,%d]", ev.Seq, total)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("seq %d assigned twice", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+
+	tail := sc.Tail()
+	if len(tail) != ringCap {
+		t.Fatalf("tail length = %d, want %d", len(tail), ringCap)
+	}
+	tailSeen := make(map[uint64]bool, ringCap)
+	for _, ev := range tail {
+		if ev.Rec == nil {
+			t.Fatal("ring returned a zero event (torn write)")
+		}
+		if tailSeen[ev.Seq] {
+			t.Fatalf("ring holds seq %d twice", ev.Seq)
+		}
+		tailSeen[ev.Seq] = true
+	}
+
+	ctrs := sc.CounterSnapshot()
+	for g := 0; g < goroutines; g++ {
+		name := fmt.Sprintf("ctr.%d", g)
+		if ctrs[name] != perG {
+			t.Errorf("counter %s = %d, want %d (lost registration or increments)", name, ctrs[name], perG)
+		}
+	}
+	gs := sc.GaugeSnapshot()
+	for i := 0; i < 10; i++ {
+		if _, ok := gs[fmt.Sprintf("g.%d", i)]; !ok {
+			t.Errorf("gauge g.%d lost its registration", i)
+		}
+	}
+}
+
+// TestGaugeSnapshotPeaks checks the satellite's snapshot accessors:
+// current and peak values for int and float gauges.
+func TestGaugeSnapshotPeaks(t *testing.T) {
+	sc := NewScope("snap")
+	g := sc.Gauge("workers")
+	g.Set(7)
+	g.Set(3)
+	fg := sc.FloatGauge("util")
+	fg.Set(0.9)
+	fg.Set(0.2)
+
+	gs := sc.GaugeSnapshot()
+	if v := gs["workers"]; v.Cur != 3 || v.Peak != 7 {
+		t.Errorf("workers snapshot = %+v, want Cur=3 Peak=7", v)
+	}
+	fgs := sc.FloatGaugeSnapshot()
+	if v := fgs["util"]; v.Cur != 0.2 || v.Peak != 0.9 {
+		t.Errorf("util snapshot = %+v, want Cur=0.2 Peak=0.9", v)
+	}
+}

@@ -19,6 +19,7 @@ package telemetry
 import (
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -166,6 +167,36 @@ const (
 	FCtrCtxSwitches      = "os.context_switches"
 )
 
+// Per-operator instrument names. Instrumented queries (EXPLAIN ANALYZE,
+// span-traced runs) register one counter family per plan operator, keyed
+// by the operator's plan-wide id; EXPLAIN ANALYZE renders straight from
+// these counters, so its numbers cannot drift from telemetry.
+const (
+	// OpRows counts tuples the operator emitted.
+	OpRows = "rows"
+	// OpBlocks counts blocks the operator emitted.
+	OpBlocks = "blocks"
+	// OpBusyNs is cumulative worker time inside the operator's Next
+	// (its whole subtree included — render layers subtract children for
+	// self time).
+	OpBusyNs = "busy_ns"
+	// OpOpenNs is cumulative worker time inside Open.
+	OpOpenNs = "open_ns"
+	// OpNextCalls counts Next invocations.
+	OpNextCalls = "next_calls"
+)
+
+// OpCtr names one per-operator counter: "op.<id>.<what>".
+func OpCtr(op int, what string) string {
+	return "op." + strconv.Itoa(op) + "." + what
+}
+
+// GaugeSegWorkers names the per-segment worker-pool gauge the elastic
+// layer maintains; its peak is the segment's maximum parallelism.
+func GaugeSegWorkers(segment string) string {
+	return "seg." + segment + ".workers"
+}
+
 // Scope is one query's (or one simulation run's) telemetry stream:
 // instruments registered by name plus an event stream with a bounded
 // ring tail and attached sinks. All methods are safe for concurrent
@@ -175,6 +206,10 @@ type Scope struct {
 	start time.Time
 	clock func() time.Duration // overrides wall time (virtual-time sims)
 	seq   atomic.Uint64
+
+	// spansOn gates StartSpan (see span.go); off unless EnableSpans was
+	// called or spans are on by process default.
+	spansOn atomic.Bool
 
 	counters  sync.Map // name → *Counter
 	fcounters sync.Map // name → *FloatCounter
@@ -222,6 +257,9 @@ func NewScope(name string, opts ...Option) *Scope {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if defaultSpans.Load() {
+		s.spansOn.Store(true)
 	}
 	if d := defaultSinks.Load(); d != nil {
 		cp := append([]Sink(nil), (*d)...)
@@ -355,6 +393,44 @@ func (s *Scope) FloatCounterSnapshot() map[string]float64 {
 	out := make(map[string]float64)
 	s.fcounters.Range(func(k, v any) bool {
 		out[k.(string)] = v.(*FloatCounter).Load()
+		return true
+	})
+	return out
+}
+
+// GaugeValue is one integer gauge's snapshot: current value plus
+// high-water mark.
+type GaugeValue struct {
+	Cur  int64 `json:"cur"`
+	Peak int64 `json:"peak"`
+}
+
+// GaugeSnapshot returns all integer gauges by name, with peaks — the
+// gauge counterpart of CounterSnapshot, consumed by the /metrics
+// exposition and the /queries JSON.
+func (s *Scope) GaugeSnapshot() map[string]GaugeValue {
+	out := make(map[string]GaugeValue)
+	s.gauges.Range(func(k, v any) bool {
+		g := v.(*Gauge)
+		out[k.(string)] = GaugeValue{Cur: g.Load(), Peak: g.Peak()}
+		return true
+	})
+	return out
+}
+
+// FloatGaugeValue is one float gauge's snapshot: current value plus
+// high-water mark.
+type FloatGaugeValue struct {
+	Cur  float64 `json:"cur"`
+	Peak float64 `json:"peak"`
+}
+
+// FloatGaugeSnapshot returns all float gauges by name, with peaks.
+func (s *Scope) FloatGaugeSnapshot() map[string]FloatGaugeValue {
+	out := make(map[string]FloatGaugeValue)
+	s.fgauges.Range(func(k, v any) bool {
+		g := v.(*FloatGauge)
+		out[k.(string)] = FloatGaugeValue{Cur: g.Load(), Peak: g.Peak()}
 		return true
 	})
 	return out

@@ -86,9 +86,12 @@ func main() {
 		types.Col("payload", types.Float64),
 	)
 
-	// Every node registers an inbox for exchange 1 and counts arrivals.
+	// Every node registers an inbox for exchange 1 of query 0 (the mesh
+	// tool drives one dataflow, so the query namespace is fixed) and
+	// counts arrivals.
+	const queryID = 0
 	const exchangeID = 1
-	inbox := node.RegisterInbox(exchangeID, *id, len(peers), sch, 256, nil)
+	inbox := node.RegisterInbox(queryID, exchangeID, *id, len(peers), sch, 256, nil)
 	recvDone := make(chan int64)
 	go func() {
 		var tuples int64
@@ -121,7 +124,7 @@ func main() {
 		dests = append(dests, pid)
 	}
 	sortInts(dests)
-	outbox := node.NewOutbox(exchangeID, dests)
+	outbox := node.NewOutbox(queryID, exchangeID, dests)
 
 	log.Printf("driving %d rows across %d destinations...", *rows, len(dests))
 	part := expr.NewKeyEncoder([]expr.Expr{expr.NewCol(0, "k")})

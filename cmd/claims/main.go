@@ -5,6 +5,11 @@
 //
 //	claims -workload tpch -sf 0.01 -nodes 4 -mode EP
 //	claims -workload sse -rows 200000 -q "SELECT count(*) FROM trades"
+//	claims -workload sse -serve 4 < queries.sql
+//
+// With -serve N, statements stream from stdin and up to N execute
+// concurrently through the admission-controlled front end
+// (internal/server); excess queries wait FIFO up to -admit-timeout.
 //
 // With -telemetry, a running one-line summary of the telemetry stream
 // (event counts per kind plus scheduler-decision reasons) prints to
@@ -13,10 +18,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/server"
 	"repro/internal/sql"
 	"repro/internal/sse"
 	"repro/internal/telemetry"
@@ -50,6 +58,12 @@ func main() {
 		httpAddr = flag.String("http", "",
 			"serve the observability HTTP API on this address, e.g. :8080 "+
 				"(/metrics, /queries, /queries/<id>/trace, /debug/pprof/)")
+		serve = flag.Int("serve", 0,
+			"concurrent SQL mode: read ';'-terminated statements from stdin and "+
+				"execute up to N at once through the admission-controlled front "+
+				"end (0 = interactive shell)")
+		admitTimeout = flag.Duration("admit-timeout", 30*time.Second,
+			"-serve: max time a query waits in the admission queue")
 	)
 	flag.Parse()
 
@@ -132,6 +146,11 @@ func main() {
 		return
 	}
 
+	if *serve > 0 {
+		runServe(c, *serve, *admitTimeout)
+		return
+	}
+
 	fmt.Println(`type SQL terminated by ';' — EXPLAIN [ANALYZE] <query> shows the (measured) plan; \q quits, \mode shows the execution mode, \telemetry the event summary`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -163,6 +182,61 @@ func main() {
 			fmt.Print("claims> ")
 		}
 	}
+}
+
+// runServe is the concurrent SQL mode: every ';'-terminated statement
+// on stdin is dispatched immediately through the admission-controlled
+// front end — up to maxInflight execute at once, the rest queue FIFO —
+// and results print tagged with the statement number as each query
+// completes (so output order is completion order, not submission
+// order).
+func runServe(c *engine.Cluster, maxInflight int, admitTimeout time.Duration) {
+	srv := server.New(c, server.Config{
+		MaxInflight:  maxInflight,
+		QueueTimeout: admitTimeout,
+	})
+	fmt.Printf("serving: up to %d concurrent queries, admission timeout %v; ';' terminates each statement\n",
+		maxInflight, admitTimeout)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		wg  sync.WaitGroup
+		out sync.Mutex // one query's result block prints atomically
+		n   int
+		buf strings.Builder
+	)
+	for scanner.Scan() {
+		buf.WriteString(scanner.Text())
+		buf.WriteByte('\n')
+		if !strings.Contains(scanner.Text(), ";") {
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		if stmt == "" {
+			continue
+		}
+		n++
+		id := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := srv.Query(context.Background(), stmt)
+			out.Lock()
+			defer out.Unlock()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "[q%d] error: %v\n", id, err)
+				return
+			}
+			inflight, queued := srv.Stats()
+			fmt.Printf("[q%d] %d rows in %v (inflight %d, queued %d)\n",
+				id, res.NumRows(), time.Since(t0).Round(time.Millisecond),
+				inflight, queued)
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("served %d queries\n", n)
 }
 
 func runQuery(c *engine.Cluster, q string) {

@@ -42,6 +42,7 @@ func experiments() []entry {
 		{"table7", bench.Table7},
 		{"ablation", bench.AblationPartialAgg},
 		{"multiquery", bench.MultiQuery},
+		{"mq", bench.MultiQueryEngine},
 	}
 }
 

@@ -40,6 +40,11 @@ type Config struct {
 	// recovery watchdog (and the metamorphic fault tests) exercise. Nil
 	// injects nothing.
 	Faults *faults.Injector
+	// OnWorkerExit, if non-nil, is called exactly once per worker as it
+	// detaches (normal drain, shrink, and crash paths alike) with the
+	// core id the worker was pinned to. The engine uses it to return
+	// core-slot leases to the cluster pool.
+	OnWorkerExit func(core int)
 }
 
 // Elastic wraps a segment's iterator chain with an elastic worker pool
@@ -276,6 +281,9 @@ func (e *Elastic) finish(w *worker) {
 	lastOut := e.active == 0 && e.sawEnd
 	e.mu.Unlock()
 	close(w.done)
+	if e.cfg.OnWorkerExit != nil {
+		e.cfg.OnWorkerExit(w.ctx.Core)
+	}
 	if lastOut {
 		e.buf.CloseEOF()
 		// The dataflow barrier: every worker drained and the joint

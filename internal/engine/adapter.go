@@ -82,12 +82,16 @@ func (a *segAdapter) Metrics() sched.Metrics {
 	}
 }
 
-// Expand implements sched.SegmentHandle.
+// Expand implements sched.SegmentHandle. Scheduler expansions are
+// elective: they fail when the node's core-lease pool is exhausted by
+// other segments (of this or any concurrent query), except the revive
+// of a zero-worker pool, which oversubscribes rather than stall the
+// dataflow.
 func (a *segAdapter) Expand() bool {
 	if a.inst.el.Finished() {
 		return false
 	}
-	return a.e.expand(a.inst)
+	return a.e.expand(a.inst, false)
 }
 
 // Shrink implements sched.SegmentHandle. The last worker is never
@@ -102,36 +106,8 @@ func (a *segAdapter) Shrink() bool {
 	return a.inst.el.Shrink() != nil
 }
 
-// runSchedulers drives one NodeScheduler per node (plus the master)
-// until the query completes, accumulating the measured scheduling
-// overhead (Table 5's "scheduling overhead" row).
-func (e *exec) runSchedulers(stop chan struct{}) {
-	bus := sched.NewMasterBus()
-	byNode := make(map[int]*sched.NodeScheduler)
-	for _, inst := range e.insts {
-		ns, ok := byNode[inst.node]
-		if !ok {
-			ns = sched.NewNodeScheduler(inst.node, sched.Config{
-				Cores: e.c.cfg.CoresPerNode,
-				Scope: e.scope,
-			}, bus)
-			byNode[inst.node] = ns
-		}
-		ns.Attach(newSegAdapter(e, inst))
-	}
-	overhead := e.scope.Counter(telemetry.CtrSchedOverheadNs)
-	tick := time.NewTicker(e.c.cfg.SchedTick)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case now := <-tick.C:
-			t0 := time.Now()
-			for _, ns := range byNode {
-				ns.Tick(now)
-			}
-			overhead.Add(time.Since(t0).Nanoseconds())
-		}
-	}
-}
+// DecisionScope implements sched.ScopedHandle: scheduling decisions
+// that touch this segment land on its query's telemetry scope, so each
+// of the (possibly many) queries sharing the cluster-resident
+// schedulers sees exactly its own moves.
+func (a *segAdapter) DecisionScope() *telemetry.Scope { return a.e.scope }

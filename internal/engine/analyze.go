@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,7 +27,7 @@ func (c *Cluster) ExplainAnalyzeScoped(query string, sc *telemetry.Scope) (*Resu
 		return nil, nil, err
 	}
 	az := &analyzeState{}
-	res, err := c.runPlan(p, sc, query, az)
+	res, err := c.runPlan(context.Background(), p, sc, query, az)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -55,6 +56,7 @@ func (az *analyzeState) finish(e *exec) {
 		Scope:    e.scope,
 		Mode:     e.c.cfg.Mode.String(),
 		Nodes:    e.c.cfg.Nodes,
+		resultEx: e.resultExID,
 		Duration: e.scope.Elapsed() - e.startAt,
 		ops:      e.ops,
 		exBytes:  map[int]int64{},
@@ -111,6 +113,7 @@ type Analysis struct {
 	Duration time.Duration
 
 	ops      map[plan.PhysOp]int
+	resultEx int           // the run's derived result-collector exchange id
 	exBytes  map[int]int64 // exchange id → bytes crossing node boundaries
 	exBlocks map[int]int64
 	exRows   map[int]int64
@@ -187,7 +190,7 @@ func (a *Analysis) Render() string {
 			return fmt.Sprintf("  (workers peak=%d mean=%.1f)", peak, mean)
 		},
 		Out: func(s *plan.Segment) string {
-			ex := resultExchangeID
+			ex := a.resultEx
 			if s.Out != nil {
 				ex = s.Out.Exchange
 			}

@@ -13,8 +13,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -22,10 +25,16 @@ import (
 	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/network"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/types"
 )
+
+// ErrClosed is returned by Run and its variants after Cluster.Close:
+// the fabric and cluster schedulers are torn down, so starting a query
+// would race the shutdown.
+var ErrClosed = errors.New("engine: cluster is closed")
 
 // Mode selects the execution strategy.
 type Mode int
@@ -119,7 +128,10 @@ func (c *Config) defaults() {
 }
 
 // Cluster is an in-process cluster: data stores per slave node plus the
-// exchange fabric. Create one, load tables, then Run queries.
+// exchange fabric. Create one, load tables, then Run queries — any
+// number concurrently: exchanges are namespaced per query, and the
+// cluster-resident schedulers plus the per-node core-lease pools
+// arbitrate the shared core budget across all in-flight queries.
 type Cluster struct {
 	cfg    Config
 	cat    *catalog.Catalog
@@ -130,6 +142,44 @@ type Cluster struct {
 	faultInj *faults.Injector
 	// tcpNodes holds the sockets of a TCP-backed cluster, for Close.
 	tcpNodes map[int]*network.TCPNode
+
+	// leases[n] is node n's core-slot pool (slaves 0..Nodes-1 plus the
+	// master at index Nodes), shared by every concurrent query.
+	leases []*coreLease
+	// scheds[n] is node n's resident dynamic scheduler (EP mode). One
+	// scheduler per node for the whole cluster lifetime: execs Attach
+	// their segment handles on start and Detach on completion, so
+	// Algorithm 1 arbitrates cores between queries exactly as it does
+	// between segments of one query.
+	scheds []*sched.NodeScheduler
+	bus    *sched.MasterBus
+
+	// The scheduler tick loop is refcounted: it runs only while at
+	// least one EP query is in flight, so idle clusters (and the many
+	// tests that never call Close) hold no background goroutine.
+	schedMu   sync.Mutex
+	schedRef  int
+	schedStop chan struct{}
+	schedDone chan struct{}
+	// activeEP holds the scopes of in-flight EP queries; each tick's
+	// measured overhead is charged to every active query's
+	// sched.overhead_ns counter (the tick serves them all).
+	activeEP map[*telemetry.Scope]struct{}
+
+	closed atomic.Bool
+}
+
+// initShared builds the query-independent shared state: core-lease
+// pools and resident schedulers for every node including the master.
+func (c *Cluster) initShared() {
+	c.bus = sched.NewMasterBus()
+	c.activeEP = make(map[*telemetry.Scope]struct{})
+	for i := 0; i <= c.cfg.Nodes; i++ {
+		c.leases = append(c.leases, newCoreLease(c.cfg.CoresPerNode))
+		c.scheds = append(c.scheds, sched.NewNodeScheduler(i, sched.Config{
+			Cores: c.cfg.CoresPerNode,
+		}, c.bus))
+	}
 }
 
 // resolveFaults picks the cluster's injector: an explicit Config.Faults
@@ -155,6 +205,7 @@ func NewCluster(cfg Config, cat *catalog.Catalog) *Cluster {
 	for i := 0; i < cfg.Nodes; i++ {
 		c.stores = append(c.stores, storage.NewStore(cfg.Sockets))
 	}
+	c.initShared()
 	return c
 }
 
@@ -189,14 +240,105 @@ func NewClusterTCP(cfg Config, cat *catalog.Catalog) (*Cluster, error) {
 	for i := 0; i < cfg.Nodes; i++ {
 		c.stores = append(c.stores, storage.NewStore(cfg.Sockets))
 	}
+	c.initShared()
 	return c, nil
 }
 
-// Close releases a TCP-backed cluster's sockets; it is a no-op for
-// in-process clusters.
+// Close shuts the cluster down: subsequent Run/Serve calls fail with
+// ErrClosed, the resident scheduler loop (if running) is stopped, and a
+// TCP-backed cluster's sockets are released. Closing twice is a no-op.
 func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	c.schedMu.Lock()
+	stop, done := c.schedStop, c.schedDone
+	c.schedStop, c.schedDone = nil, nil
+	c.schedMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	for _, n := range c.tcpNodes {
 		n.Close()
+	}
+}
+
+// UsedCores returns the number of leased core slots on a node — the
+// workers holding a real core, across every in-flight query. It never
+// exceeds Config.CoresPerNode by construction.
+func (c *Cluster) UsedCores(node int) int { return c.leases[node].Used() }
+
+// OversubscribedCores returns the node's outstanding core overdraft:
+// mandatory workers (a segment's first, or SP/ME fixed parallelism)
+// started beyond the core budget, explicitly accounted instead of
+// silently double-booked.
+func (c *Cluster) OversubscribedCores(node int) int {
+	return c.leases[node].Oversubscribed()
+}
+
+// attachEP registers an EP query with the resident schedulers: every
+// segment instance's adapter attaches to its node's scheduler, and the
+// shared tick loop starts if this is the first in-flight EP query.
+func (c *Cluster) attachEP(e *exec, adapters []*segAdapter) {
+	for _, a := range adapters {
+		c.scheds[a.inst.node].Attach(a)
+	}
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	c.activeEP[e.scope] = struct{}{}
+	c.schedRef++
+	if c.schedRef == 1 && !c.closed.Load() {
+		c.schedStop = make(chan struct{})
+		c.schedDone = make(chan struct{})
+		go c.schedLoop(c.schedStop, c.schedDone)
+	}
+}
+
+// detachEP unregisters a completing EP query and stops the tick loop
+// when no EP query remains in flight.
+func (c *Cluster) detachEP(e *exec, adapters []*segAdapter) {
+	for _, a := range adapters {
+		c.scheds[a.inst.node].Detach(a)
+	}
+	c.schedMu.Lock()
+	delete(c.activeEP, e.scope)
+	c.schedRef--
+	var stop, done chan struct{}
+	if c.schedRef == 0 {
+		stop, done = c.schedStop, c.schedDone
+		c.schedStop, c.schedDone = nil, nil
+	}
+	c.schedMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// schedLoop drives every node's resident scheduler until the last EP
+// query detaches (Table 5's "scheduling overhead" row measures the time
+// spent inside Tick).
+func (c *Cluster) schedLoop(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(c.cfg.SchedTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			t0 := time.Now()
+			for _, ns := range c.scheds {
+				ns.Tick(now)
+			}
+			elapsed := time.Since(t0).Nanoseconds()
+			c.schedMu.Lock()
+			for sc := range c.activeEP {
+				sc.Counter(telemetry.CtrSchedOverheadNs).Add(elapsed)
+			}
+			c.schedMu.Unlock()
+		}
 	}
 }
 

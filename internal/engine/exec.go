@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,13 +15,26 @@ import (
 	"repro/internal/telemetry"
 )
 
-// resultExchangeID is the reserved exchange id of the master-side
-// result collector.
-const resultExchangeID = 1 << 20
+// querySeq hands out process-unique query ids. Every fabric exchange is
+// keyed by (query id, exchange id), so the dataflows of concurrent
+// queries on one cluster — or several clusters in one process — can
+// never cross.
+var querySeq atomic.Int64
 
 // Run compiles and executes a SQL query.
 func (c *Cluster) Run(query string) (*Result, error) {
 	return c.RunScoped(query, newQueryScope())
+}
+
+// RunContext is Run under a context: cancellation (or deadline expiry)
+// routes into the query's fail-fast teardown, aborting every exchange
+// so no worker stays wedged, and the call returns the context's error.
+func (c *Cluster) RunContext(ctx context.Context, query string) (*Result, error) {
+	p, err := plan.Compile(query, c.cat)
+	if err != nil {
+		return nil, err
+	}
+	return c.runPlan(ctx, p, newQueryScope(), query, nil)
 }
 
 // RunScoped compiles and executes a SQL query under the given telemetry
@@ -30,7 +44,7 @@ func (c *Cluster) RunScoped(query string, sc *telemetry.Scope) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return c.runPlan(p, sc, query, nil)
+	return c.runPlan(context.Background(), p, sc, query, nil)
 }
 
 // queryScopeSeq numbers the auto-created query scopes of a process.
@@ -54,15 +68,19 @@ type segInst struct {
 // exec carries one query's runtime state. All measurement flows through
 // the telemetry scope; ExecStats is derived from it after completion.
 type exec struct {
-	c         *Cluster
-	p         *plan.Plan
-	tracker   *block.Tracker
-	exchanges map[int]network.FabricExchange
-	consNodes map[int][]int
-	insts     []*segInst
-	resultEx  network.FabricExchange
-	coreCur   []atomic.Int64 // per node, for core id assignment
-	stop      chan struct{}
+	c   *Cluster
+	p   *plan.Plan
+	qid int // process-unique query id: the exchange namespace
+	// resultExID is the result collector's exchange id, derived as one
+	// past the plan's highest exchange id — unique within the query's
+	// namespace, no reserved constant to collide on.
+	resultExID int
+	tracker    *block.Tracker
+	exchanges  map[int]network.FabricExchange
+	consNodes  map[int][]int
+	insts      []*segInst
+	resultEx   network.FabricExchange
+	stop       chan struct{}
 
 	// failOnce/failErr implement fail-fast teardown: the first error
 	// aborts every exchange so no sender, receiver or worker stays
@@ -137,14 +155,18 @@ func (c *Cluster) RunPlan(p *plan.Plan) (*Result, error) {
 // RunPlanScoped executes a compiled plan under the cluster's mode,
 // recording all measurements on the given scope.
 func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, error) {
-	return c.runPlan(p, sc, "", nil)
+	return c.runPlan(context.Background(), p, sc, "", nil)
 }
 
 // runPlan is the single execution entry point behind Run/RunScoped/
-// RunPlan/RunPlanScoped and ExplainAnalyze. sqlText (when known) labels
-// the query in the process registry; az non-nil collects the extra
-// per-exchange measurements EXPLAIN ANALYZE reports.
-func (c *Cluster) runPlan(p *plan.Plan, sc *telemetry.Scope, sqlText string, az *analyzeState) (res *Result, err error) {
+// RunContext/RunPlan/RunPlanScoped and ExplainAnalyze. sqlText (when
+// known) labels the query in the process registry; az non-nil collects
+// the extra per-exchange measurements EXPLAIN ANALYZE reports; ctx
+// cancellation routes into the fail-fast teardown.
+func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope, sqlText string, az *analyzeState) (res *Result, err error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	qrec := telemetry.DefaultRegistry().Begin(sc, sqlText)
 	defer func() { telemetry.DefaultRegistry().Finish(qrec, err) }()
 	qsp := sc.StartSpan("query", "query")
@@ -152,10 +174,10 @@ func (c *Cluster) runPlan(p *plan.Plan, sc *telemetry.Scope, sqlText string, az 
 
 	e := &exec{
 		c: c, p: p,
+		qid:       int(querySeq.Add(1)),
 		tracker:   block.NewTracker(),
 		exchanges: make(map[int]network.FabricExchange),
 		consNodes: make(map[int][]int),
-		coreCur:   make([]atomic.Int64, c.cfg.Nodes+1),
 		stop:      make(chan struct{}),
 		scope:     sc,
 		memGauge:  sc.Gauge(telemetry.GaugeMemBytes),
@@ -194,25 +216,41 @@ func (c *Cluster) runPlan(p *plan.Plan, sc *telemetry.Scope, sqlText string, az 
 	if c.cfg.Mode == ME {
 		buf = 0
 	}
+	maxExID := 0
 	for _, ex := range p.Exchanges {
 		prod, okP := segByID[ex.Producer]
 		cons, okC := segByID[ex.Consumer]
 		if !okP || !okC {
 			return nil, fmt.Errorf("engine: exchange %d is dangling", ex.ID)
 		}
+		if ex.ID > maxExID {
+			maxExID = ex.ID
+		}
 		prodNodes := e.nodesOf(prod)
 		consNodes := e.nodesOf(cons)
 		e.consNodes[ex.ID] = consNodes
-		e.exchanges[ex.ID] = c.fabric.NewExchange(ex.ID, len(prodNodes), consNodes,
+		e.exchanges[ex.ID] = c.fabric.NewExchange(e.qid, ex.ID, len(prodNodes), consNodes,
 			ex.Sch, buf, e.tracker, e.scope)
 	}
 
 	// The result collector: final segment gathers to the master. Its
-	// exchange id sits far above any plan exchange id (TCP frames carry
-	// unsigned ids).
+	// exchange id is derived — one past the plan's highest — so it is
+	// unique within this query's (qid-keyed) namespace with no reserved
+	// constant that concurrent queries could collide on.
+	e.resultExID = maxExID + 1
 	finalNodes := e.nodesOf(p.Final)
-	e.resultEx = c.fabric.NewExchange(resultExchangeID, len(finalNodes),
+	e.resultEx = c.fabric.NewExchange(e.qid, e.resultExID, len(finalNodes),
 		[]int{c.master()}, p.Final.Root.Schema(), buf, e.tracker, e.scope)
+
+	// When the query is fully torn down (all senders, readers and
+	// samplers joined), drop its exchange state from the transport so a
+	// long-lived serving cluster does not accrete per-query registries.
+	defer func() {
+		for _, ex := range e.exchanges {
+			ex.Release()
+		}
+		e.resultEx.Release()
+	}()
 
 	// Instantiate all segments on their nodes.
 	for _, seg := range p.Segments {
@@ -226,6 +264,20 @@ func (c *Cluster) runPlan(p *plan.Plan, sc *telemetry.Scope, sqlText string, az 
 	}
 	wireSp.End()
 	execSp := sc.StartSpan("execute", "query")
+
+	// Route caller cancellation into the fail-fast teardown: aborting
+	// the exchanges unwedges every worker, and the query returns the
+	// context's error. The watcher exits with the query (e.stop closes
+	// on every post-instantiation path).
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.fail(ctx.Err())
+			case <-e.stop:
+			}
+		}()
+	}
 
 	// Result reader drains the collector concurrently so bounded
 	// buffers never stall the final senders.
@@ -340,6 +392,7 @@ func (e *exec) instantiate(seg *plan.Segment, node int) (*segInst, error) {
 	if seg.OrderPreserving {
 		maxW = 1 // ordered emission requires a single worker
 	}
+	lease := e.c.leases[node]
 	inst.el = elastic.New(root, elastic.Config{
 		BufferCap:       64,
 		OrderPreserving: seg.OrderPreserving,
@@ -348,6 +401,9 @@ func (e *exec) instantiate(seg *plan.Segment, node int) (*segInst, error) {
 		Name:            fmt.Sprintf("S%d", seg.ID),
 		Node:            node,
 		Faults:          e.c.faultInj,
+		// Every exiting worker (drain, shrink or crash) returns its core
+		// slot to the node's shared pool.
+		OnWorkerExit: lease.Release,
 	})
 
 	// Output: the segment's exchange, or the result collector.
@@ -496,7 +552,7 @@ func (e *exec) startInst(inst *segInst, parallelism int) {
 		Stage: 0, StageName: "run",
 	})
 	for i := 0; i < parallelism; i++ {
-		e.expand(inst)
+		e.expand(inst, true)
 	}
 	// One span covers the instance's whole lifetime: first worker start
 	// to sender drain. Started here (not in the goroutine) so its begin
@@ -542,7 +598,7 @@ func (e *exec) watchdog(done chan struct{}) {
 				e.fail(fmt.Errorf("engine: recovery budget exhausted after %d re-expansions", expands))
 				return
 			}
-			if e.expand(inst) {
+			if e.expand(inst, true) {
 				expands++
 				e.scope.Counter(telemetry.CtrRecoverExpands).Inc()
 				e.scope.Emit(telemetry.Recovery{
@@ -554,14 +610,34 @@ func (e *exec) watchdog(done chan struct{}) {
 	}
 }
 
-// expand adds one worker to an instance, assigning a core and socket.
-func (e *exec) expand(inst *segInst) bool {
-	core := int(e.coreCur[inst.node].Add(1)-1) % e.c.cfg.CoresPerNode
+// expand adds one worker to an instance, leasing a core slot from the
+// node's cluster-level pool (shared across all concurrent queries).
+//
+// must distinguishes mandatory workers — the fixed parallelism SP/ME
+// start with, a segment's initial worker, watchdog recovery — from the
+// EP scheduler's elective expansions. When the node is fully booked, a
+// mandatory worker still starts on the least-loaded core with the
+// overdraft accounted (a dataflow with a zero-worker segment would
+// never finish), while an elective expansion is refused so scheduled
+// parallelism never exceeds the per-node core budget.
+func (e *exec) expand(inst *segInst, must bool) bool {
+	lease := e.c.leases[inst.node]
+	core, ok := lease.Acquire()
+	if !ok {
+		if !must && inst.el.Parallelism() > 0 {
+			return false
+		}
+		core = lease.AcquireOversub()
+	}
 	socket := 0
 	if e.c.cfg.Sockets > 1 {
 		socket = core * e.c.cfg.Sockets / e.c.cfg.CoresPerNode
 	}
-	return inst.el.Expand(core, socket) >= 0
+	if inst.el.Expand(core, socket) < 0 {
+		lease.Release(core)
+		return false
+	}
+	return true
 }
 
 // runPipelined starts every segment at once (EP and SP).
@@ -576,16 +652,16 @@ func (e *exec) runPipelined() error {
 		e.startInst(inst, initial)
 	}
 
-	var schedStop chan struct{}
 	if e.c.cfg.Mode == EP {
-		schedStop = make(chan struct{})
-		go e.runSchedulers(schedStop)
+		adapters := make([]*segAdapter, 0, len(e.insts))
+		for _, inst := range e.insts {
+			adapters = append(adapters, newSegAdapter(e, inst))
+		}
+		e.c.attachEP(e, adapters)
+		defer e.c.detachEP(e, adapters)
 	}
 	for _, inst := range e.insts {
 		<-inst.done
-	}
-	if schedStop != nil {
-		close(schedStop)
 	}
 	return nil
 }

@@ -19,11 +19,14 @@ import (
 type Fabric interface {
 	// NewExchange declares an exchange: producers instances ship
 	// sch-typed blocks to one consumer instance per entry of
-	// consumerNodes. bufBlocks bounds each inbox (<=0 unbounded);
-	// tracker accounts staged bytes. Cross-node traffic is counted on
-	// scope's shared telemetry counters (net.bytes / net.blocks) and
-	// emitted as BlockSent events — identically on every transport.
-	NewExchange(id, producers int, consumerNodes []int, sch *types.Schema,
+	// consumerNodes. Exchanges are keyed by (query, id): plan exchange
+	// ids repeat across queries, so the process-unique query id
+	// namespaces every dataflow and concurrent queries never cross.
+	// bufBlocks bounds each inbox (<=0 unbounded); tracker accounts
+	// staged bytes. Cross-node traffic is counted on scope's shared
+	// telemetry counters (net.bytes / net.blocks) and emitted as
+	// BlockSent events — identically on every transport.
+	NewExchange(query, id, producers int, consumerNodes []int, sch *types.Schema,
 		bufBlocks int, tracker *block.Tracker, scope *telemetry.Scope) FabricExchange
 	// NodeEgressBytes reports bytes a node pushed into the fabric.
 	NodeEgressBytes(node int) int64
@@ -37,6 +40,11 @@ type FabricExchange interface {
 	// unblock and discard, pending reliable sends fail fast. Idempotent;
 	// safe to call concurrently with senders and receivers.
 	Abort()
+	// Release drops the exchange's per-query state from the transport
+	// once the query completed. A long-lived serving node would
+	// otherwise accrete per-query registrations forever. Call after all
+	// senders and receivers finished; idempotent.
+	Release()
 }
 
 // scopedOutbox is the shared telemetry shim both transports wrap their
@@ -120,8 +128,11 @@ type InProcFabric struct {
 }
 
 // NewExchange implements Fabric. The in-process transport moves blocks
-// by pointer, so the schema is not needed for decoding.
-func (f InProcFabric) NewExchange(id, producers int, consumerNodes []int,
+// by pointer, so the schema is not needed for decoding. Each call
+// creates a private exchange object, so the (query, id) key only
+// matters for labels: in-process dataflows are disjoint by
+// construction.
+func (f InProcFabric) NewExchange(query, id, producers int, consumerNodes []int,
 	_ *types.Schema, bufBlocks int, tracker *block.Tracker,
 	scope *telemetry.Scope) FabricExchange {
 	pol := DefaultRetryPolicy
@@ -155,6 +166,11 @@ type inprocExchange struct {
 func (e inprocExchange) Inbox(i int) *Inbox { return e.ex.Inbox(i) }
 
 func (e inprocExchange) Abort() { e.ex.Abort() }
+
+// Release implements FabricExchange. The in-process transport holds no
+// per-query registry — the exchange object itself is the only state,
+// and it is garbage once the query drops it.
+func (e inprocExchange) Release() {}
 
 func (e inprocExchange) Outbox(node int) iterator.Outbox {
 	var inner iterator.Outbox = e.ex.Outbox(node)
@@ -314,18 +330,18 @@ func NewTCPFabric(nodes map[int]*TCPNode) *TCPFabric {
 }
 
 // NewExchange implements Fabric.
-func (f *TCPFabric) NewExchange(id, producers int, consumerNodes []int,
+func (f *TCPFabric) NewExchange(query, id, producers int, consumerNodes []int,
 	sch *types.Schema, bufBlocks int, tracker *block.Tracker,
 	scope *telemetry.Scope) FabricExchange {
-	ex := &tcpExchange{fabric: f, id: id, consumerNodes: consumerNodes, scope: scope}
+	ex := &tcpExchange{fabric: f, query: query, id: id, consumerNodes: consumerNodes, scope: scope}
 	for i, cn := range consumerNodes {
 		node, ok := f.nodes[cn]
 		if !ok {
 			panic(fmt.Sprintf("network: TCP fabric has no node %d", cn))
 		}
-		node.SetExchangeScope(id, scope)
+		node.SetExchangeScope(query, id, scope)
 		ex.inboxes = append(ex.inboxes,
-			node.RegisterInbox(id, i, producers, sch, bufBlocks, tracker))
+			node.RegisterInbox(query, id, i, producers, sch, bufBlocks, tracker))
 	}
 	return ex
 }
@@ -347,6 +363,7 @@ func (f *TCPFabric) NodeEgressBytes(node int) int64 {
 
 type tcpExchange struct {
 	fabric        *TCPFabric
+	query         int
 	id            int
 	consumerNodes []int
 	scope         *telemetry.Scope
@@ -360,7 +377,15 @@ func (e *tcpExchange) Inbox(i int) *Inbox { return e.inboxes[i] }
 // the exchange, so senders, read loops and consumers all unwedge.
 func (e *tcpExchange) Abort() {
 	for _, n := range e.fabric.nodes {
-		n.AbortExchange(e.id)
+		n.AbortExchange(e.query, e.id)
+	}
+}
+
+// Release implements FabricExchange: every node drops the exchange's
+// per-query registrations.
+func (e *tcpExchange) Release() {
+	for _, n := range e.fabric.nodes {
+		n.ReleaseExchange(e.query, e.id)
 	}
 }
 
@@ -370,7 +395,7 @@ func (e *tcpExchange) Outbox(producerNode int) iterator.Outbox {
 	if !ok {
 		panic(fmt.Sprintf("network: TCP fabric has no node %d", producerNode))
 	}
-	ob := node.NewOutbox(e.id, e.consumerNodes)
+	ob := node.NewOutbox(e.query, e.id, e.consumerNodes)
 	ob.SetScope(e.scope)
 	inner := &countingOutbox{
 		inner:   ob,

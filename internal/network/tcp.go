@@ -22,15 +22,23 @@ import (
 // nodes dial each other lazily and multiplex every exchange over a
 // single connection pair per peer. Frames are length-prefixed:
 //
-//	uint32 frameLen | uint32 exchangeID | uint32 destInstance |
-//	uint8  kind (0=data, 1=eof, 2=ack) | uint32 srcNode |
-//	uint64 seq | uint32 checksum | payload (encoded block)
+//	uint32 frameLen | uint32 queryID | uint32 exchangeID |
+//	uint32 destInstance | uint8 kind (0=data, 1=eof, 2=ack) |
+//	uint32 srcNode | uint64 seq | uint32 checksum |
+//	payload (encoded block)
+//
+// Every exchange is keyed by (queryID, exchangeID): plan exchange ids
+// repeat across queries (and across concurrent queries), so the query
+// id — process-unique on the submitting master — namespaces the whole
+// dataflow. Concurrent queries on one node mesh never share an inbox,
+// a sequence-number stream, or an abort channel.
 //
 // Every data/eof frame carries a per-stream sequence number (stream =
-// exchange × destination instance × source node) and a CRC of its
-// payload. The receiver applies each sequence number at most once, so
-// retransmissions and injected duplicates never double-apply; corrupted
-// frames fail the checksum and are dropped, forcing a retransmit.
+// query × exchange × destination instance × source node) and a CRC of
+// its payload. The receiver applies each sequence number at most once,
+// so retransmissions and injected duplicates never double-apply;
+// corrupted frames fail the checksum and are dropped, forcing a
+// retransmit.
 //
 // When a fault injector is attached (or a retry policy is forced), the
 // node runs its reliable path: the receiver acknowledges every applied
@@ -61,11 +69,11 @@ type TCPNode struct {
 	conns    map[int]*tcpConn
 	accepted []net.Conn
 	inboxes  map[inboxKey]*Inbox
-	schemas  map[int]*types.Schema
-	trackers map[int]*block.Tracker
-	scopes   map[int]*telemetry.Scope
+	schemas  map[exchangeKey]*types.Schema
+	trackers map[exchangeKey]*block.Tracker
+	scopes   map[exchangeKey]*telemetry.Scope
 	streams  map[streamKey]uint64 // next expected seq per stream
-	aborts   map[int]chan struct{}
+	aborts   map[exchangeKey]chan struct{}
 	closed   bool
 	wg       sync.WaitGroup
 
@@ -79,24 +87,35 @@ const (
 	frameAck  = 2
 )
 
-// headerLen is the fixed frame header: frameLen(4) exchange(4) inst(4)
-// kind(1) srcNode(4) seq(8) checksum(4).
-const headerLen = 4 + 4 + 4 + 1 + 4 + 8 + 4
+// headerLen is the fixed frame header: frameLen(4) query(4) exchange(4)
+// inst(4) kind(1) srcNode(4) seq(8) checksum(4).
+const headerLen = 4 + 4 + 4 + 4 + 1 + 4 + 8 + 4
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// exchangeKey identifies one query's exchange on a node: plan exchange
+// ids repeat across queries, so every per-exchange structure is keyed
+// by the pair.
+type exchangeKey struct {
+	query    int
+	exchange int
+}
+
 type inboxKey struct {
+	query    int
 	exchange int
 	instance int
 }
 
 type streamKey struct {
+	query    int
 	exchange int
 	instance int
 	src      int
 }
 
 type ackKey struct {
+	query    int
 	exchange int
 	instance int
 	seq      uint64
@@ -119,11 +138,11 @@ func NewTCPNode(id int, addr string, peers map[int]string) (*TCPNode, error) {
 		id: id, ln: ln, peers: peers,
 		conns:    make(map[int]*tcpConn),
 		inboxes:  make(map[inboxKey]*Inbox),
-		schemas:  make(map[int]*types.Schema),
-		trackers: make(map[int]*block.Tracker),
-		scopes:   make(map[int]*telemetry.Scope),
+		schemas:  make(map[exchangeKey]*types.Schema),
+		trackers: make(map[exchangeKey]*block.Tracker),
+		scopes:   make(map[exchangeKey]*telemetry.Scope),
 		streams:  make(map[streamKey]uint64),
-		aborts:   make(map[int]chan struct{}),
+		aborts:   make(map[exchangeKey]chan struct{}),
 		acks:     make(map[ackKey]chan struct{}),
 	}
 	n.wg.Add(1)
@@ -187,38 +206,41 @@ func (n *TCPNode) acceptLoop() {
 }
 
 // RegisterInbox declares that this node hosts consumer instance
-// (exchange, instance) expecting nProducers streams with the given
-// schema. Must be called before producers start sending.
-func (n *TCPNode) RegisterInbox(exchange, instance, nProducers int,
+// (query, exchange, instance) expecting nProducers streams with the
+// given schema. Must be called before producers start sending.
+func (n *TCPNode) RegisterInbox(query, exchange, instance, nProducers int,
 	sch *types.Schema, bufBlocks int, tracker *block.Tracker) *Inbox {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	in := newInbox(nProducers, bufBlocks, tracker)
-	n.inboxes[inboxKey{exchange, instance}] = in
-	n.schemas[exchange] = sch
-	n.trackers[exchange] = tracker
+	n.inboxes[inboxKey{query, exchange, instance}] = in
+	n.schemas[exchangeKey{query, exchange}] = sch
+	n.trackers[exchangeKey{query, exchange}] = tracker
 	return in
 }
 
 // SetExchangeScope attaches the telemetry scope receiver-side events of
 // an exchange (duplicate suppression, corrupt-frame drops) are counted
 // on.
-func (n *TCPNode) SetExchangeScope(exchange int, sc *telemetry.Scope) {
+func (n *TCPNode) SetExchangeScope(query, exchange int, sc *telemetry.Scope) {
 	n.mu.Lock()
-	n.scopes[exchange] = sc
+	n.scopes[exchangeKey{query, exchange}] = sc
 	n.mu.Unlock()
 }
 
-// AbortExchange abandons an exchange: pending reliable sends fail
-// immediately, future sends fail fast, and the exchange's inboxes on
-// this node unblock and discard. The engine calls it on every node when
-// a query errors, so no goroutine stays wedged on a dead dataflow.
-func (n *TCPNode) AbortExchange(exchange int) {
+// AbortExchange abandons one query's exchange: pending reliable sends
+// fail immediately, future sends fail fast, and the exchange's inboxes
+// on this node unblock and discard. The engine calls it on every node
+// when a query errors, so no goroutine stays wedged on a dead dataflow.
+// Other queries' exchanges — same plan exchange id included — are
+// untouched.
+func (n *TCPNode) AbortExchange(query, exchange int) {
+	ek := exchangeKey{query, exchange}
 	n.mu.Lock()
-	ch, ok := n.aborts[exchange]
+	ch, ok := n.aborts[ek]
 	if !ok {
 		ch = make(chan struct{})
-		n.aborts[exchange] = ch
+		n.aborts[ek] = ch
 	}
 	select {
 	case <-ch:
@@ -227,7 +249,7 @@ func (n *TCPNode) AbortExchange(exchange int) {
 	}
 	var ins []*Inbox
 	for k, in := range n.inboxes {
-		if k.exchange == exchange {
+		if k.query == query && k.exchange == exchange {
 			ins = append(ins, in)
 		}
 	}
@@ -237,40 +259,53 @@ func (n *TCPNode) AbortExchange(exchange int) {
 	}
 }
 
+// ReleaseExchange drops every per-exchange structure of (query,
+// exchange) — inboxes, schema, tracker, scope, stream watermarks and
+// the abort channel. The engine releases each exchange when its query
+// completes; without this a long-lived serving node accretes one map
+// entry per stream per query forever.
+func (n *TCPNode) ReleaseExchange(query, exchange int) {
+	ek := exchangeKey{query, exchange}
+	n.mu.Lock()
+	for k := range n.inboxes {
+		if k.query == query && k.exchange == exchange {
+			delete(n.inboxes, k)
+		}
+	}
+	for k := range n.streams {
+		if k.query == query && k.exchange == exchange {
+			delete(n.streams, k)
+		}
+	}
+	delete(n.schemas, ek)
+	delete(n.trackers, ek)
+	delete(n.scopes, ek)
+	delete(n.aborts, ek)
+	n.mu.Unlock()
+}
+
 // abortCh returns the exchange's abort channel, creating it open.
-func (n *TCPNode) abortCh(exchange int) chan struct{} {
+func (n *TCPNode) abortCh(query, exchange int) chan struct{} {
+	ek := exchangeKey{query, exchange}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ch, ok := n.aborts[exchange]
+	ch, ok := n.aborts[ek]
 	if !ok {
 		ch = make(chan struct{})
-		n.aborts[exchange] = ch
+		n.aborts[ek] = ch
 	}
 	return ch
 }
 
-// resetAbort reopens an exchange's abort state for reuse by a new
-// query (plan exchange ids repeat across queries on one cluster).
-func (n *TCPNode) resetAbort(exchange int) {
-	n.mu.Lock()
-	if ch, ok := n.aborts[exchange]; ok {
-		select {
-		case <-ch:
-			n.aborts[exchange] = make(chan struct{})
-		default:
-		}
-	}
-	n.mu.Unlock()
-}
-
-func (n *TCPNode) inbox(exchange, instance int) (*Inbox, *types.Schema, *block.Tracker, *telemetry.Scope, error) {
+func (n *TCPNode) inbox(query, exchange, instance int) (*Inbox, *types.Schema, *block.Tracker, *telemetry.Scope, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	in, ok := n.inboxes[inboxKey{exchange, instance}]
+	in, ok := n.inboxes[inboxKey{query, exchange, instance}]
 	if !ok {
-		return nil, nil, nil, nil, fmt.Errorf("network: no inbox for exchange %d instance %d", exchange, instance)
+		return nil, nil, nil, nil, fmt.Errorf("network: no inbox for query %d exchange %d instance %d", query, exchange, instance)
 	}
-	return in, n.schemas[exchange], n.trackers[exchange], n.scopes[exchange], nil
+	ek := exchangeKey{query, exchange}
+	return in, n.schemas[ek], n.trackers[ek], n.scopes[ek], nil
 }
 
 // applyOnce reports whether the frame (stream, seq) should be applied:
@@ -297,22 +332,23 @@ func (n *TCPNode) readLoop(c net.Conn) {
 			return
 		}
 		frameLen := binary.LittleEndian.Uint32(hdr[0:])
-		exID := int(binary.LittleEndian.Uint32(hdr[4:]))
-		inst := int(binary.LittleEndian.Uint32(hdr[8:]))
-		kind := hdr[12]
-		src := int(int32(binary.LittleEndian.Uint32(hdr[13:])))
-		seq := binary.LittleEndian.Uint64(hdr[17:])
-		sum := binary.LittleEndian.Uint32(hdr[25:])
+		query := int(binary.LittleEndian.Uint32(hdr[4:]))
+		exID := int(binary.LittleEndian.Uint32(hdr[8:]))
+		inst := int(binary.LittleEndian.Uint32(hdr[12:]))
+		kind := hdr[16]
+		src := int(int32(binary.LittleEndian.Uint32(hdr[17:])))
+		seq := binary.LittleEndian.Uint64(hdr[21:])
+		sum := binary.LittleEndian.Uint32(hdr[29:])
 		payload := make([]byte, frameLen)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
 
 		if kind == frameAck {
-			n.dispatchAck(ackKey{exID, inst, seq})
+			n.dispatchAck(ackKey{query, exID, inst, seq})
 			continue
 		}
-		in, sch, trk, scope, err := n.inbox(exID, inst)
+		in, sch, trk, scope, err := n.inbox(query, exID, inst)
 		if err != nil {
 			continue // stray frame for an unregistered exchange
 		}
@@ -325,7 +361,7 @@ func (n *TCPNode) readLoop(c net.Conn) {
 			}
 			continue
 		}
-		sk := streamKey{exID, inst, src}
+		sk := streamKey{query, exID, inst, src}
 		if !n.applyOnce(sk, seq) {
 			// Duplicate: suppress, but re-acknowledge — the original ack
 			// may have been lost to the sender's timeout.
@@ -333,13 +369,13 @@ func (n *TCPNode) readLoop(c net.Conn) {
 				scope.Counter(telemetry.CtrNetDupDropped).Inc()
 				scope.Emit(telemetry.Recovery{Node: n.id, Action: "dup-drop"})
 			}
-			n.sendAck(src, exID, inst, seq)
+			n.sendAck(src, query, exID, inst, seq)
 			continue
 		}
 		// Ack before the (possibly blocking) inbox insert; see the type
 		// comment for why this ordering is deadlock-free and still
 		// backpressured.
-		n.sendAck(src, exID, inst, seq)
+		n.sendAck(src, query, exID, inst, seq)
 		switch kind {
 		case frameEOF:
 			in.producerDone()
@@ -352,10 +388,10 @@ func (n *TCPNode) readLoop(c net.Conn) {
 	}
 }
 
-// sendAck acknowledges frame (exchange, inst, seq) back to the source
-// node. Only meaningful under the reliable protocol; otherwise no one
-// is waiting, so skip the reverse traffic.
-func (n *TCPNode) sendAck(src, exchange, inst int, seq uint64) {
+// sendAck acknowledges frame (query, exchange, inst, seq) back to the
+// source node. Only meaningful under the reliable protocol; otherwise
+// no one is waiting, so skip the reverse traffic.
+func (n *TCPNode) sendAck(src, query, exchange, inst int, seq uint64) {
 	if !n.reliable() {
 		return
 	}
@@ -363,7 +399,7 @@ func (n *TCPNode) sendAck(src, exchange, inst int, seq uint64) {
 	if err != nil {
 		return // the sender will time out and retransmit
 	}
-	if err := c.send(exchange, inst, frameAck, n.id, seq, 0, nil); err != nil {
+	if err := c.send(query, exchange, inst, frameAck, n.id, seq, 0, nil); err != nil {
 		n.dropConn(src, c)
 	}
 }
@@ -431,15 +467,16 @@ func (n *TCPNode) dropConn(peer int, c *tcpConn) {
 	c.c.Close()
 }
 
-func (c *tcpConn) send(exID, inst int, kind byte, src int, seq uint64, sum uint32, payload []byte) error {
+func (c *tcpConn) send(query, exID, inst int, kind byte, src int, seq uint64, sum uint32, payload []byte) error {
 	var hdr [headerLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(exID))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(inst))
-	hdr[12] = kind
-	binary.LittleEndian.PutUint32(hdr[13:], uint32(src))
-	binary.LittleEndian.PutUint64(hdr[17:], seq)
-	binary.LittleEndian.PutUint32(hdr[25:], sum)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(query))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(exID))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(inst))
+	hdr[16] = kind
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(src))
+	binary.LittleEndian.PutUint64(hdr[21:], seq)
+	binary.LittleEndian.PutUint32(hdr[29:], sum)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.w.Write(hdr[:]); err != nil {
@@ -454,6 +491,7 @@ func (c *tcpConn) send(exID, inst int, kind byte, src int, seq uint64, sum uint3
 // TCPOutbox is the producer side of an exchange over TCP.
 type TCPOutbox struct {
 	node          *TCPNode
+	query         int
 	exchange      int
 	consumerNodes []int // node id per destination instance
 	buf           []byte
@@ -462,17 +500,17 @@ type TCPOutbox struct {
 }
 
 // NewOutbox creates an outbox sending from this node to the consumer
-// instances located on the given nodes. Sequence numbers are based on a
-// node-wide epoch so streams of consecutive queries reusing an exchange
-// id never collide.
-func (n *TCPNode) NewOutbox(exchange int, consumerNodes []int) *TCPOutbox {
-	n.resetAbort(exchange)
+// instances of (query, exchange) located on the given nodes. Sequence
+// numbers are based on a node-wide epoch so streams of consecutive
+// queries reusing an exchange id never collide even before the query
+// id is taken into account.
+func (n *TCPNode) NewOutbox(query, exchange int, consumerNodes []int) *TCPOutbox {
 	base := uint64(n.epoch.Add(1)) << 32
 	seqs := make([]uint64, len(consumerNodes))
 	for i := range seqs {
 		seqs[i] = base
 	}
-	return &TCPOutbox{node: n, exchange: exchange, consumerNodes: consumerNodes, seqs: seqs}
+	return &TCPOutbox{node: n, query: query, exchange: exchange, consumerNodes: consumerNodes, seqs: seqs}
 }
 
 // SetScope attaches the telemetry scope sender-side events (injected
@@ -517,7 +555,7 @@ func (o *TCPOutbox) sendFrame(dest int, kind byte, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := c.send(o.exchange, dest, kind, n.id, seq, sum, payload); err != nil {
+		if err := c.send(o.query, o.exchange, dest, kind, n.id, seq, sum, payload); err != nil {
 			n.dropConn(peer, c)
 			return err
 		}
@@ -527,10 +565,10 @@ func (o *TCPOutbox) sendFrame(dest int, kind byte, payload []byte) error {
 	inj := n.faults()
 	pol := n.policy()
 	deadline := time.Now().Add(pol.Deadline)
-	ak := ackKey{o.exchange, dest, seq}
+	ak := ackKey{o.query, o.exchange, dest, seq}
 	ackCh := n.registerAck(ak)
 	defer n.unregisterAck(ak)
-	abort := n.abortCh(o.exchange)
+	abort := n.abortCh(o.query, o.exchange)
 
 	for attempt := 0; ; attempt++ {
 		select {
@@ -583,7 +621,7 @@ func (o *TCPOutbox) sendFrame(dest int, kind byte, payload []byte) error {
 			c, err := n.conn(peer)
 			if err != nil {
 				cause = "dial"
-			} else if err := c.send(o.exchange, dest, kind, n.id, seq, sum, wire); err != nil {
+			} else if err := c.send(o.query, o.exchange, dest, kind, n.id, seq, sum, wire); err != nil {
 				n.dropConn(peer, c)
 				cause = "write"
 			} else if v.Dup {
@@ -591,7 +629,7 @@ func (o *TCPOutbox) sendFrame(dest int, kind byte, payload []byte) error {
 					Site: "link", Fault: "dup", From: n.id, To: peer,
 					Exchange: o.exchange, Seq: seq,
 				})
-				_ = c.send(o.exchange, dest, kind, n.id, seq, sum, wire)
+				_ = c.send(o.query, o.exchange, dest, kind, n.id, seq, sum, wire)
 			}
 			if v.Corrupt && len(payload) == 0 {
 				sum = crc32.Checksum(payload, crcTable) // restore for retries
@@ -644,7 +682,7 @@ func (n *TCPNode) Close() {
 	n.conns = make(map[int]*tcpConn)
 	n.accepted = nil
 	aborts := n.aborts
-	n.aborts = make(map[int]chan struct{})
+	n.aborts = make(map[exchangeKey]chan struct{})
 	n.mu.Unlock()
 	// Fail pending reliable sends so no Send outlives the node.
 	for _, ch := range aborts {

@@ -73,9 +73,9 @@ func TestTCPRetryRecoversFromDrops(t *testing.T) {
 
 	scope := telemetry.NewScope("tcp-drop")
 	const exID = 4
-	in := n1.RegisterInbox(exID, 0, 1, sch, 8, nil)
-	n1.SetExchangeScope(exID, scope)
-	ob := n0.NewOutbox(exID, []int{1})
+	in := n1.RegisterInbox(0, exID, 0, 1, sch, 8, nil)
+	n1.SetExchangeScope(0, exID, scope)
+	ob := n0.NewOutbox(0, exID, []int{1})
 	ob.SetScope(scope)
 
 	const nBlocks = 60
@@ -126,9 +126,9 @@ func TestTCPCorruptionDetectedAndRetransmitted(t *testing.T) {
 
 	scope := telemetry.NewScope("tcp-corrupt")
 	const exID = 9
-	in := n1.RegisterInbox(exID, 0, 1, sch, 8, nil)
-	n1.SetExchangeScope(exID, scope)
-	ob := n0.NewOutbox(exID, []int{1})
+	in := n1.RegisterInbox(0, exID, 0, 1, sch, 8, nil)
+	n1.SetExchangeScope(0, exID, scope)
+	ob := n0.NewOutbox(0, exID, []int{1})
 	ob.SetScope(scope)
 
 	const nBlocks = 40
@@ -171,8 +171,8 @@ func TestTCPSendAfterPeerClose(t *testing.T) {
 	n1.SetRetryPolicy(pol)
 
 	const exID = 2
-	n1.RegisterInbox(exID, 0, 1, sch, 4, nil)
-	ob := n0.NewOutbox(exID, []int{1})
+	n1.RegisterInbox(0, exID, 0, 1, sch, 4, nil)
+	ob := n0.NewOutbox(0, exID, []int{1})
 	if err := ob.Send(0, mkBlock(1)); err != nil {
 		t.Fatalf("send to live peer: %v", err)
 	}
@@ -206,8 +206,8 @@ func TestTCPMidStreamSeverance(t *testing.T) {
 	n1.SetRetryPolicy(fastRetry)
 
 	const exID = 6
-	in := n1.RegisterInbox(exID, 0, 1, sch, 8, nil)
-	ob := n0.NewOutbox(exID, []int{1})
+	in := n1.RegisterInbox(0, exID, 0, 1, sch, 8, nil)
+	ob := n0.NewOutbox(0, exID, []int{1})
 
 	var sent int
 	var sendErr error
@@ -229,7 +229,7 @@ func TestTCPMidStreamSeverance(t *testing.T) {
 
 	// The consumer is still waiting on producers that will never close;
 	// AbortExchange must unblock it with EOF.
-	n1.AbortExchange(exID)
+	n1.AbortExchange(0, exID)
 	if _, st := in.Recv(nil); st != iterator.RecvEOF {
 		t.Fatalf("recv on aborted exchange = %v, want EOF", st)
 	}
@@ -249,13 +249,13 @@ func TestTCPAbortUnblocksPendingSend(t *testing.T) {
 	n0.SetRetryPolicy(slow)
 
 	const exID = 12
-	n1.RegisterInbox(exID, 0, 1, sch, 1, nil)
-	ob := n0.NewOutbox(exID, []int{1})
+	n1.RegisterInbox(0, exID, 0, 1, sch, 1, nil)
+	ob := n0.NewOutbox(0, exID, []int{1})
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- ob.Send(0, mkBlock(7)) }()
 	time.Sleep(20 * time.Millisecond)
-	n0.AbortExchange(exID)
+	n0.AbortExchange(0, exID)
 	select {
 	case err := <-errCh:
 		if err == nil || !strings.Contains(err.Error(), "aborted") {
@@ -286,8 +286,8 @@ func TestTCPNodeGoroutineLeak(t *testing.T) {
 	n1.peers = peers
 
 	const exID = 3
-	in := n1.RegisterInbox(exID, 0, 1, sch, 4, nil)
-	ob := n0.NewOutbox(exID, []int{1})
+	in := n1.RegisterInbox(0, exID, 0, 1, sch, 4, nil)
+	ob := n0.NewOutbox(0, exID, []int{1})
 	for i := 0; i < 8; i++ {
 		if err := ob.Send(0, mkBlock(int64(i))); err != nil {
 			t.Fatal(err)
@@ -299,14 +299,14 @@ func TestTCPNodeGoroutineLeak(t *testing.T) {
 	}
 
 	// A second exchange is abandoned mid-stream, as on query error.
-	in2 := n1.RegisterInbox(exID+1, 0, 1, sch, 2, nil)
-	ob2 := n0.NewOutbox(exID+1, []int{1})
+	in2 := n1.RegisterInbox(0, exID+1, 0, 1, sch, 2, nil)
+	ob2 := n0.NewOutbox(0, exID+1, []int{1})
 	for i := 0; i < 2; i++ {
 		if err := ob2.Send(0, mkBlock(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	n1.AbortExchange(exID + 1)
+	n1.AbortExchange(0, exID+1)
 	_ = in2
 
 	n0.Close()
@@ -334,8 +334,8 @@ func TestTCPNodeGoroutineLeak(t *testing.T) {
 func TestTCPFastPathStaysUnreliable(t *testing.T) {
 	n0, n1 := twoTCPNodes(t)
 	const exID = 8
-	in := n1.RegisterInbox(exID, 0, 1, sch, 8, nil)
-	ob := n0.NewOutbox(exID, []int{1})
+	in := n1.RegisterInbox(0, exID, 0, 1, sch, 8, nil)
+	ob := n0.NewOutbox(0, exID, []int{1})
 	for i := 0; i < 5; i++ {
 		if err := ob.Send(0, mkBlock(int64(i))); err != nil {
 			t.Fatal(err)

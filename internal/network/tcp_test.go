@@ -27,12 +27,12 @@ func TestTCPExchangeTwoNodes(t *testing.T) {
 	n1.peers = peers
 
 	const exID = 7
-	in0 := n0.RegisterInbox(exID, 0, 2, sch, 16, nil)
-	in1 := n1.RegisterInbox(exID, 1, 2, sch, 16, nil)
+	in0 := n0.RegisterInbox(0, exID, 0, 2, sch, 16, nil)
+	in1 := n1.RegisterInbox(0, exID, 1, 2, sch, 16, nil)
 
 	consumerNodes := []int{0, 1}
 	for p, node := range []*TCPNode{n0, n1} {
-		ob := node.NewOutbox(exID, consumerNodes)
+		ob := node.NewOutbox(0, exID, consumerNodes)
 		for d := 0; d < 2; d++ {
 			if err := ob.Send(d, mkBlock(int64(100*p+d), int64(100*p+d+50))); err != nil {
 				t.Fatal(err)
@@ -84,8 +84,8 @@ func TestTCPBlockContentIntegrity(t *testing.T) {
 		types.Char("s", 11),
 		types.Col("d", types.Date),
 	)
-	in := n0.RegisterInbox(3, 0, 1, wide, 4, nil)
-	ob := n0.NewOutbox(3, []int{0})
+	in := n0.RegisterInbox(0, 3, 0, 1, wide, 4, nil)
+	ob := n0.NewOutbox(0, 3, []int{0})
 
 	// Build a block with distinctive values and metadata.
 	b := mkWide(wide)

@@ -64,6 +64,19 @@ type SegmentHandle interface {
 	Shrink() bool
 }
 
+// ScopedHandle is an optional extension of SegmentHandle: a handle that
+// carries its own telemetry scope. A cluster-resident scheduler serves
+// segments of many concurrent queries at once, so decision events are
+// routed to the scope of the segment a decision concerns (the query
+// that gains a core) rather than one scheduler-wide scope. Handles
+// without a scope fall back to Config.Scope.
+type ScopedHandle interface {
+	SegmentHandle
+	// DecisionScope returns the telemetry scope scheduling decisions
+	// about this segment are emitted on (nil falls back to Config.Scope).
+	DecisionScope() *telemetry.Scope
+}
+
 // LambdaBus shares the pipeline's global throughput λ (Equation 3)
 // across node schedulers: every node publishes its local minimum
 // normalized rate, and reads the global minimum. This is the only
@@ -113,7 +126,8 @@ type scalEntry struct {
 type segState struct {
 	h        SegmentHandle
 	name     string
-	vec      []scalEntry // index = parallelism (0 unused)
+	scope    *telemetry.Scope // decision-event scope (per query, may be nil)
+	vec      []scalEntry      // index = parallelism (0 unused)
 	last     Metrics
 	stage    int
 	normRate float64 // R_i = T_i / V_i
@@ -172,15 +186,50 @@ func NewNodeScheduler(node int, cfg Config, bus LambdaBus) *NodeScheduler {
 }
 
 // Attach registers a segment that turned active on this node; it joins
-// the end of the list and waits for core assignment (Figure 6).
+// the end of the list and waits for core assignment (Figure 6). A
+// ScopedHandle's decision events land on its own (per-query) scope.
 func (s *NodeScheduler) Attach(h SegmentHandle) {
+	scope := s.cfg.Scope
+	if sh, ok := h.(ScopedHandle); ok {
+		if sc := sh.DecisionScope(); sc != nil {
+			scope = sc
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.segs = append(s.segs, &segState{
-		h:    h,
-		name: h.Name(),
-		vec:  make([]scalEntry, s.cfg.Cores+2),
+		h:     h,
+		name:  h.Name(),
+		scope: scope,
+		vec:   make([]scalEntry, s.cfg.Cores+2),
 	})
+}
+
+// Detach removes a segment's handle (a completing or failing query
+// detaches all of its segments so the scheduler stops polling dead
+// iterators). Detaching a handle that is not attached is a no-op.
+func (s *NodeScheduler) Detach(h SegmentHandle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := s.segs[:0]
+	for _, st := range s.segs {
+		if st.h != h {
+			keep = append(keep, st)
+		}
+	}
+	// Clear the dropped tail so evicted segStates do not stay reachable
+	// through the backing array.
+	for i := len(keep); i < len(s.segs); i++ {
+		s.segs[i] = nil
+	}
+	s.segs = keep
+}
+
+// Attached returns the number of segments currently registered.
+func (s *NodeScheduler) Attached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
 }
 
 // Decisions returns the cumulative count of applied scheduling moves —
@@ -189,8 +238,11 @@ func (s *NodeScheduler) Attach(h SegmentHandle) {
 func (s *NodeScheduler) Decisions() int64 { return s.applied.Load() }
 
 // decide publishes one scheduling decision: the counter advances for
-// applied moves, and the event lands on the configured scope.
-func (s *NodeScheduler) decide(d telemetry.SchedDecision) {
+// applied moves, and the event lands on the scope of the segment the
+// decision concerns (the beneficiary of an expansion, the donor of a
+// lone shrink) so each query's telemetry stream sees exactly the moves
+// that touched it.
+func (s *NodeScheduler) decide(st *segState, d telemetry.SchedDecision) {
 	d.Node = s.node
 	// λ is +Inf before any segment has a measured bottleneck; JSON has
 	// no representation for non-finite floats, so record it as 0
@@ -201,13 +253,17 @@ func (s *NodeScheduler) decide(d telemetry.SchedDecision) {
 	if d.Applied {
 		s.applied.Add(1)
 	}
-	if s.cfg.Scope != nil {
-		s.cfg.Scope.Emit(d)
+	scope := s.cfg.Scope
+	if st != nil && st.scope != nil {
+		scope = st.scope
+	}
+	if scope != nil {
+		scope.Emit(d)
 		if d.Applied {
-			s.cfg.Scope.Counter(telemetry.CtrSchedDecisions).Inc()
+			scope.Counter(telemetry.CtrSchedDecisions).Inc()
 			// Instant span: applied moves dot the trace timeline next to
 			// the expand/shrink spans they trigger.
-			s.cfg.Scope.StartSpan("decision "+d.Reason, "sched").
+			scope.StartSpan("decision "+d.Reason, "sched").
 				WithNode(s.node).End()
 		}
 	}
@@ -262,6 +318,11 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		active = append(active, st)
 		used += m.Parallelism
 	}
+	// Nil the pruned tail: done segments must not stay reachable (and
+	// unprunable by the GC) through the slice's backing array.
+	for i := len(active); i < len(s.segs); i++ {
+		s.segs[i] = nil
+	}
 	s.segs = active
 	if len(active) == 0 {
 		s.bus.Publish(s.node, math.Inf(1))
@@ -278,7 +339,7 @@ func (s *NodeScheduler) Tick(now time.Time) {
 			st.last.Parallelism = 1
 			used++
 			revived[st] = true
-			s.decide(telemetry.SchedDecision{
+			s.decide(st, telemetry.SchedDecision{
 				Expanded: st.name, Reason: "revive", Applied: true,
 			})
 		}
@@ -310,7 +371,7 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		if st.last.Starved && st.last.Parallelism > 1 && st.last.Rate == 0 {
 			if st.h.Shrink() {
 				used--
-				s.decide(telemetry.SchedDecision{
+				s.decide(st, telemetry.SchedDecision{
 					Shrunk: st.name, Reason: "starved", Lambda: lambda, Applied: true,
 				})
 			}
@@ -326,7 +387,7 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		if st.last.Blocked && st.last.Parallelism > 1 {
 			if st.h.Shrink() {
 				used--
-				s.decide(telemetry.SchedDecision{
+				s.decide(st, telemetry.SchedDecision{
 					Shrunk: st.name, Reason: "over-producing", Lambda: lambda, Applied: true,
 				})
 			}
@@ -347,7 +408,7 @@ func (s *NodeScheduler) Tick(now time.Time) {
 		if okCur && okBelow && cur <= below*(1+s.cfg.Delta) {
 			if st.h.Shrink() {
 				used--
-				s.decide(telemetry.SchedDecision{
+				s.decide(st, telemetry.SchedDecision{
 					Shrunk: st.name, Reason: "no gain", Lambda: lambda,
 					Gain: cur - below, Applied: true,
 				})
@@ -373,7 +434,7 @@ func (s *NodeScheduler) Tick(now time.Time) {
 			grew[cand]++
 			cand.last.Parallelism++
 			used++
-			s.decide(telemetry.SchedDecision{
+			s.decide(cand, telemetry.SchedDecision{
 				Expanded: cand.name, Reason: "free core", Lambda: lambda,
 				Gain: gain, Applied: true,
 			})
@@ -538,7 +599,7 @@ func (s *NodeScheduler) algorithm1(active []*segState, lambda float64, now time.
 	}
 	if best.oj.h.Shrink() {
 		if best.ui.h.Expand() {
-			s.decide(telemetry.SchedDecision{
+			s.decide(best.ui, telemetry.SchedDecision{
 				Expanded: best.ui.name, Shrunk: best.oj.name,
 				Reason: "algorithm1", Lambda: lambda, Gain: best.gain,
 				Applied: true,
@@ -546,7 +607,7 @@ func (s *NodeScheduler) algorithm1(active []*segState, lambda float64, now time.
 		} else {
 			// Could not expand the target: give the core back.
 			best.oj.h.Expand()
-			s.decide(telemetry.SchedDecision{
+			s.decide(best.ui, telemetry.SchedDecision{
 				Expanded: best.ui.name, Shrunk: best.oj.name,
 				Reason: "algorithm1", Lambda: lambda, Gain: best.gain,
 				Applied: false,

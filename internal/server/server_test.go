@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/sse"
+)
+
+func testCluster(t *testing.T) *engine.Cluster {
+	t.Helper()
+	cat := catalog.New(2)
+	sse.RegisterTables(cat, 4000)
+	c := engine.NewCluster(engine.Config{
+		Nodes: 2, CoresPerNode: 2, Mode: engine.EP, BlockSize: 4096,
+	}, cat)
+	if err := sse.Load(c, sse.GenConfig{Rows: 4000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAdmissionTimeout: with every slot held, a waiter whose timeout
+// expires gets the typed error.
+func TestAdmissionTimeout(t *testing.T) {
+	s := New(nil, Config{MaxInflight: 1, QueueTimeout: 30 * time.Millisecond})
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := s.admit(context.Background())
+	if !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("err = %v, want ErrAdmissionTimeout", err)
+	}
+	s.release()
+	if inflight, queued := s.Stats(); inflight != 0 || queued != 0 {
+		t.Fatalf("after release: inflight=%d queued=%d, want 0/0", inflight, queued)
+	}
+}
+
+// TestQueueFull: arrivals beyond MaxQueue waiters fail fast.
+func TestQueueFull(t *testing.T) {
+	s := New(nil, Config{MaxInflight: 1, MaxQueue: 1, QueueTimeout: time.Minute})
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- s.admit(context.Background()) }()
+	// Wait for the waiter to be parked.
+	for i := 0; ; i++ {
+		if _, q := s.Stats(); q == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.admit(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	s.release() // grants the parked waiter
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	s.release()
+}
+
+// TestCancelWhileQueued: context cancellation removes the waiter and
+// returns the context's error.
+func TestCancelWhileQueued(t *testing.T) {
+	s := New(nil, Config{MaxInflight: 1, QueueTimeout: time.Minute})
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.admit(ctx) }()
+	for i := 0; ; i++ {
+		if _, q := s.Stats(); q == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, q := s.Stats(); q != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", q)
+	}
+	s.release()
+}
+
+// TestFIFO: slots are granted to waiters in arrival order.
+func TestFIFO(t *testing.T) {
+	s := New(nil, Config{MaxInflight: 1, QueueTimeout: time.Minute})
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 5
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		i := i
+		// Park waiters one at a time so queue order matches i.
+		go func() {
+			if err := s.admit(context.Background()); err != nil {
+				t.Error(err)
+			}
+			mu.Lock()
+			order = append(order, i)
+			if len(order) == waiters {
+				close(done)
+			}
+			mu.Unlock()
+			s.release()
+		}()
+		for {
+			if _, q := s.Stats(); q == i+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.release() // start the cascade
+	<-done
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestConcurrentQueries drives real queries through the front end and
+// checks the in-flight bound holds while all queries succeed.
+func TestConcurrentQueries(t *testing.T) {
+	c := testCluster(t)
+	defer c.Close()
+	const maxInflight = 3
+	s := New(c, Config{MaxInflight: maxInflight, QueueTimeout: time.Minute})
+
+	want, err := c.Run(sse.Queries["SSE-Q7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var peak atomic32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Query(context.Background(), sse.Queries["SSE-Q7"])
+			if err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			inflight, _ := s.Stats()
+			peak.max(int32(inflight))
+			if res.NumRows() != want.NumRows() {
+				t.Errorf("rows = %d, want %d", res.NumRows(), want.NumRows())
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.load(); p > maxInflight {
+		t.Fatalf("observed %d in-flight queries, bound is %d", p, maxInflight)
+	}
+	if inflight, queued := s.Stats(); inflight != 0 || queued != 0 {
+		t.Fatalf("after drain: inflight=%d queued=%d", inflight, queued)
+	}
+}
+
+// TestQueryAfterClose: the front end surfaces the cluster's typed
+// ErrClosed.
+func TestQueryAfterClose(t *testing.T) {
+	c := testCluster(t)
+	s := New(c, Config{})
+	c.Close()
+	_, err := s.Query(context.Background(), sse.Queries["SSE-Q7"])
+	if !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("err = %v, want engine.ErrClosed", err)
+	}
+}
+
+// atomic32 is a tiny max-tracking atomic for the in-flight probe.
+type atomic32 struct {
+	mu sync.Mutex
+	v  int32
+}
+
+func (a *atomic32) max(v int32) {
+	a.mu.Lock()
+	if v > a.v {
+		a.v = v
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomic32) load() int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}

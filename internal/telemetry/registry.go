@@ -100,8 +100,15 @@ func (r *Registry) Finish(q *QueryRecord, err error) {
 	r.mu.Lock()
 	delete(r.live, q.ID)
 	r.recent = append(r.recent, q)
-	if len(r.recent) > r.keepRecent {
-		r.recent = r.recent[len(r.recent)-r.keepRecent:]
+	if n := len(r.recent) - r.keepRecent; n > 0 {
+		// Copy the survivors down and nil the vacated tail: a plain
+		// re-slice would keep the evicted records — scopes, captured
+		// spans and all — reachable through the backing array forever.
+		copy(r.recent, r.recent[n:])
+		for i := r.keepRecent; i < len(r.recent); i++ {
+			r.recent[i] = nil
+		}
+		r.recent = r.recent[:r.keepRecent]
 	}
 	r.mu.Unlock()
 }

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -64,6 +65,12 @@ func main() {
 				"end (0 = interactive shell)")
 		admitTimeout = flag.Duration("admit-timeout", 30*time.Second,
 			"-serve: max time a query waits in the admission queue")
+		memPerNode = flag.String("mem", "",
+			"per-node memory budget for query working state, e.g. 512MB or "+
+				"64KB (empty = unlimited); over-budget operators degrade "+
+				"through refused expansions, pool shrinks, then spill to disk")
+		spillDir = flag.String("spill-dir", "",
+			"directory for operator spill files (default: system temp dir)")
 	)
 	flag.Parse()
 
@@ -112,6 +119,19 @@ func main() {
 	}
 
 	cat := catalog.New(*nodes)
+	memBudget, err := parseByteSize(*memPerNode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claims: -mem: %v\n", err)
+		os.Exit(2)
+	}
+	if *spillDir != "" {
+		// Operators fall back to unbudgeted in-memory state when the
+		// spill directory is unusable; surface that at startup instead.
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "claims: -spill-dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	c := engine.NewCluster(engine.Config{
 		Nodes:            *nodes,
 		CoresPerNode:     *cores,
@@ -119,6 +139,8 @@ func main() {
 		FixedParallelism: *par,
 		NetBytesPerSec:   *netBps,
 		RowExec:          *rowExec,
+		MemoryPerNode:    memBudget,
+		SpillDir:         *spillDir,
 	}, cat)
 
 	fmt.Printf("loading %s workload onto %d nodes...\n", *workload, *nodes)
@@ -290,4 +312,30 @@ func runQuery(c *engine.Cluster, q string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "claims:", err)
 	os.Exit(1)
+}
+
+// parseByteSize parses a human byte size: a plain number (bytes) or a
+// number with a KB/MB/GB/K/M/G suffix, case-insensitive. Empty is 0.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		factor int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1}} {
+		if strings.HasSuffix(s, u.suffix) {
+			s = strings.TrimSuffix(s, u.suffix)
+			mult = u.factor
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return int64(n * float64(mult)), nil
 }

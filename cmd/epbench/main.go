@@ -1,9 +1,13 @@
 // Command epbench regenerates the paper's evaluation: every figure and
-// table of Section 5. Run all experiments or a single one:
+// table of Section 5, plus the extension experiments (multi-query
+// serving, memory governance). Run all experiments or a single one —
+// -exp accepts any name from the registry below (fig8..fig13, table4..
+// table7, ablation, multiquery, mq, mem, or all):
 //
 //	epbench -exp all
 //	epbench -exp fig10
 //	epbench -exp table7
+//	epbench -exp mem
 //
 // With -trace, every telemetry event emitted by the engine and the
 // simulator during the run — scheduler decisions, worker expansions,
@@ -43,6 +47,7 @@ func experiments() []entry {
 		{"ablation", bench.AblationPartialAgg},
 		{"multiquery", bench.MultiQuery},
 		{"mq", bench.MultiQueryEngine},
+		{"mem", bench.MemGovernance},
 	}
 }
 

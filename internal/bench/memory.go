@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/sse"
+	"repro/internal/telemetry"
+	"repro/internal/types"
+)
+
+// memRows sizes the memory-governance experiment's SSE tables. The
+// EPBENCH_MEM_ROWS environment variable overrides it (CI uses a small
+// value so the smoke run finishes in seconds).
+func memRows() int {
+	if v := os.Getenv("EPBENCH_MEM_ROWS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 60_000
+}
+
+// memFingerprint canonicalizes a result as sorted rows, so the
+// constrained and unconstrained phases compare order-insensitively.
+func memFingerprint(res *engine.Result) string {
+	rows := res.Rows()
+	lines := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.Kind == types.Float64 && !v.Null {
+				parts[j] = fmt.Sprintf("%.6g", v.F)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		lines[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// memCluster builds one experiment cluster with the given per-node
+// budget (0 = unconstrained).
+func memCluster(nodes int, rows int, budget int64) (*engine.Cluster, error) {
+	cat := catalog.New(nodes)
+	sse.RegisterTables(cat, int64(rows))
+	c := engine.NewCluster(engine.Config{
+		Nodes:         nodes,
+		CoresPerNode:  4,
+		Mode:          engine.EP,
+		MemoryPerNode: budget,
+	}, cat)
+	if err := sse.Load(c, sse.GenConfig{Rows: rows, Seed: 1}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// memRun drives the query mix concurrently through the admission front
+// end and returns per-query fingerprints plus the summed spill
+// counters.
+func memRun(c *engine.Cluster, queries []string) ([]string, int64, int64, error) {
+	srv := server.New(c, server.Config{
+		MaxInflight:  len(queries),
+		QueueTimeout: 5 * time.Minute,
+	})
+	fps := make([]string, len(queries))
+	errs := make([]error, len(queries))
+	var spillEvents, spillBytes int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			res, err := srv.Query(context.Background(), q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fps[i] = memFingerprint(res)
+			mu.Lock()
+			spillEvents += res.Scope.Counter(telemetry.CtrSpillEvents).Load()
+			spillBytes += res.Scope.Counter(telemetry.CtrSpillBytes).Load()
+			mu.Unlock()
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return fps, spillEvents, spillBytes, nil
+}
+
+// MemGovernance is the memory-governance experiment: the same
+// concurrent group-by mix runs twice — unconstrained to learn its
+// per-node working-set peak, then under a per-node budget of half that
+// peak. The constrained phase must complete every query with identical
+// results, degrading through the elasticity ladder (refused pool
+// expansions, forced shrinks) and finally spilling hash partitions, and
+// its tracked peak must stay at the budget (small soft-path slop).
+func MemGovernance() (*Report, error) {
+	r := &Report{Title: "Extension: memory governance (budgets, degradation, spill)"}
+	const nodes = 2
+	rows := memRows()
+	r.notef("rows=%d nodes=%d cores=4 (EPBENCH_MEM_ROWS overrides rows)", rows, nodes)
+
+	// Heavy group-bys: order_no is unique per row, so its aggregation
+	// state is proportional to the table itself.
+	queries := []string{
+		`SELECT order_no, sum(entry_volume) FROM Securities GROUP BY order_no`,
+		`SELECT acct_id, sum(trade_volume) FROM Trades GROUP BY acct_id`,
+		`SELECT order_no, sum(entry_volume) FROM Securities GROUP BY order_no`,
+		`SELECT acct_id, sum(trade_volume) FROM Trades GROUP BY acct_id`,
+	}
+
+	// Phase A: unconstrained — learn the peak.
+	free, err := memCluster(nodes, rows, 0)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	wantFps, freeSpills, _, err := memRun(free, queries)
+	freeDur := time.Since(t0)
+	if err != nil {
+		free.Close()
+		return nil, fmt.Errorf("unconstrained phase: %w", err)
+	}
+	var peak int64
+	for i := 0; i <= nodes; i++ {
+		_, pk, _ := free.NodeMemory(i)
+		if pk > peak {
+			peak = pk
+		}
+	}
+	free.Close()
+	if freeSpills != 0 {
+		return nil, fmt.Errorf("unconstrained phase spilled (%d events)", freeSpills)
+	}
+	if peak == 0 {
+		return nil, fmt.Errorf("unconstrained phase tracked no memory")
+	}
+	r.addf("unconstrained: peak=%d B/node, makespan=%v", peak, freeDur.Round(time.Millisecond))
+
+	// Phase B: half the peak per node.
+	budget := peak / 2
+	tight, err := memCluster(nodes, rows, budget)
+	if err != nil {
+		return nil, err
+	}
+	defer tight.Close()
+	t0 = time.Now()
+	gotFps, spills, spillBytes, err := memRun(tight, queries)
+	tightDur := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("constrained phase: %w", err)
+	}
+	for i := range wantFps {
+		if gotFps[i] != wantFps[i] {
+			return nil, fmt.Errorf("query %d: results differ under the budget", i)
+		}
+	}
+	if spills == 0 {
+		return nil, fmt.Errorf("constrained phase did not spill; budget %d not binding", budget)
+	}
+	var tightPeak int64
+	for i := 0; i <= nodes; i++ {
+		_, pk, _ := tight.NodeMemory(i)
+		if pk > tightPeak {
+			tightPeak = pk
+		}
+	}
+	r.addf("budget=%d B/node: peak=%d B/node, makespan=%v", budget, tightPeak, tightDur.Round(time.Millisecond))
+	r.addf("spill events: %d (bytes: %d)", spills, spillBytes)
+	r.addf("all %d queries fingerprint-matched the unconstrained run", len(queries))
+	if slop := tightPeak - budget; slop > 0 {
+		r.notef("tracked peak overshot the budget by %d B via the documented soft paths", slop)
+	}
+	return r, nil
+}

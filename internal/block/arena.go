@@ -1,0 +1,54 @@
+package block
+
+import "sync"
+
+// The arena is a process-wide, size-classed buffer pool for block
+// payloads and hash-table entry pages. Concurrent queries churn
+// short-lived 64 KB-ish buffers at a rate where allocator behaviour
+// dominates (Durner, Leis & Neumann, "On the Impact of Memory
+// Allocation on High-Performance Query Processing"); recycling through
+// sync.Pool keeps the hot path off the GC. Buffers above the largest
+// class fall through to plain make and the garbage collector.
+var arenaClasses = [...]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+var arenaPools [len(arenaClasses)]sync.Pool
+
+// GetBuf returns a zeroed byte slice of length n, drawn from the
+// smallest arena class that fits (capacity is the class size, so the
+// slice can grow in place up to it).
+func GetBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	ci := -1
+	for i, c := range arenaClasses {
+		if n <= c {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	if v := arenaPools[ci].Get(); v != nil {
+		b := (*v.(*[]byte))[:n]
+		clear(b)
+		return b
+	}
+	return make([]byte, n, arenaClasses[ci])
+}
+
+// PutBuf returns a buffer to the arena. Only the holder of the last
+// live reference may call it — the next GetBuf hands the same bytes to
+// an unrelated caller. Buffers whose capacity is not exactly a class
+// size (oversize, or grown by append) are silently left to the GC.
+func PutBuf(b []byte) {
+	c := cap(b)
+	for i, cl := range arenaClasses {
+		if c == cl {
+			s := b[:cl]
+			arenaPools[i].Put(&s)
+			return
+		}
+	}
+}

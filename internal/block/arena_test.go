@@ -1,0 +1,72 @@
+package block
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestArenaGetPutClasses(t *testing.T) {
+	b := GetBuf(1000)
+	if len(b) != 1000 || cap(b) != 4<<10 {
+		t.Fatalf("len=%d cap=%d, want 1000/%d", len(b), cap(b), 4<<10)
+	}
+	for i := range b {
+		b[i] = 0xAA
+	}
+	PutBuf(b)
+	b2 := GetBuf(500)
+	for i, x := range b2 {
+		if x != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d", i)
+		}
+	}
+	// Oversize buffers bypass the pool.
+	big := GetBuf(2 << 20)
+	if len(big) != 2<<20 {
+		t.Fatalf("oversize len=%d", len(big))
+	}
+	PutBuf(big) // must not panic, silently dropped
+	if GetBuf(0) != nil {
+		t.Fatal("GetBuf(0) should be nil")
+	}
+}
+
+func TestBlockRecycle(t *testing.T) {
+	sch := types.NewSchema(types.Col("a", types.Int64))
+	tr := NewTracker()
+	b := New(sch, DefaultSize, tr)
+	b.AppendRow(make([]byte, sch.Stride()))
+	b.Recycle()
+	if tr.Current() != 0 {
+		t.Fatalf("recycle left %d tracked bytes", tr.Current())
+	}
+	if b.SizeBytes() != 0 || b.NumTuples() != 0 {
+		t.Fatal("recycled block retains buffer")
+	}
+}
+
+// BenchmarkBlockAllocArena measures the block allocation hot path with
+// the pooled arena (the shipped configuration): New + Recycle reuses
+// one buffer per class.
+func BenchmarkBlockAllocArena(b *testing.B) {
+	sch := types.NewSchema(types.Col("a", types.Int64), types.Col("b", types.Float64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk := New(sch, DefaultSize, nil)
+		blk.Recycle()
+	}
+}
+
+// BenchmarkBlockAllocMake is the pre-arena baseline: every block is a
+// fresh make handed to the GC, the behaviour New had before the pool.
+func BenchmarkBlockAllocMake(b *testing.B) {
+	sch := types.NewSchema(types.Col("a", types.Int64), types.Col("b", types.Float64))
+	st := sch.Stride()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		capTuples := DefaultSize / st
+		buf := make([]byte, capTuples*st)
+		_ = buf
+	}
+}

@@ -15,7 +15,6 @@ package block
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -61,7 +60,7 @@ func New(sch *types.Schema, sizeBytes int, tr *Tracker) *Block {
 	}
 	b := &Block{
 		sch:       sch,
-		buf:       make([]byte, capTuples*sch.Stride()),
+		buf:       GetBuf(capTuples * sch.Stride()),
 		cap:       capTuples,
 		VisitRate: 1.0,
 		tracker:   tr,
@@ -79,6 +78,20 @@ func (b *Block) Release() {
 		b.tracker.Free(int64(len(b.buf)))
 		b.tracker = nil
 	}
+}
+
+// Recycle releases the block's accounting like Release and additionally
+// returns its buffer to the shared arena. Unlike Release — after which
+// the block's memory merely stops being tracked — Recycle hands the
+// bytes to the next GetBuf caller, so it is only safe when no view of
+// the block (Row, Bytes, string Values) can still be live: transport
+// send paths after Encode, spill staging, and similar terminal owners.
+func (b *Block) Recycle() {
+	b.Release()
+	PutBuf(b.buf)
+	b.buf = nil
+	b.cap = 0
+	b.n = 0
 }
 
 // Schema returns the block's schema.
@@ -141,11 +154,15 @@ func (b *Block) EnsureRoom(n int) {
 	if newCap < need {
 		newCap = need
 	}
-	buf := make([]byte, newCap*b.sch.Stride())
+	buf := GetBuf(newCap * b.sch.Stride())
 	copy(buf, b.buf)
 	if b.tracker != nil {
 		b.tracker.Alloc(int64(len(buf) - len(b.buf)))
 	}
+	// The outgrown buffer has a single owner (the block), and views into
+	// it are only handed downstream after the producer stops appending —
+	// so at EnsureRoom time nothing else can reference it.
+	PutBuf(b.buf)
 	b.buf = buf
 	b.cap = newCap
 }
@@ -249,22 +266,14 @@ func Decode(sch *types.Schema, src []byte, tr *Tracker) (*Block, error) {
 	if want := n * sch.Stride(); len(payload) < want {
 		return nil, fmt.Errorf("block: truncated payload: have %d want %d", len(payload), want)
 	}
-	size := n * sch.Stride()
-	if size == 0 {
-		size = sch.Stride()
+	capTuples := n
+	if capTuples < 1 {
+		capTuples = 1
 	}
-	b := New(sch, size, tr)
-	if n > b.cap {
-		// Re-allocate exactly; New rounds down by stride so this only
-		// trips when stride rounding lost a slot. Release the block New
-		// just charged first, or Tracker.Current drifts upward by one
-		// abandoned allocation per oversized frame.
-		b.Release()
-		b = &Block{sch: sch, buf: make([]byte, n*sch.Stride()), cap: n,
-			VisitRate: 1.0, tracker: tr}
-		if tr != nil {
-			tr.Alloc(int64(len(b.buf)))
-		}
+	b := &Block{sch: sch, buf: GetBuf(capTuples * sch.Stride()), cap: capTuples,
+		VisitRate: 1.0, tracker: tr}
+	if tr != nil {
+		tr.Alloc(int64(len(b.buf)))
 	}
 	copy(b.buf, payload[:n*sch.Stride()])
 	b.n = n
@@ -273,35 +282,3 @@ func Decode(sch *types.Schema, src []byte, tr *Tracker) (*Block, error) {
 	b.Socket = int(int32(binary.LittleEndian.Uint32(src[20:])))
 	return b, nil
 }
-
-// --- memory tracking -------------------------------------------------------
-
-// Tracker accounts live block bytes for a query, recording the peak. It
-// backs the paper's Table 4 (memory consumption under EP/SP/ME).
-type Tracker struct {
-	cur  atomic.Int64
-	peak atomic.Int64
-}
-
-// NewTracker returns a fresh tracker.
-func NewTracker() *Tracker { return &Tracker{} }
-
-// Alloc records an allocation of n bytes.
-func (t *Tracker) Alloc(n int64) {
-	c := t.cur.Add(n)
-	for {
-		p := t.peak.Load()
-		if c <= p || t.peak.CompareAndSwap(p, c) {
-			return
-		}
-	}
-}
-
-// Free records a release of n bytes.
-func (t *Tracker) Free(n int64) { t.cur.Add(-n) }
-
-// Current returns the live byte count.
-func (t *Tracker) Current() int64 { return t.cur.Load() }
-
-// Peak returns the high-water mark.
-func (t *Tracker) Peak() int64 { return t.peak.Load() }

@@ -64,6 +64,20 @@ func (az *analyzeState) finish(e *exec) {
 		exRows:   map[int]int64{},
 		segPeak:  map[string]int64{},
 		segMean:  map[string]float64{},
+		opMemPk:  map[int]int64{},
+		opMemMn:  map[int]float64{},
+	}
+	// Operator memory: peak from the op.<id>.mem_bytes gauge (written on
+	// every reservation), mean from the sampler's 25ms readings; short
+	// queries that finished between samples fall back to the peak.
+	for _, id := range e.ops {
+		pk := e.scope.Gauge(telemetry.OpCtr(id, telemetry.OpMemBytes)).Peak()
+		an.opMemPk[id] = pk
+		if n := e.opMemN[id]; n > 0 {
+			an.opMemMn[id] = e.opMemSum[id] / float64(n)
+		} else {
+			an.opMemMn[id] = float64(pk)
+		}
 	}
 	for _, ev := range az.sent.Events() {
 		bs := ev.Rec.(telemetry.BlockSent)
@@ -119,6 +133,8 @@ type Analysis struct {
 	exRows   map[int]int64
 	segPeak  map[string]int64
 	segMean  map[string]float64
+	opMemPk  map[int]int64
+	opMemMn  map[int]float64
 }
 
 // OpID returns the instrumentation id of a plan operator — the <id> in
@@ -142,6 +158,17 @@ func (a *Analysis) OpStats(op plan.PhysOp) (rows, blocks int64, busy time.Durati
 		a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpBlocks)).Load(),
 		time.Duration(a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpBusyNs)).Load() +
 			a.Scope.Counter(telemetry.OpCtr(id, telemetry.OpOpenNs)).Load())
+}
+
+// OpMemStats returns an operator's tracked working-memory high-water
+// mark and sampled mean, in bytes, cluster-wide across its per-node
+// instances. Both are zero for stateless (streaming) operators.
+func (a *Analysis) OpMemStats(op plan.PhysOp) (peak int64, mean float64) {
+	id, ok := a.ops[op]
+	if !ok {
+		return 0, 0
+	}
+	return a.opMemPk[id], a.opMemMn[id]
 }
 
 // ExchangeStats returns an exchange's measured cross-node traffic.
@@ -180,10 +207,14 @@ func (a *Analysis) Render() string {
 	return head + a.Plan.Render(plan.Annotations{
 		Op: func(op plan.PhysOp) string {
 			rows, blocks, busy := a.OpStats(op)
-			return fmt.Sprintf("  (rows=%d blocks=%d time=%v self=%v)",
+			s := fmt.Sprintf("  (rows=%d blocks=%d time=%v self=%v",
 				rows, blocks,
 				busy.Round(time.Microsecond),
 				a.selfTime(op).Round(time.Microsecond))
+			if peak, mean := a.OpMemStats(op); peak > 0 {
+				s += fmt.Sprintf(" mem peak=%dB mean=%.0fB", peak, mean)
+			}
+			return s + ")"
 		},
 		Segment: func(s *plan.Segment) string {
 			peak, mean := a.SegmentWorkers(s)

@@ -36,6 +36,13 @@ import (
 // would race the shutdown.
 var ErrClosed = errors.New("engine: cluster is closed")
 
+// ErrMemoryBudget is returned (wrapped) when a query cannot be admitted
+// because its estimated working memory does not fit the per-node
+// budget right now. The condition is transient — resident queries
+// release their reservations as they complete — so callers (the query
+// server) retry with backoff rather than failing the query.
+var ErrMemoryBudget = errors.New("engine: memory budget exhausted")
+
 // Mode selects the execution strategy.
 type Mode int
 
@@ -90,6 +97,18 @@ type Config struct {
 	// forces the reliable (ack + retransmit) protocol on even without an
 	// injector; leave nil outside recovery tests.
 	Retry *network.RetryPolicy
+	// MemoryPerNode caps the tracked working memory (hash tables, sort
+	// buffers, parked worker state) of all concurrent queries on one
+	// node, in bytes (0 = unlimited). Admission prepays an estimate
+	// against it; operators reserve as they grow, and refused
+	// reservations walk the degradation ladder — stop expanding pools,
+	// shrink pools, and only then spill partitions to disk.
+	MemoryPerNode int64
+	// MemoryPerQuery caps one query's tracked memory per node
+	// (0 = unlimited).
+	MemoryPerQuery int64
+	// SpillDir receives operator spill files (default os.TempDir()).
+	SpillDir string
 	// RowExec forces row-at-a-time (tuple-per-tuple) expression
 	// evaluation in filters, projections, join key computation and
 	// aggregation, bypassing the vectorized batch kernels. The two paths
@@ -122,6 +141,9 @@ func (c *Config) defaults() {
 	if c.BlockSize <= 0 {
 		c.BlockSize = block.DefaultSize
 	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
+	}
 	if os.Getenv("CLAIMS_ROWEXEC") != "" {
 		c.RowExec = true
 	}
@@ -146,6 +168,11 @@ type Cluster struct {
 	// leases[n] is node n's core-slot pool (slaves 0..Nodes-1 plus the
 	// master at index Nodes), shared by every concurrent query.
 	leases []*coreLease
+	// memBudgets[n] is node n's memory budget root: every query's
+	// per-node account is a child, so the sum of tracked operator state
+	// on a node is bounded by Config.MemoryPerNode. The node scheduler
+	// reads its Pressure each tick to drive the degradation watermarks.
+	memBudgets []*block.Tracker
 	// scheds[n] is node n's resident dynamic scheduler (EP mode). One
 	// scheduler per node for the whole cluster lifetime: execs Attach
 	// their segment handles on start and Detach on completion, so
@@ -175,11 +202,31 @@ func (c *Cluster) initShared() {
 	c.bus = sched.NewMasterBus()
 	c.activeEP = make(map[*telemetry.Scope]struct{})
 	for i := 0; i <= c.cfg.Nodes; i++ {
+		mb := block.NewBudget(fmt.Sprintf("node%d", i), c.cfg.MemoryPerNode)
+		c.memBudgets = append(c.memBudgets, mb)
 		c.leases = append(c.leases, newCoreLease(c.cfg.CoresPerNode))
 		c.scheds = append(c.scheds, sched.NewNodeScheduler(i, sched.Config{
-			Cores: c.cfg.CoresPerNode,
+			Cores:       c.cfg.CoresPerNode,
+			MemPressure: mb.Pressure,
 		}, c.bus))
 	}
+}
+
+// NodeMemory returns a node's tracked query working memory: the bytes
+// currently charged, the high-water mark, and the configured budget
+// (0 = unlimited). Node ids 0..Nodes-1 are slaves; Nodes is the master.
+func (c *Cluster) NodeMemory(node int) (cur, peak, limit int64) {
+	mb := c.memBudgets[node]
+	return mb.Current(), mb.Peak(), mb.Limit()
+}
+
+// memPressureHigh reports whether a node is above the expansion
+// watermark. Elective pool expansions are refused there — the first,
+// cheapest rung of the degradation ladder — mirroring the resident
+// scheduler's own gate so neither path can grow a pool into a node
+// that is about to spill.
+func (c *Cluster) memPressureHigh(node int) bool {
+	return c.memBudgets[node].Pressure() >= 0.75
 }
 
 // resolveFaults picks the cluster's injector: an explicit Config.Faults

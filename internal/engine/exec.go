@@ -76,7 +76,12 @@ type exec struct {
 	// namespace, no reserved constant to collide on.
 	resultExID int
 	tracker    *block.Tracker
-	exchanges  map[int]network.FabricExchange
+	// qmem[n] is the query's memory account on node n (a child of the
+	// cluster's node budget): every stateful operator instance charges
+	// its state to a sub-account of it, so per-node and per-query caps
+	// compose through one hierarchy.
+	qmem      []*block.Tracker
+	exchanges map[int]network.FabricExchange
 	consNodes  map[int][]int
 	insts      []*segInst
 	resultEx   network.FabricExchange
@@ -93,6 +98,12 @@ type exec struct {
 	memGauge  *telemetry.Gauge
 	traceSink *telemetry.MemSink // retains ParallelismSample events
 	startAt   time.Duration      // scope clock when execution began
+
+	// opMemSum/opMemN accumulate the sampler's per-operator mem_bytes
+	// readings for EXPLAIN ANALYZE's mean column. Written only by the
+	// sampler goroutine, read after it exits.
+	opMemSum map[int]float64
+	opMemN   map[int]int64
 
 	// ops assigns plan-operator ids for per-operator instrumentation.
 	// Nil on the default path: no iterator wrapping, no extra counters —
@@ -127,6 +138,42 @@ func (e *exec) err() error {
 	e.failMu.Lock()
 	defer e.failMu.Unlock()
 	return e.failErr
+}
+
+// spillErr returns the first spill I/O failure any stateful operator
+// instance recorded, if any.
+func (e *exec) spillErr() error {
+	for _, inst := range e.insts {
+		for _, j := range inst.joins {
+			if err := j.SpillError(); err != nil {
+				return fmt.Errorf("engine: join spill on node %d: %w", inst.node, err)
+			}
+		}
+		for _, a := range inst.aggs {
+			if err := a.SpillError(); err != nil {
+				return fmt.Errorf("engine: agg spill on node %d: %w", inst.node, err)
+			}
+		}
+	}
+	return nil
+}
+
+// opMem builds the memory-governance handle of one stateful operator
+// instance: a sub-account of the query's budget on the operator's
+// node, the cluster spill directory, and — when the query is
+// instrumented — the op.<id>.mem_bytes gauge EXPLAIN ANALYZE reads.
+func (e *exec) opMem(op plan.PhysOp, kind string, node int) *iterator.MemConfig {
+	m := &iterator.MemConfig{
+		Acct:     e.qmem[node].Sub(kind),
+		SpillDir: e.c.cfg.SpillDir,
+		Scope:    e.scope,
+		Node:     node,
+		Op:       kind,
+	}
+	if e.ops != nil {
+		m.Gauge = e.scope.Gauge(telemetry.OpCtr(e.ops[op], telemetry.OpMemBytes))
+	}
+	return m
 }
 
 // nodesOf lists the nodes a segment group is instantiated on.
@@ -188,6 +235,42 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 	if az != nil {
 		az.attach(e)
 	}
+
+	// Memory admission: open the query's per-node accounts, prepaying
+	// the estimated working memory (capped at half the node budget so a
+	// single large query is always admittable — it completes by
+	// spilling). With no node budget configured the accounts still
+	// track, so stats and observability work unconstrained.
+	estSlave, estMaster := c.estimateQueryMemory(p)
+	for i := 0; i <= c.cfg.Nodes; i++ {
+		est := estSlave
+		if i == c.master() {
+			est = estMaster
+		}
+		var prepaid int64
+		if c.cfg.MemoryPerNode > 0 {
+			prepaid = est
+			if half := c.cfg.MemoryPerNode / 2; prepaid > half {
+				prepaid = half
+			}
+		}
+		qt, qerr := c.memBudgets[i].SubReserve(
+			fmt.Sprintf("q%d", e.qid), prepaid, c.cfg.MemoryPerQuery)
+		if qerr != nil {
+			for _, t := range e.qmem {
+				t.Drop()
+			}
+			return nil, fmt.Errorf("%w: node %d: %v", ErrMemoryBudget, i, qerr)
+		}
+		e.qmem = append(e.qmem, qt)
+	}
+	// Drop covers every exit path: refunds the prepaid reservation and
+	// any charge a failed query's operators never freed.
+	defer func() {
+		for _, t := range e.qmem {
+			t.Drop()
+		}
+	}()
 	// Per-operator instrumentation is keyed off the same switch that
 	// turns on spans: analyzed queries and span-traced queries get the
 	// iterator.Instrumented wrappers, everything else runs the bare
@@ -201,6 +284,8 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 				}
 			})
 		}
+		e.opMemSum = make(map[int]float64)
+		e.opMemN = make(map[int]int64)
 	}
 	sc.Emit(telemetry.QueryPhase{Phase: "start", Detail: c.cfg.Mode.String()})
 	wireSp := sc.StartSpan("wire", "query")
@@ -319,6 +404,12 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 	if err == nil {
 		err = e.err()
 	}
+	if err == nil {
+		// A half-written spill partition would silently drop rows; a
+		// spill I/O failure therefore fails the query rather than
+		// returning a plausible-but-wrong result.
+		err = e.spillErr()
+	}
 	close(e.stop)
 	<-samplerDone
 	if watchdogDone != nil {
@@ -335,17 +426,12 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 	<-resDone
 	execSp.End()
 
-	// Final peak estimate: the exchange tracker records its own
-	// high-water mark (covering sub-sampling-interval queries), and
-	// hash-table state peaks at completion.
+	// Final peak estimate: the exchange tracker and the per-node query
+	// accounts each record their own high-water marks, covering queries
+	// shorter than one sampling interval.
 	finalMem := e.tracker.Peak()
-	for _, inst := range e.insts {
-		for _, j := range inst.joins {
-			finalMem += j.MemBytes()
-		}
-		for _, a := range inst.aggs {
-			finalMem += a.Groups() * 64
-		}
+	for _, t := range e.qmem {
+		finalMem += t.Peak()
 	}
 	e.memGauge.Set(finalMem) // raises the gauge peak if exceeded
 	e.scope.Emit(telemetry.QueryPhase{Phase: "end"})
@@ -504,6 +590,7 @@ func (e *exec) buildOpInner(op plan.PhysOp, node int, inst *segInst) (iterator.I
 		hj := iterator.NewHashJoin(build, probe, n.Build.Schema(), n.Probe.Schema(),
 			n.BuildKeys, n.ProbeKeys)
 		hj.RowExec = e.c.cfg.RowExec
+		hj.Mem = e.opMem(n, "hashjoin", node)
 		inst.joins = append(inst.joins, hj)
 		return hj, nil
 
@@ -514,6 +601,7 @@ func (e *exec) buildOpInner(op plan.PhysOp, node int, inst *segInst) (iterator.I
 		}
 		ha := iterator.NewHashAgg(child, n.Child.Schema(), n.Keys, n.KeyNames, n.Specs, n.Algo)
 		ha.RowExec = e.c.cfg.RowExec
+		ha.Mem = e.opMem(n, "hashagg", node)
 		inst.aggs = append(inst.aggs, ha)
 		return ha, nil
 
@@ -522,7 +610,9 @@ func (e *exec) buildOpInner(op plan.PhysOp, node int, inst *segInst) (iterator.I
 		if err != nil {
 			return nil, err
 		}
-		return iterator.NewSort(child, n.Child.Schema(), n.Keys), nil
+		so := iterator.NewSort(child, n.Child.Schema(), n.Keys)
+		so.Mem = e.opMem(n, "sort", node)
+		return so, nil
 
 	case *plan.PTopN:
 		child, err := e.buildOp(n.Child, node, inst)
@@ -621,6 +711,13 @@ func (e *exec) watchdog(done chan struct{}) {
 // never finish), while an elective expansion is refused so scheduled
 // parallelism never exceeds the per-node core budget.
 func (e *exec) expand(inst *segInst, must bool) bool {
+	if !must && e.c.memPressureHigh(inst.node) {
+		// Above the memory watermark the node refuses to widen pools:
+		// more workers mean more parked state and private tables, the
+		// opposite of what a node near its budget needs.
+		e.scope.Counter(telemetry.CtrMemRefusedExpands).Inc()
+		return false
+	}
 	lease := e.c.leases[inst.node]
 	core, ok := lease.Acquire()
 	if !ok {
@@ -736,15 +833,20 @@ func (e *exec) sampler(done chan struct{}) {
 		case <-tick.C:
 		}
 		mem := e.tracker.Current()
-		for _, inst := range e.insts {
-			for _, j := range inst.joins {
-				mem += j.MemBytes()
-			}
-			for _, a := range inst.aggs {
-				mem += a.Groups() * 64 // approximate per-group footprint
-			}
+		for _, t := range e.qmem {
+			mem += t.Current()
 		}
 		e.memGauge.Set(mem)
+		if e.ops != nil {
+			// Per-operator mem readings feed EXPLAIN ANALYZE's mean column.
+			for _, id := range e.ops {
+				g := e.scope.Gauge(telemetry.OpCtr(id, telemetry.OpMemBytes))
+				if v := g.Load(); v > 0 || e.opMemN[id] > 0 {
+					e.opMemSum[id] += float64(v)
+					e.opMemN[id]++
+				}
+			}
+		}
 		sample := telemetry.ParallelismSample{Parallelism: make(map[string]int)}
 		for _, inst := range e.insts {
 			if inst.node == 0 || inst.seg.OnMaster {

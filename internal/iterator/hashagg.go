@@ -189,6 +189,15 @@ type group struct {
 type aggShard struct {
 	mu     sync.Mutex
 	groups map[string]*group
+	// charged counts groups billed to the budget account (the scalar
+	// pre-seed group is not), so emission refunds exactly what was paid.
+	charged int64
+	// spillMode diverts rows that would create new groups into spill
+	// (raw input rows — partial aggregate cells don't round-trip the
+	// fixed-stride block encoding, input rows do). Existing groups keep
+	// absorbing matching rows in place, so hot groups stay cheap.
+	spillMode bool
+	spill     *spillFile
 }
 
 const aggShards = 64
@@ -225,6 +234,13 @@ type HashAgg struct {
 	// stay row-evaluated even on the batch path).
 	argKerns []expr.BatchExpr
 
+	// Mem wires the aggregation into memory governance (set by the
+	// engine before Open; nil runs unbudgeted and never spills).
+	Mem *MemConfig
+	// groupBytes is the per-group charge: group struct + key values +
+	// cells + map entry, a deliberate round estimate.
+	groupBytes int64
+
 	shards    []aggShard
 	mask      uint64
 	done      *Barrier
@@ -235,6 +251,9 @@ type HashAgg struct {
 	rowsIn    atomic.Int64
 	memGroups atomic.Int64
 	lastVR    atomicFloat
+
+	errMu    sync.Mutex
+	spillErr error
 }
 
 // NewHashAgg builds a hash aggregation. The output schema is the group
@@ -271,6 +290,7 @@ func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
 	for i := range ha.shards {
 		ha.shards[i].groups = make(map[string]*group)
 	}
+	ha.groupBytes = int64(112 + 56*len(specs) + 32*len(keys))
 	ha.argKerns = make([]expr.BatchExpr, len(specs))
 	for j, s := range specs {
 		if s.Arg == nil {
@@ -310,6 +330,24 @@ func (ha *HashAgg) Vectorized() bool {
 
 // Groups returns the current number of groups in the global table.
 func (ha *HashAgg) Groups() int64 { return ha.memGroups.Load() }
+
+// SpillError returns the first spill I/O error, if any; the engine
+// fails the query on it (rows lost to a half-written spill file would
+// silently under-aggregate).
+func (ha *HashAgg) SpillError() error {
+	ha.errMu.Lock()
+	defer ha.errMu.Unlock()
+	return ha.spillErr
+}
+
+func (ha *HashAgg) setSpillErr(err error) {
+	ha.errMu.Lock()
+	if ha.spillErr == nil {
+		ha.spillErr = err
+	}
+	ha.errMu.Unlock()
+	ha.Mem.spillFailed()
+}
 
 // Open runs the parallel aggregation phase.
 func (ha *HashAgg) Open(ctx *Ctx) Status {
@@ -420,14 +458,39 @@ func (ha *HashAgg) Open(ctx *Ctx) Status {
 
 // updateGlobal folds one tuple into the global table. h must be
 // Hash64(key); argument values are pre-evaluated so no expression work
-// happens under the shard lock.
+// happens under the shard lock. A tuple that would create a group past
+// the budget flips its shard into spill mode and is deferred to disk as
+// a raw input row, re-aggregated when the shard is emitted.
 func (ha *HashAgg) updateGlobal(key []byte, h uint64, rec []byte, argVals []types.Value) {
 	sh := &ha.shards[h&ha.mask]
 	sh.mu.Lock()
 	g, ok := sh.groups[string(key)]
 	if !ok {
+		if sh.spillMode {
+			err := sh.spill.add(rec)
+			sh.mu.Unlock()
+			if err != nil {
+				ha.setSpillErr(err)
+			}
+			return
+		}
+		if ha.Mem.enabled() && !ha.Mem.reserveSmall(ha.groupBytes) {
+			if ha.Mem.canSpill() && ha.enterSpill(sh) {
+				err := sh.spill.add(rec)
+				sh.mu.Unlock()
+				if err != nil {
+					ha.setSpillErr(err)
+				}
+				return
+			}
+			// Nowhere to spill: soft-charge and keep aggregating.
+			ha.Mem.forceSmall(ha.groupBytes)
+		}
 		g = ha.newGroup(rec)
 		sh.groups[string(key)] = g
+		if ha.Mem.enabled() {
+			sh.charged++
+		}
 		ha.memGroups.Add(1)
 	}
 	for j := range ha.specs {
@@ -436,12 +499,30 @@ func (ha *HashAgg) updateGlobal(key []byte, h uint64, rec []byte, argVals []type
 	sh.mu.Unlock()
 }
 
+// enterSpill switches a shard into spill mode (called under sh.mu).
+func (ha *HashAgg) enterSpill(sh *aggShard) bool {
+	sf, err := newSpillFile(ha.Mem.SpillDir, ha.inSch)
+	if err != nil {
+		ha.Mem.spillFailed()
+		return false
+	}
+	sh.spill = sf
+	sh.spillMode = true
+	return true
+}
+
 func (ha *HashAgg) updatePrivate(priv *privTable, key []byte, h uint64, rec []byte, argVals []types.Value) {
 	g, ok := priv.groups[string(key)]
 	if !ok {
 		if ha.algo == HybridAgg && len(priv.groups) >= maxPrivateGroups {
 			// Private table full: route this tuple straight to the
 			// global table (overflow flush).
+			ha.updateGlobal(key, h, rec, argVals)
+			return
+		}
+		if ha.Mem.enabled() && !ha.Mem.reserveSmall(ha.groupBytes) {
+			// No budget for a private group; the global path can shed
+			// state by spilling, so send the tuple there.
 			ha.updateGlobal(key, h, rec, argVals)
 			return
 		}
@@ -471,7 +552,13 @@ func (ha *HashAgg) evalArg(j int, rec []byte) types.Value {
 	return ha.specs[j].Arg.Eval(rec, ha.inSch)
 }
 
-// flushPrivate merges a private table into the global shards.
+// flushPrivate merges a private table into the global shards. Each
+// private group carries a groupBytes charge from its creation: a group
+// inserted into the global table keeps it (ownership transfers), one
+// merged into an existing group refunds it. Private groups flushed into
+// a spill-mode shard insert resident rather than spilling — a partial
+// aggregate cannot be replayed as input rows — a bounded, soft
+// overshoot (private tables are capped).
 func (ha *HashAgg) flushPrivate(priv *privTable) {
 	for key, g := range priv.groups {
 		h := expr.Hash64([]byte(key))
@@ -480,11 +567,15 @@ func (ha *HashAgg) flushPrivate(priv *privTable) {
 		dst, ok := sh.groups[key]
 		if !ok {
 			sh.groups[key] = g
+			if ha.Mem.enabled() {
+				sh.charged++
+			}
 			ha.memGroups.Add(1)
 		} else {
 			for j := range ha.specs {
 				dst.cells[j].merge(ha.specs[j].Func, &g.cells[j])
 			}
+			ha.Mem.freeSmall(ha.groupBytes)
 		}
 		sh.mu.Unlock()
 	}
@@ -492,7 +583,11 @@ func (ha *HashAgg) flushPrivate(priv *privTable) {
 }
 
 // Next emits one shard's groups per call, claimed via an atomic cursor
-// so concurrent workers never emit the same group twice.
+// so concurrent workers never emit the same group twice. A spilled
+// shard first reabsorbs its deferred rows — budget freed by the shards
+// already emitted makes room — then emits like any other. Emitted
+// shards drop their groups and refund their budget immediately, so the
+// operator's footprint falls as results stream out.
 func (ha *HashAgg) Next(ctx *Ctx) (*block.Block, Status) {
 	for {
 		if ctx.Term.Requested() {
@@ -504,6 +599,11 @@ func (ha *HashAgg) Next(ctx *Ctx) (*block.Block, Status) {
 			return nil, End
 		}
 		sh := &ha.shards[idx]
+		if sh.spillMode {
+			if err := ha.reabsorb(sh, int(idx)); err != nil {
+				ha.setSpillErr(err)
+			}
+		}
 		if len(sh.groups) == 0 {
 			continue
 		}
@@ -529,9 +629,76 @@ func (ha *HashAgg) Next(ctx *Ctx) (*block.Block, Status) {
 					g.cells[j].result(ha.specs[j].Func, kind))
 			}
 		}
+		sh.groups = nil
+		ha.Mem.freeSmall(sh.charged * ha.groupBytes)
+		sh.charged = 0
 		return out, OK
 	}
 }
 
-// Close implements Iterator.
-func (ha *HashAgg) Close() { ha.child.Close() }
+// reabsorb replays a spilled shard's deferred input rows into its
+// table. The claiming worker owns the shard (the flushed barrier has
+// passed), so no locking is needed; groups created here are charged
+// through the budget, falling back to the soft path — one shard
+// reabsorbs at a time and earlier emitted shards have already refunded
+// their charge.
+func (ha *HashAgg) reabsorb(sh *aggShard, idx int) error {
+	sf := sh.spill
+	sh.spill = nil
+	sh.spillMode = false
+	if sf == nil {
+		return nil
+	}
+	defer sf.drop()
+	enc := expr.NewKeyEncoder(ha.keys)
+	argVals := make([]types.Value, len(ha.specs))
+	err := sf.iterate(func(rec []byte) error {
+		key := enc.Encode(rec, ha.inSch)
+		for j := range ha.specs {
+			argVals[j] = ha.evalArg(j, rec)
+		}
+		g, ok := sh.groups[string(key)]
+		if !ok {
+			if !ha.Mem.reserveSmall(ha.groupBytes) {
+				ha.Mem.forceSmall(ha.groupBytes)
+			}
+			sh.charged++
+			g = ha.newGroup(rec)
+			sh.groups[string(key)] = g
+			ha.memGroups.Add(1)
+		}
+		for j := range ha.specs {
+			g.cells[j].update(ha.specs[j].Func, argVals[j])
+		}
+		return nil
+	})
+	ha.Mem.spilled(idx, sf.bytes, sf.rows, "input")
+	return err
+}
+
+// Close implements Iterator. The elastic layer guarantees every worker
+// has exited before Close runs, so freeing shared state here is safe.
+// Draining the context pool releases per-worker states parked by
+// shrunk or terminated workers — without it a long-lived serving node
+// pins dead private hash tables until the GC finds the whole operator.
+func (ha *HashAgg) Close() {
+	ha.child.Close()
+	for _, v := range ha.pool.Drain() {
+		pt := v.(*privTable)
+		if ha.Mem.enabled() {
+			ha.Mem.freeSmall(int64(len(pt.groups)) * ha.groupBytes)
+		}
+		pt.groups = nil
+	}
+	var charged int64
+	for i := range ha.shards {
+		sh := &ha.shards[i]
+		charged += sh.charged
+		sh.charged = 0
+		sh.groups = nil
+		sh.spill.drop()
+		sh.spill = nil
+	}
+	ha.Mem.freeSmall(charged * ha.groupBytes)
+	ha.Mem.releaseAll()
+}

@@ -17,9 +17,19 @@ import (
 // worker leaves no state to migrate.
 //
 // The table is sharded by key hash; each shard has its own lock and row
-// arena, so concurrent builders rarely contend (the paper's "lock-free
+// pages, so concurrent builders rarely contend (the paper's "lock-free
 // structures ... to avoid the latching cost" amounts to the same
 // contention-avoidance goal; sharding is the idiomatic Go equivalent).
+//
+// Build rows live in fixed-size arena pages charged to the operator's
+// budget account (Mem). When a page reservation is refused, the largest
+// resident shard spills: its rows serialize to a temp file through the
+// block encoding, its pages return to the arena, and later build rows
+// for that shard go straight to the file. Probe rows that hash to a
+// spilled shard are deferred to a per-shard probe file; after all
+// workers drain the probe input, spilled shards are re-processed one at
+// a time — rebuild from the build file, stream the probe file — so peak
+// memory is one shard instead of the whole table.
 type HashJoin struct {
 	build, probe Iterator
 	buildSch     *types.Schema
@@ -33,23 +43,58 @@ type HashJoin struct {
 	// a BatchKeyEncoder: one vectorized pass per key column per block
 	// instead of an Eval + encode + hash round trip per tuple. Both
 	// paths produce byte-identical keys and Hash64 placements, so they
-	// interoperate freely.
+	// interoperate freely — including against spilled rows, which are
+	// always re-keyed row-at-a-time.
 	RowExec bool
+
+	// Mem wires the join into memory governance (set by the engine
+	// before Open; nil runs unbudgeted and never spills).
+	Mem *MemConfig
+
+	pageBytes int
+	pageRows  int
 
 	shards     []joinShard
 	shardMask  uint64
 	built      *Barrier
+	probeDone  *Barrier
 	buildRows  atomic.Int64
 	memTracked atomic.Int64
+
+	// spillMu serializes spill decisions; nSpilled counts spilled
+	// shards (frozen once the build barrier passes).
+	spillMu  sync.Mutex
+	nSpilled atomic.Int32
+	// probeEnded records workers (by their persistent Ctx) that already
+	// arrived at probeDone, so the buffered-output protocol in Next
+	// arrives exactly once per worker.
+	probeEnded sync.Map
+	postOnce   once
+	spillCur   atomic.Int64
+
+	errMu    sync.Mutex
+	spillErr error
 }
 
 type joinShard struct {
 	mu    sync.Mutex
-	table map[string][]int32 // key → offsets into arena
-	arena []byte             // packed build rows
+	table map[string][]int32 // key → row ids (page-major offsets)
+	pages [][]byte           // arena-backed fixed-stride row pages
+	nrows int                // rows resident in pages
+	bytes int64              // resident page bytes
+
+	spilled bool
+	build   *spillFile // build rows of a spilled shard
+	probes  *spillFile // deferred probe rows for a spilled shard
 }
 
 const joinShards = 64
+
+// joinPageTarget sizes build-side row pages. Small pages (an arena
+// class) keep the per-shard floor low — a join pins at most
+// joinShards*joinPageTarget of slop beyond its rows — and give the
+// budget a fine spill granularity.
+const joinPageTarget = 4 << 10
 
 // NewHashJoin builds a hash join. The output schema is the build schema
 // concatenated with the probe schema.
@@ -63,7 +108,14 @@ func NewHashJoin(build, probe Iterator, buildSch, probeSch *types.Schema,
 		shards:    make([]joinShard, joinShards),
 		shardMask: joinShards - 1,
 		built:     NewBarrier(),
+		probeDone: NewBarrier(),
 	}
+	stride := buildSch.Stride()
+	hj.pageRows = joinPageTarget / stride
+	if hj.pageRows < 1 {
+		hj.pageRows = 1
+	}
+	hj.pageBytes = hj.pageRows * stride
 	for i := range hj.shards {
 		hj.shards[i].table = make(map[string][]int32)
 	}
@@ -83,8 +135,29 @@ func (hj *HashJoin) Vectorized() bool {
 // BuildRows returns the number of rows inserted into the hash table.
 func (hj *HashJoin) BuildRows() int64 { return hj.buildRows.Load() }
 
-// MemBytes returns the approximate bytes held by the hash table arenas.
+// MemBytes returns the bytes currently held by resident row pages.
 func (hj *HashJoin) MemBytes() int64 { return hj.memTracked.Load() }
+
+// Spilled returns the number of shards spilled to disk.
+func (hj *HashJoin) Spilled() int { return int(hj.nSpilled.Load()) }
+
+// SpillError returns the first spill I/O error, if any; the engine
+// fails the query on it (a half-written spill file cannot produce a
+// correct join).
+func (hj *HashJoin) SpillError() error {
+	hj.errMu.Lock()
+	defer hj.errMu.Unlock()
+	return hj.spillErr
+}
+
+func (hj *HashJoin) setSpillErr(err error) {
+	hj.errMu.Lock()
+	if hj.spillErr == nil {
+		hj.spillErr = err
+	}
+	hj.errMu.Unlock()
+	hj.Mem.spillFailed()
+}
 
 // Open runs the parallel build phase: every worker pulls build-side
 // blocks and inserts tuples into the shared table until the build input
@@ -92,6 +165,7 @@ func (hj *HashJoin) MemBytes() int64 { return hj.memTracked.Load() }
 // the build completed fall through immediately.
 func (hj *HashJoin) Open(ctx *Ctx) Status {
 	ctx.RegisterBarrier(hj.built)
+	ctx.RegisterBarrier(hj.probeDone)
 	if st := hj.build.Open(ctx); st == Terminated {
 		ctx.BroadcastExit()
 		return Terminated
@@ -105,7 +179,6 @@ func (hj *HashJoin) Open(ctx *Ctx) Status {
 	} else {
 		benc = expr.NewBatchKeyEncoder(hj.buildKeys, hj.buildSch)
 	}
-	stride := hj.buildSch.Stride()
 	for {
 		b, st := hj.build.Next(ctx)
 		if st == Terminated {
@@ -130,18 +203,9 @@ func (hj *HashJoin) Open(ctx *Ctx) Status {
 				key = benc.Key(i)
 				h = benc.Hash(i)
 			}
-			sh := &hj.shards[h&hj.shardMask]
-			sh.mu.Lock()
-			off := int32(len(sh.arena))
-			sh.arena = append(sh.arena, rec...)
-			sh.table[string(key)] = append(sh.table[string(key)], off)
-			sh.mu.Unlock()
+			hj.insertBuild(int(h&hj.shardMask), key, rec)
 		}
 		hj.buildRows.Add(int64(n))
-		hj.memTracked.Add(int64(n * stride))
-		if ctx.Tracker != nil {
-			ctx.Tracker.Alloc(int64(n * stride))
-		}
 	}
 	hj.built.Arrive()
 	// The probe child's Open is itself thread-safe; every worker passes
@@ -153,8 +217,114 @@ func (hj *HashJoin) Open(ctx *Ctx) Status {
 	return OK
 }
 
+// insertBuild adds one build row to its shard: to the spill file when
+// the shard is spilled, otherwise into the shard's pages, allocating a
+// new page through the budget when full. A refused page reservation
+// sheds the largest resident shard and retries.
+func (hj *HashJoin) insertBuild(shi int, key, rec []byte) {
+	sh := &hj.shards[shi]
+	stride := hj.buildSch.Stride()
+	sh.mu.Lock()
+	for {
+		if sh.spilled {
+			err := sh.build.add(rec)
+			sh.mu.Unlock()
+			if err != nil {
+				hj.setSpillErr(err)
+			}
+			return
+		}
+		if sh.nrows == len(sh.pages)*hj.pageRows {
+			if hj.Mem.enabled() && !hj.Mem.reserveSmall(int64(hj.pageBytes)) {
+				if hj.Mem.canSpill() {
+					sh.mu.Unlock()
+					spilt := hj.spillOne()
+					sh.mu.Lock()
+					if spilt {
+						continue
+					}
+				}
+				// Nothing left to shed (or nowhere to spill): take the
+				// soft path so the build completes; the scheduler's
+				// watermark reaction absorbs the excess.
+				hj.Mem.forceSmall(int64(hj.pageBytes))
+			} else if !hj.Mem.enabled() {
+				hj.Mem.forceSmall(int64(hj.pageBytes)) // no-op when Mem is nil
+			}
+			sh.pages = append(sh.pages, block.GetBuf(hj.pageBytes))
+			sh.bytes += int64(hj.pageBytes)
+			hj.memTracked.Add(int64(hj.pageBytes))
+		}
+		pg := sh.pages[sh.nrows/hj.pageRows]
+		copy(pg[(sh.nrows%hj.pageRows)*stride:], rec)
+		sh.table[string(key)] = append(sh.table[string(key)], int32(sh.nrows))
+		sh.nrows++
+		sh.mu.Unlock()
+		return
+	}
+}
+
+// spillOne serializes the largest resident shard to disk and frees its
+// pages. It reports whether any shard was shed. Spills happen only
+// during the build phase, so by the time anyone probes, the spilled set
+// is frozen (the built barrier publishes it).
+func (hj *HashJoin) spillOne() bool {
+	hj.spillMu.Lock()
+	defer hj.spillMu.Unlock()
+	vi := -1
+	var vbytes int64
+	for i := range hj.shards {
+		sh := &hj.shards[i]
+		sh.mu.Lock()
+		if !sh.spilled && sh.nrows > 0 && sh.bytes > vbytes {
+			vi, vbytes = i, sh.bytes
+		}
+		sh.mu.Unlock()
+	}
+	if vi < 0 {
+		return false
+	}
+	sh := &hj.shards[vi]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.spilled || sh.nrows == 0 {
+		return false
+	}
+	sf, err := newSpillFile(hj.Mem.SpillDir, hj.buildSch)
+	if err != nil {
+		hj.Mem.spillFailed()
+		return false
+	}
+	stride := hj.buildSch.Stride()
+	for r := 0; r < sh.nrows; r++ {
+		pg := sh.pages[r/hj.pageRows]
+		off := (r % hj.pageRows) * stride
+		if err := sf.add(pg[off : off+stride]); err != nil {
+			sf.drop()
+			hj.setSpillErr(err)
+			return false
+		}
+	}
+	rows := sh.nrows
+	freed := sh.bytes
+	for _, pg := range sh.pages {
+		block.PutBuf(pg)
+	}
+	sh.pages, sh.table = nil, nil
+	sh.nrows, sh.bytes = 0, 0
+	sh.spilled = true
+	sh.build = sf
+	hj.nSpilled.Add(1)
+	hj.memTracked.Add(-freed)
+	hj.Mem.freeSmall(freed)
+	hj.Mem.spilled(vi, freed, int64(rows), "build")
+	return true
+}
+
 // Next probes the table with tuples from the probe side and emits
-// concatenated matches. Probing is read-only, so no locking is needed.
+// concatenated matches. Probing resident shards is read-only, so no
+// locking is needed; rows hashing to spilled shards are deferred to
+// per-shard probe files and re-joined after the probe input drains.
 func (hj *HashJoin) Next(ctx *Ctx) (*block.Block, Status) {
 	var enc *expr.KeyEncoder
 	var benc *expr.BatchKeyEncoder
@@ -171,6 +341,9 @@ func (hj *HashJoin) Next(ctx *Ctx) (*block.Block, Status) {
 		if st != OK {
 			if out != nil && out.NumTuples() > 0 {
 				return out, OK
+			}
+			if st == End {
+				return hj.endProbe(ctx)
 			}
 			return nil, st
 		}
@@ -195,14 +368,20 @@ func (hj *HashJoin) Next(ctx *Ctx) (*block.Block, Status) {
 				h = benc.Hash(i)
 			}
 			sh := &hj.shards[h&hj.shardMask]
+			if sh.spilled {
+				hj.deferProbe(sh, rec)
+				continue
+			}
 			offs, hit := sh.table[string(key)]
 			if !hit {
 				continue
 			}
 			out.EnsureRoom(len(offs))
 			for _, off := range offs {
+				pg := sh.pages[int(off)/hj.pageRows]
+				po := (int(off) % hj.pageRows) * bStride
 				dst := out.AppendRowTo()
-				copy(dst[:bStride], sh.arena[off:int(off)+bStride])
+				copy(dst[:bStride], pg[po:po+bStride])
 				copy(dst[bStride:], rec)
 			}
 		}
@@ -217,8 +396,174 @@ func (hj *HashJoin) Next(ctx *Ctx) (*block.Block, Status) {
 	}
 }
 
-// Close implements Iterator.
+// deferProbe appends a probe row to its spilled shard's probe file.
+func (hj *HashJoin) deferProbe(sh *joinShard, rec []byte) {
+	sh.mu.Lock()
+	if sh.probes == nil {
+		sf, err := newSpillFile(hj.Mem.SpillDir, hj.probeSch)
+		if err != nil {
+			sh.mu.Unlock()
+			hj.setSpillErr(err)
+			return
+		}
+		sh.probes = sf
+	}
+	err := sh.probes.add(rec)
+	sh.mu.Unlock()
+	if err != nil {
+		hj.setSpillErr(err)
+	}
+}
+
+// endProbe runs once per worker when its probe input is exhausted: with
+// no spills it simply ends; otherwise workers synchronize at the
+// probeDone barrier (so every deferred probe row is on disk), the first
+// one past frees the resident shards — no further probes can touch
+// them — and then spilled shards are claimed one per call and
+// re-joined from their files.
+func (hj *HashJoin) endProbe(ctx *Ctx) (*block.Block, Status) {
+	if hj.nSpilled.Load() == 0 {
+		return nil, End
+	}
+	if _, arrived := hj.probeEnded.LoadOrStore(ctx, true); !arrived {
+		hj.probeDone.Arrive()
+	}
+	if hj.postOnce.First() {
+		hj.freeResident()
+	}
+	for {
+		if ctx.Term.Requested() {
+			ctx.BroadcastExit()
+			return nil, Terminated
+		}
+		i := hj.spillCur.Add(1) - 1
+		if i >= int64(len(hj.shards)) {
+			return nil, End
+		}
+		sh := &hj.shards[i]
+		if !sh.spilled {
+			continue
+		}
+		b := hj.processSpilledShard(ctx, sh)
+		if b != nil && b.NumTuples() > 0 {
+			return b, OK
+		}
+	}
+}
+
+// freeResident returns the resident shards' pages to the arena: every
+// probe row that could match them has been emitted, so holding them
+// through the spill pass would only raise the peak.
+func (hj *HashJoin) freeResident() {
+	var freed int64
+	for i := range hj.shards {
+		sh := &hj.shards[i]
+		if sh.spilled || sh.bytes == 0 {
+			continue
+		}
+		for _, pg := range sh.pages {
+			block.PutBuf(pg)
+		}
+		freed += sh.bytes
+		sh.pages, sh.table = nil, nil
+		sh.nrows, sh.bytes = 0, 0
+	}
+	if freed > 0 {
+		hj.memTracked.Add(-freed)
+		hj.Mem.freeSmall(freed)
+	}
+}
+
+// processSpilledShard re-joins one spilled shard: rebuild its table
+// from the build file, stream the probe file against it, and emit all
+// matches as one block. The shard is owned by the claiming worker.
+func (hj *HashJoin) processSpilledShard(ctx *Ctx, sh *joinShard) *block.Block {
+	build, probes := sh.build, sh.probes
+	sh.build, sh.probes = nil, nil
+	defer build.drop()
+	defer probes.drop()
+	if probes == nil || probes.rows == 0 {
+		return nil
+	}
+	stride := hj.buildSch.Stride()
+	table := make(map[string][]int32)
+	var pages [][]byte
+	var pbytes int64
+	nr := 0
+	benc := expr.NewKeyEncoder(hj.buildKeys)
+	err := build.iterate(func(rec []byte) error {
+		if nr == len(pages)*hj.pageRows {
+			if !hj.Mem.reserveSmall(int64(hj.pageBytes)) {
+				// One shard rebuilds at a time and the resident pages are
+				// already freed; over-running here is bounded and soft.
+				hj.Mem.forceSmall(int64(hj.pageBytes))
+			}
+			pages = append(pages, block.GetBuf(hj.pageBytes))
+			pbytes += int64(hj.pageBytes)
+		}
+		copy(pages[nr/hj.pageRows][(nr%hj.pageRows)*stride:], rec)
+		key := benc.Encode(rec, hj.buildSch)
+		table[string(key)] = append(table[string(key)], int32(nr))
+		nr++
+		return nil
+	})
+	free := func() {
+		for _, pg := range pages {
+			block.PutBuf(pg)
+		}
+		hj.Mem.freeSmall(pbytes)
+	}
+	if err != nil {
+		free()
+		hj.setSpillErr(err)
+		return nil
+	}
+	out := block.New(hj.outSch, 0, ctx.Tracker)
+	penc := expr.NewKeyEncoder(hj.probeKeys)
+	err = probes.iterate(func(rec []byte) error {
+		key := penc.Encode(rec, hj.probeSch)
+		offs, hit := table[string(key)]
+		if !hit {
+			return nil
+		}
+		out.EnsureRoom(len(offs))
+		for _, off := range offs {
+			pg := pages[int(off)/hj.pageRows]
+			po := (int(off) % hj.pageRows) * stride
+			dst := out.AppendRowTo()
+			copy(dst[:stride], pg[po:po+stride])
+			copy(dst[stride:], rec)
+		}
+		return nil
+	})
+	free()
+	if err != nil {
+		hj.setSpillErr(err)
+	}
+	return out
+}
+
+// Close implements Iterator. The elastic layer guarantees every worker
+// has exited before Close runs, so freeing shared state here is safe.
 func (hj *HashJoin) Close() {
 	hj.build.Close()
 	hj.probe.Close()
+	var freed int64
+	for i := range hj.shards {
+		sh := &hj.shards[i]
+		for _, pg := range sh.pages {
+			block.PutBuf(pg)
+		}
+		freed += sh.bytes
+		sh.pages, sh.table = nil, nil
+		sh.nrows, sh.bytes = 0, 0
+		sh.build.drop()
+		sh.probes.drop()
+		sh.build, sh.probes = nil, nil
+	}
+	if freed > 0 {
+		hj.memTracked.Add(-freed)
+		hj.Mem.freeSmall(freed)
+	}
+	hj.Mem.releaseAll()
 }

@@ -1,0 +1,157 @@
+package iterator
+
+import (
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/telemetry"
+)
+
+// MemConfig wires a stateful operator (hash join, hash agg, sort) into
+// the engine's memory governance: a budget account to charge state to,
+// a directory for spill files, and the telemetry scope that receives
+// spill counters, events and the per-operator mem_bytes gauge. The zero
+// value disables everything — operators run exactly as before.
+//
+// Small charges (per-group, per-page) go through reserveSmall, which
+// amortizes budget traffic by holding a chunk of slack locally: one
+// Reserve against the hierarchy covers ~a thousand group insertions, so
+// the node budget's mutex never becomes a group-creation hot spot.
+type MemConfig struct {
+	// Acct is the operator's sub-account of the query's per-node budget.
+	Acct *block.Tracker
+	// SpillDir receives spill files (empty = never spill; reservations
+	// that fail simply fail).
+	SpillDir string
+	// Scope receives spill counters and events; nil disables them.
+	Scope *telemetry.Scope
+	// Gauge mirrors the account for EXPLAIN ANALYZE (op.<id>.mem_bytes);
+	// nil when the query is not instrumented.
+	Gauge *telemetry.Gauge
+	// Node attributes spill events.
+	Node int
+	// Op names the operator kind in spill events.
+	Op string
+
+	mu    sync.Mutex
+	slack int64
+}
+
+// memChunk is the granularity reserveSmall acquires budget at: large
+// enough that one hierarchy Reserve covers hundreds of group/page
+// charges, small enough that idle slack does not distort per-operator
+// peaks (pipelined queries hold every operator's slack simultaneously).
+const memChunk = 64 << 10
+
+// enabled reports whether budget accounting is active.
+func (m *MemConfig) enabled() bool { return m != nil && m.Acct != nil }
+
+// reserveSmall charges n bytes against the local slack, refilling from
+// the budget hierarchy in memChunk units. It reports false when the
+// budget refuses — the caller's cue to shed state (spill) and retry.
+func (m *MemConfig) reserveSmall(n int64) bool {
+	if !m.enabled() {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slack < n {
+		want := n
+		if want < memChunk {
+			want = memChunk
+		}
+		if m.Acct.Reserve(want) == nil {
+			m.slack += want
+		} else if want > n && m.Acct.Reserve(n) == nil {
+			// The full chunk did not fit but the actual need does.
+			m.slack += n
+		} else {
+			return false
+		}
+	}
+	m.slack -= n
+	m.gaugeAdd(n)
+	return true
+}
+
+// forceSmall charges n bytes unconditionally (the soft path): state
+// that cannot be shed mid-operation records over-budget rather than
+// failing, and the scheduler's watermark reaction absorbs the excess.
+func (m *MemConfig) forceSmall(n int64) {
+	if !m.enabled() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slack >= n {
+		m.slack -= n
+	} else {
+		m.Acct.Alloc(n - m.slack)
+		m.slack = 0
+	}
+	m.gaugeAdd(n)
+}
+
+// freeSmall returns n bytes to the local slack, trimming oversized
+// slack back to the hierarchy so freed state becomes visible to other
+// queries promptly.
+func (m *MemConfig) freeSmall(n int64) {
+	if !m.enabled() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.slack += n
+	if m.slack > 2*memChunk {
+		m.Acct.Free(m.slack - memChunk)
+		m.slack = memChunk
+	}
+	m.gaugeAdd(-n)
+}
+
+// releaseAll refunds all locally held slack (operator Close).
+func (m *MemConfig) releaseAll() {
+	if !m.enabled() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slack > 0 {
+		m.Acct.Free(m.slack)
+		m.slack = 0
+	}
+}
+
+func (m *MemConfig) gaugeAdd(n int64) {
+	if m.Gauge != nil {
+		m.Gauge.Add(n)
+	}
+}
+
+// canSpill reports whether the operator has somewhere to spill to.
+func (m *MemConfig) canSpill() bool { return m != nil && m.SpillDir != "" }
+
+// spilled records one partition spill: counters, a typed event, and an
+// instant span visible in trace exports.
+func (m *MemConfig) spilled(partition int, bytes, rows int64, phase string) {
+	if m == nil || m.Scope == nil {
+		return
+	}
+	m.Scope.Counter(telemetry.CtrSpillEvents).Inc()
+	m.Scope.Counter(telemetry.CtrSpillBytes).Add(bytes)
+	m.Scope.Emit(telemetry.Spill{
+		Op: m.Op, Node: m.Node, Partition: partition,
+		Bytes: bytes, Rows: rows, Phase: phase,
+	})
+	m.Scope.StartSpan("spill "+m.Op, "mem").
+		WithNode(m.Node).WithRows(rows).WithBytes(bytes).End()
+}
+
+// spillFailed records a spill I/O failure; the operator falls back to
+// unbudgeted in-memory state (correct results, soft budget violation).
+func (m *MemConfig) spillFailed() {
+	if m == nil || m.Scope == nil {
+		return
+	}
+	m.Scope.Counter(telemetry.CtrSpillErrors).Inc()
+}

@@ -48,6 +48,16 @@ type Sort struct {
 	sch   *types.Schema
 	keys  []SortKey
 
+	// Mem wires the sort into memory governance (set by the engine
+	// before Open; nil runs untracked). Sort is the one stateful
+	// operator without a shed path — its collected blocks are all
+	// needed until the merge — so it charges the soft (unconditional)
+	// side of the budget: over-limit raises the node's pressure, the
+	// scheduler reacts by refusing expansions and shrinking pools, and
+	// spillable peers (joins, aggs) shed instead.
+	Mem      *MemConfig
+	memBytes atomic.Int64
+
 	mu        sync.Mutex
 	collected []*block.Block
 
@@ -117,6 +127,8 @@ func (s *Sort) Open(ctx *Ctx) Status {
 		s.mu.Lock()
 		s.collected = append(s.collected, b)
 		s.mu.Unlock()
+		s.Mem.forceSmall(int64(b.SizeBytes()))
+		s.memBytes.Add(int64(b.SizeBytes()))
 	}
 	s.barCollect.Arrive()
 
@@ -259,5 +271,14 @@ func (s *Sort) Next(ctx *Ctx) (*block.Block, Status) {
 	}
 }
 
-// Close implements Iterator.
-func (s *Sort) Close() { s.child.Close() }
+// Close implements Iterator. Runs after every worker exited; dropping
+// the collected blocks and merge state here keeps a serving node from
+// pinning sorted runs until the GC finds the operator.
+func (s *Sort) Close() {
+	s.child.Close()
+	s.collected = nil
+	s.chunks.list = nil
+	s.ranges, s.separators = nil, nil
+	s.Mem.freeSmall(s.memBytes.Swap(0))
+	s.Mem.releaseAll()
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strings"
 	"time"
 
@@ -104,6 +105,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			[][2]string{{"query", q.ID}, {"state", q.State()}},
 			q.Duration().Seconds())
 	}
+
+	// Go runtime memory families: ground truth the tracked budgets can
+	// be compared against (tracked bytes account operator state; the
+	// heap numbers include everything else the process allocates).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.family("claims_go_heap_alloc_bytes", "Bytes of live heap objects.", "gauge")
+	p.sample("claims_go_heap_alloc_bytes", nil, float64(ms.HeapAlloc))
+	p.family("claims_go_heap_inuse_bytes", "Bytes of heap spans in use.", "gauge")
+	p.sample("claims_go_heap_inuse_bytes", nil, float64(ms.HeapInuse))
+	p.family("claims_go_heap_sys_bytes", "Heap bytes obtained from the OS.", "gauge")
+	p.sample("claims_go_heap_sys_bytes", nil, float64(ms.HeapSys))
+	p.family("claims_go_gc_runs_total", "Completed GC cycles.", "counter")
+	p.sample("claims_go_gc_runs_total", nil, float64(ms.NumGC))
+	p.family("claims_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	p.sample("claims_go_gc_pause_seconds_total", nil, float64(ms.PauseTotalNs)/1e9)
+	p.family("claims_go_goroutines", "Live goroutines.", "gauge")
+	p.sample("claims_go_goroutines", nil, float64(runtime.NumGoroutine()))
 
 	p.family("claims_scope_counter", "Telemetry scope counters, one series per query and instrument.", "gauge")
 	p.family("claims_scope_gauge", "Telemetry scope gauges (current value).", "gauge")

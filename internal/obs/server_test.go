@@ -93,6 +93,17 @@ func TestMetricsRoundTrip(t *testing.T) {
 	if len(byName["claims_scope_gauge_peak"]) == 0 {
 		t.Error("no gauge peaks exposed")
 	}
+	// Go runtime families: heap gauges must be positive, GC counters
+	// present, so operators can compare tracked budgets to the real heap.
+	for _, fam := range []string{"claims_go_heap_alloc_bytes",
+		"claims_go_heap_inuse_bytes", "claims_go_goroutines"} {
+		if v := byName[fam]; len(v) != 1 || v[0].Value <= 0 {
+			t.Errorf("%s = %+v, want one positive sample", fam, v)
+		}
+	}
+	if types_["claims_go_gc_runs_total"] != "counter" {
+		t.Errorf("claims_go_gc_runs_total type = %q", types_["claims_go_gc_runs_total"])
+	}
 }
 
 // TestQueriesAndTraceEndpoints drives /queries and the per-query trace

@@ -149,6 +149,18 @@ type Config struct {
 	// move (applied or rejected). Nil disables event emission; the
 	// decision counter still advances.
 	Scope *telemetry.Scope
+	// MemPressure reports the node's memory pressure in [0,1] (tracked
+	// bytes over the node budget). Nil means memory is unmonitored and
+	// the watermarks never engage.
+	MemPressure func() float64
+	// MemHighWater is the pressure above which the scheduler stops
+	// expanding pools (default 0.75): refusing growth is the first,
+	// cheapest rung of the degradation ladder.
+	MemHighWater float64
+	// MemCriticalWater is the pressure above which the scheduler
+	// actively shrinks the widest pool each tick (default 0.9), shedding
+	// working memory before any operator is forced to spill.
+	MemCriticalWater float64
 }
 
 func (c *Config) defaults() {
@@ -160,6 +172,12 @@ func (c *Config) defaults() {
 	}
 	if c.Tolerance == 0 {
 		c.Tolerance = 0.25
+	}
+	if c.MemHighWater == 0 {
+		c.MemHighWater = 0.75
+	}
+	if c.MemCriticalWater == 0 {
+		c.MemCriticalWater = 0.9
 	}
 }
 
@@ -414,6 +432,36 @@ func (s *NodeScheduler) Tick(now time.Time) {
 				})
 			}
 		}
+	}
+
+	// Memory watermarks (elasticity-first degradation). Above the high
+	// water the scheduler refuses all expansions — pipelines keep running
+	// at their current width, so throughput degrades gracefully instead
+	// of allocations failing. Above the critical water it also forces the
+	// widest pool to shrink one worker per tick, actively returning
+	// working memory (parked states, private tables) before any operator
+	// has to spill.
+	pressure := 0.0
+	if s.cfg.MemPressure != nil {
+		pressure = s.cfg.MemPressure()
+	}
+	if pressure >= s.cfg.MemCriticalWater {
+		var widest *segState
+		for _, st := range active {
+			if st.last.Parallelism > 1 && (widest == nil || st.last.Parallelism > widest.last.Parallelism) {
+				widest = st
+			}
+		}
+		if widest != nil && widest.h.Shrink() {
+			used--
+			s.decide(widest, telemetry.SchedDecision{
+				Shrunk: widest.name, Reason: "mem pressure", Lambda: lambda,
+				Applied: true,
+			})
+		}
+	}
+	if pressure >= s.cfg.MemHighWater {
+		return
 	}
 
 	// 3b. Free cores: hand them to the most promising under-performers.

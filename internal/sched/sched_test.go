@@ -314,3 +314,43 @@ func TestSchedulerInvalidatesVectorOnStageChange(t *testing.T) {
 		t.Fatalf("stale vector blocked expansion after stage change: p=%d", got)
 	}
 }
+
+func TestSchedulerMemWatermarks(t *testing.T) {
+	// High water: expansions stop, current width is kept.
+	pressure := 0.0
+	bus := NewMasterBus()
+	s := NewNodeScheduler(0, Config{
+		Cores:       8,
+		MemPressure: func() float64 { return pressure },
+	}, bus)
+	a := newFakeSeg("a", 100, 1)
+	s.Attach(a)
+	tickN(s, 4)
+	grown := a.parallelism()
+	if grown < 2 {
+		t.Fatalf("segment never grew: %d", grown)
+	}
+	pressure = 0.8 // above high (0.75), below critical (0.9)
+	tickN(s, 6)
+	if got := a.parallelism(); got != grown {
+		t.Fatalf("width changed under high water: %d -> %d", grown, got)
+	}
+
+	// Critical water: widest pool shrinks one worker per tick.
+	pressure = 0.95
+	s.Tick(time.Unix(10, 0))
+	if got := a.parallelism(); got != grown-1 {
+		t.Fatalf("expected forced shrink to %d, got %d", grown-1, got)
+	}
+	s.Tick(time.Unix(11, 0))
+	if got := a.parallelism(); got != grown-2 {
+		t.Fatalf("expected second forced shrink to %d, got %d", grown-2, got)
+	}
+
+	// Pressure relief: growth resumes.
+	pressure = 0.1
+	tickN(s, 6)
+	if got := a.parallelism(); got <= grown-2 {
+		t.Fatalf("did not re-expand after pressure dropped: %d", got)
+	}
+}

@@ -91,12 +91,35 @@ func (s *Server) Cluster() *engine.Cluster { return s.c }
 // queue when MaxInflight queries are already executing; ctx
 // cancellation applies both while queued and — routed into the
 // engine's fail-fast teardown — while executing.
+//
+// A memory-budget refusal from the engine is transient — resident
+// queries release their reservations as they complete — so Query holds
+// its slot and retries with exponential backoff until QueueTimeout,
+// turning a thundering herd of large queries into an orderly drain.
 func (s *Server) Query(ctx context.Context, sql string) (*engine.Result, error) {
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
-	return s.c.RunContext(ctx, sql)
+	deadline := time.Now().Add(s.cfg.QueueTimeout)
+	backoff := 5 * time.Millisecond
+	for {
+		res, err := s.c.RunContext(ctx, sql)
+		if !errors.Is(err, engine.ErrMemoryBudget) {
+			return res, err
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 160*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // Stats reports the current load: executing queries and queue depth.

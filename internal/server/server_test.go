@@ -211,3 +211,35 @@ func (a *atomic32) load() int32 {
 	defer a.mu.Unlock()
 	return a.v
 }
+
+// TestMemoryBudgetRetry: queries refused by memory admission retry
+// behind the scenes and complete once resident queries release their
+// reservations, instead of surfacing transient ErrMemoryBudget.
+func TestMemoryBudgetRetry(t *testing.T) {
+	cat := catalog.New(2)
+	sse.RegisterTables(cat, 20000)
+	c := engine.NewCluster(engine.Config{
+		Nodes: 2, CoresPerNode: 2, Mode: engine.EP, BlockSize: 4096,
+		MemoryPerNode: 1 << 20, SpillDir: t.TempDir(),
+	}, cat)
+	if err := sse.Load(c, sse.GenConfig{Rows: 20000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(c, Config{MaxInflight: 6, QueueTimeout: 5 * time.Second})
+	q := `SELECT order_no, sum(entry_volume) FROM Securities GROUP BY order_no`
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Query(context.Background(), q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}

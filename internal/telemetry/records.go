@@ -47,6 +47,9 @@ const (
 	// KindSpan is one completed tracing span (see span.go): a timed,
 	// attributed slice of query work, exportable as a Chrome trace.
 	KindSpan
+	// KindSpill is one operator partition spilled to disk under memory
+	// pressure.
+	KindSpill
 
 	numKinds
 )
@@ -54,7 +57,7 @@ const (
 var kindNames = [...]string{
 	"SchedDecision", "WorkerExpand", "WorkerShrink", "SegmentStageChange",
 	"BlockSent", "QueryPhase", "Barrier", "ParallelismSample", "UtilSample",
-	"FaultInjected", "NetRetry", "Recovery", "Span",
+	"FaultInjected", "NetRetry", "Recovery", "Span", "Spill",
 }
 
 // String renders the kind; out-of-range values render as "Kind(n)".
@@ -229,6 +232,22 @@ type NetRetry struct {
 
 // Kind implements Record.
 func (NetRetry) Kind() Kind { return KindNetRetry }
+
+// Spill records one operator partition written to disk under memory
+// pressure: Op is the operator kind ("hashjoin", "hashagg"), Partition
+// the shard index, Phase the dataflow phase the spill happened in
+// ("build", "probe", "input").
+type Spill struct {
+	Op        string `json:"op"`
+	Node      int    `json:"node"`
+	Partition int    `json:"partition"`
+	Bytes     int64  `json:"bytes"`
+	Rows      int64  `json:"rows"`
+	Phase     string `json:"phase"`
+}
+
+// Kind implements Record.
+func (Spill) Kind() Kind { return KindSpill }
 
 // Recovery records one recovery action. Action is "re-expand" (a
 // segment whose worker pool died was re-grown via the elastic expand

@@ -158,6 +158,19 @@ const (
 	// CtrRecoverExpands counts dead worker pools re-expanded on
 	// surviving workers by the engine's recovery watchdog.
 	CtrRecoverExpands = "recover.expands"
+	// CtrSpillEvents counts operator partitions spilled to disk under
+	// memory pressure (the degradation ladder's last rung).
+	CtrSpillEvents = "mem.spill.events"
+	// CtrSpillBytes counts bytes serialized into spill files.
+	CtrSpillBytes = "mem.spill.bytes"
+	// CtrSpillErrors counts spill I/O failures; the operator then falls
+	// back to unbudgeted in-memory state, so a non-zero value flags a
+	// soft budget violation rather than a wrong result.
+	CtrSpillErrors = "mem.spill.errors"
+	// CtrMemRefusedExpands counts elective worker-pool expansions the
+	// engine refused at the memory high watermark (the degradation
+	// ladder's first rung).
+	CtrMemRefusedExpands = "mem.refused_expands"
 	// Simulator float accumulators (core-second integrals and fluid
 	// traffic).
 	FCtrBusyCoreSec      = "cpu.busy_core_sec"
@@ -184,6 +197,9 @@ const (
 	OpOpenNs = "open_ns"
 	// OpNextCalls counts Next invocations.
 	OpNextCalls = "next_calls"
+	// OpMemBytes is a gauge of the operator's budgeted state bytes; its
+	// peak is the per-operator figure EXPLAIN ANALYZE reports.
+	OpMemBytes = "mem_bytes"
 )
 
 // OpCtr names one per-operator counter: "op.<id>.<what>".

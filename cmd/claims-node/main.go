@@ -1,97 +1,563 @@
-// Command claims-node runs one node of a TCP-connected exchange mesh —
-// the network substrate of a multi-process cluster. It demonstrates and
-// stress-tests the block wire protocol (internal/network): every node
-// listens for inbound streams, dials its peers lazily, and (optionally)
-// drives a throughput test shipping hash-partitioned blocks to every
-// peer, reporting the achieved exchange bandwidth.
+// Command claims-node runs one process of a multi-process claims
+// cluster. Each process owns one data node's partition of every table,
+// joins the cluster through a seed's membership plane, and serves SQL
+// over a small HTTP control plane; the exchange fabric between
+// processes is the TCP block wire protocol (internal/network).
 //
-// Start a 3-node mesh on one machine:
+// Run a 3-node cluster on one machine (node 0 is the seed):
 //
-//	claims-node -id 0 -listen :7100 -peers 0=localhost:7100,1=localhost:7101,2=localhost:7102 &
-//	claims-node -id 1 -listen :7101 -peers 0=localhost:7100,1=localhost:7101,2=localhost:7102 &
-//	claims-node -id 2 -listen :7102 -peers 0=localhost:7100,1=localhost:7101,2=localhost:7102 -drive
+//	claims-node -id 0 -nodes 3 -ctl 127.0.0.1:7200 &
+//	claims-node -id 1 -seed 127.0.0.1:7200 &
+//	claims-node -id 2 -seed 127.0.0.1:7200 &
+//
+// Every flag defaults to an ephemeral port; each process prints one
+// machine-parseable line once it is serving:
+//
+//	CLAIMS_NODE_READY id=1 addr=127.0.0.1:40213 ctl=127.0.0.1:40215
+//
+// and answers POST /query {"sql": "..."} on its control address. Any
+// node can coordinate: the receiver compiles the statement, fans an
+// ExecSpec out to the alive members of the current view, and streams
+// the distributed result back as JSON. Kill -9 a process mid-query and
+// the survivors' failure detector declares it dead within the
+// configured deadline; the in-flight query fails with a typed node-lost
+// verdict ("node_lost" in the reply names the victim), and a restarted
+// process re-joins under a new incarnation and serves again.
+//
+// The legacy single-dataflow mesh mode (block-shipping throughput test,
+// no membership) is kept behind -peers:
+//
+//	claims-node -id 0 -listen :7100 -peers 0=localhost:7100,1=localhost:7101 &
+//	claims-node -id 1 -listen :7101 -peers 0=localhost:7100,1=localhost:7101 -drive
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/expr"
+	"repro/internal/faults"
 	"repro/internal/iterator"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/sse"
 	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
 func main() {
 	var (
-		id       = flag.Int("id", 0, "this node's id")
-		listen   = flag.String("listen", ":7100", "listen address")
-		peerStr  = flag.String("peers", "", "comma-separated id=host:port list (all nodes)")
-		drive    = flag.Bool("drive", false, "drive a throughput test against the mesh")
-		rows     = flag.Int("rows", 2_000_000, "rows to ship in the throughput test")
-		httpAddr = flag.String("http", "",
-			"serve the observability HTTP API on this address, e.g. :8081 "+
-				"(/metrics, /queries, /debug/pprof/)")
+		id     = flag.Int("id", 0, "this node's data-node id")
+		listen = flag.String("listen", "127.0.0.1:0", "data-plane (exchange) listen address; :0 binds an ephemeral port")
+		ctl    = flag.String("ctl", "127.0.0.1:0", "control-plane HTTP listen address (SQL, membership, /metrics, /debug/pprof)")
+		seed   = flag.String("seed", "", "seed's control-plane host:port; empty makes this process the seed")
+
+		// Seed-only cluster parameters: joiners adopt them at join time.
+		nodes    = flag.Int("nodes", 3, "(seed) cluster width: number of data nodes / hash partitions")
+		workload = flag.String("workload", "sse", "(seed) dataset generator: sse")
+		rows     = flag.Int("rows", 100_000, "(seed) rows per table")
+		genSeed  = flag.Int64("gen-seed", 7, "(seed) deterministic generator seed")
+		hb       = flag.Duration("hb", 0, "(seed) heartbeat period (0 = 250ms default)")
+		suspect  = flag.Duration("suspect-after", 0, "(seed) silence before a node turns suspect (0 = 3 heartbeats)")
+		deadAfr  = flag.Duration("dead-after", 0, "(seed) silence before a node is declared dead (0 = 2x suspect)")
+
+		cores     = flag.Int("cores", 4, "per-node core budget for the scheduler")
+		mode      = flag.String("mode", "EP", "execution mode: EP | SP | ME")
+		faultSpec = flag.String("faults", "", "fault injection spec, e.g. delay=5ms:p0.1 (see internal/faults)")
+
+		// Legacy mesh mode.
+		peerStr   = flag.String("peers", "", "legacy mesh mode: comma-separated id=host:port list (all nodes); disables membership")
+		drive     = flag.Bool("drive", false, "(mesh) drive a throughput test against the mesh")
+		driveRows = flag.Int("drive-rows", 2_000_000, "(mesh) rows to ship in the throughput test")
 	)
 	flag.Parse()
 
-	if *httpAddr != "" {
-		reg := telemetry.NewRegistry(true)
-		telemetry.SetDefaultRegistry(reg)
-		srv, err := obs.Serve(*httpAddr, reg)
+	if *faultSpec != "" {
+		fc, err := faults.Parse(*faultSpec)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("bad -faults: %v", err)
 		}
-		defer srv.Close()
-		log.Printf("observability HTTP on http://%s (/metrics /queries /debug/pprof/)", srv.Addr())
+		faults.SetDefault(faults.New(fc))
+		log.Printf("fault injection on: %s", fc.String())
 	}
 
-	peers := map[int]string{}
-	for _, p := range strings.Split(*peerStr, ",") {
-		if p == "" {
+	var m engine.Mode
+	switch strings.ToUpper(*mode) {
+	case "EP":
+		m = engine.EP
+	case "SP":
+		m = engine.SP
+	case "ME":
+		m = engine.ME
+	default:
+		log.Fatalf("unknown mode %q (want EP, SP or ME)", *mode)
+	}
+
+	reg := telemetry.NewRegistry(true)
+	telemetry.SetDefaultRegistry(reg)
+
+	if *peerStr != "" {
+		runMesh(*id, *listen, *ctl, *peerStr, *drive, *driveRows, reg)
+		return
+	}
+	runClusterNode(clusterNodeConfig{
+		id: *id, listen: *listen, ctl: *ctl, seed: *seed,
+		nodes: *nodes, workload: *workload, rows: *rows, genSeed: *genSeed,
+		timing: cluster.Timing{HeartbeatEvery: *hb, SuspectAfter: *suspect, DeadAfter: *deadAfr},
+		cores:  *cores, mode: m, reg: reg,
+	})
+}
+
+// clusterNodeConfig carries the parsed flags into runClusterNode.
+type clusterNodeConfig struct {
+	id       int
+	listen   string
+	ctl      string
+	seed     string
+	nodes    int
+	workload string
+	rows     int
+	genSeed  int64
+	timing   cluster.Timing
+	cores    int
+	mode     engine.Mode
+	reg      *telemetry.Registry
+}
+
+// runClusterNode is the membership-joined node: bind both planes, join
+// (or host) the seed registry, load this node's partitions, then serve
+// until signalled.
+func runClusterNode(nc clusterNodeConfig) {
+	node, err := network.NewTCPNode(nc.id, nc.listen, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	// Self-sends (a local producer feeding a local consumer instance)
+	// go through the same transport, so the node is its own peer.
+	node.SetPeer(nc.id, node.Addr())
+
+	srv, err := obs.Serve(nc.ctl, nc.reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Membership events flow into a process-lifetime telemetry scope,
+	// retained in memory and served at /cluster/events.
+	clusterScope := telemetry.NewScope(fmt.Sprintf("node%d-cluster", nc.id))
+	events := telemetry.NewMemSink(telemetry.KindMembershipChange)
+	clusterScope.Attach(events)
+	srv.Handle("/cluster/events", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events.Events()) //nolint:errcheck // client gone
+	}))
+
+	seedAddr := nc.seed
+	if seedAddr == "" {
+		// This process hosts the registry; it still joins through it like
+		// everyone else, so the seed is also data node nc.id.
+		spec := cluster.CatalogSpec{
+			Workload: nc.workload, Rows: nc.rows, Seed: nc.genSeed, DataNodes: nc.nodes,
+		}
+		registry := cluster.NewRegistry(spec, nc.timing)
+		registry.OnChange = func(n int, from, to cluster.State, inc int) {
+			log.Printf("membership: node %d %s -> %s (incarnation %d)", n, from, to, inc)
+			clusterScope.Emit(telemetry.MembershipChange{
+				Node: n, From: from.String(), To: to.String(), Incarnation: inc,
+			})
+		}
+		srv.Handle("/cluster/", registry.Handler())
+		stopTick := registry.StartTicker(nil)
+		defer stopTick()
+		seedAddr = srv.Addr()
+		log.Printf("seeding cluster: %d nodes, workload %s, %d rows/table, detector %v/%v/%v",
+			spec.DataNodes, spec.Workload, spec.Rows,
+			registry.Timing().HeartbeatEvery, registry.Timing().SuspectAfter, registry.Timing().DeadAfter)
+	}
+
+	cs := &ctlServer{selfID: nc.id, ctlAddr: srv.Addr(), client: &http.Client{Timeout: 10 * time.Second}}
+	srv.Handle("/query", http.HandlerFunc(cs.handleQuery))
+	srv.Handle("/exec", http.HandlerFunc(cs.handleExec))
+	srv.Handle("/abort", http.HandlerFunc(cs.handleAbort))
+
+	agent := cluster.NewAgent(cluster.AgentConfig{
+		ID: nc.id, Addr: node.Addr(), Ctl: srv.Addr(), Seed: seedAddr,
+		OnNodeDead: func(nid int) {
+			log.Printf("membership: node %d is dead", nid)
+			if c, _ := cs.get(); c != nil {
+				c.NodeLost(nid)
+			}
+		},
+		OnNodeAlive: func(nid int, m cluster.Member) {
+			log.Printf("membership: node %d alive at %s (incarnation %d)", nid, m.Addr, m.Incarnation)
+			if c, _ := cs.get(); c != nil {
+				c.NodeRestored(nid, m.Addr)
+			} else {
+				// Engine not built yet (we are still joining): record the
+				// peer address directly on the transport.
+				node.SetPeer(nid, m.Addr)
+			}
+		},
+		Logf: log.Printf,
+	})
+	srv.OnMetrics(func(w obs.MetricWriter) { membershipMetrics(w, agent.View()) })
+	// /view is this node's own membership opinion (the agent's last
+	// polled view), as opposed to the seed's authoritative
+	// /cluster/view; coordination decisions are taken against it, so
+	// harnesses wait on it before fanning queries out.
+	srv.Handle("/view", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSONStatus(w, http.StatusOK, agent.View())
+	}))
+
+	joinCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	spec, err := agent.Join(joinCtx)
+	cancel()
+	if err != nil {
+		log.Fatalf("join %s: %v", seedAddr, err)
+	}
+
+	cat := catalog.New(spec.DataNodes)
+	switch spec.Workload {
+	case "sse", "":
+		sse.RegisterTables(cat, int64(spec.Rows))
+	default:
+		log.Fatalf("cluster spec names unknown workload %q", spec.Workload)
+	}
+
+	timing := agent.Timing()
+	// Exchange sends outliving a dead peer must keep retrying until the
+	// detector's verdict arrives, so the error the query dies with is
+	// the typed NodeLost and not a transient transport symptom.
+	retry := network.DefaultRetryPolicy
+	cfg := engine.Config{
+		Nodes:         spec.DataNodes,
+		CoresPerNode:  nc.cores,
+		Mode:          nc.mode,
+		Retry:         &retry,
+		NodeLossGrace: timing.DeadAfter + 4*timing.HeartbeatEvery + 500*time.Millisecond,
+	}
+	c, err := engine.NewClusterDist(cfg, cat, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := sse.Load(c, sse.GenConfig{Rows: spec.Rows, Seed: spec.Seed}); err != nil {
+		log.Fatalf("load partitions: %v", err)
+	}
+
+	cs.set(c, agent)
+	if err := agent.Ready(); err != nil {
+		log.Fatalf("ready: %v", err)
+	}
+	agent.Start()
+	defer agent.Stop()
+
+	// The machine-parseable liveness line the clustertest harness (and
+	// any script) scrapes for the ephemeral addresses. Everything needed
+	// to serve a query is wired before it prints.
+	fmt.Printf("CLAIMS_NODE_READY id=%d addr=%s ctl=%s\n", nc.id, node.Addr(), srv.Addr())
+	log.Printf("node %d serving: data %s, ctl http://%s (POST /query)", nc.id, node.Addr(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("node %d shutting down", nc.id)
+}
+
+// membershipMetrics exports the agent's current view on /metrics.
+func membershipMetrics(w obs.MetricWriter, v cluster.View) {
+	w.Family("claims_cluster_view_version", "Membership view version last observed by this node.", "gauge")
+	w.Sample("claims_cluster_view_version", nil, float64(v.Version))
+	w.Family("claims_cluster_member_state", "Member liveness per node: 0 joining, 1 alive, 2 suspect, 3 dead.", "gauge")
+	w.Family("claims_cluster_member_incarnation", "Join count per node id.", "counter")
+	for _, m := range v.Members {
+		lbl := [][2]string{{"node", strconv.Itoa(m.ID)}}
+		w.Sample("claims_cluster_member_state", lbl, float64(m.State))
+		w.Sample("claims_cluster_member_incarnation", lbl, float64(m.Incarnation))
+	}
+}
+
+// ctlServer is the node's SQL control plane: /query accepts a
+// statement and coordinates it, /exec runs a participant's share of a
+// peer-coordinated query, /abort tears a query down on request. The
+// engine arrives only after join+load, so every handler fails 503
+// until set is called.
+type ctlServer struct {
+	selfID  int
+	ctlAddr string
+	client  *http.Client
+
+	mu    sync.RWMutex
+	c     *engine.Cluster
+	agent *cluster.Agent
+}
+
+func (s *ctlServer) set(c *engine.Cluster, a *cluster.Agent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c, s.agent = c, a
+}
+
+func (s *ctlServer) get() (*engine.Cluster, *cluster.Agent) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.c, s.agent
+}
+
+// queryRequest is the body of POST /query.
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// queryResponse is the /query reply. NodeLost is -1 unless the query
+// failed because a participant died, in which case it names the victim.
+type queryResponse struct {
+	Columns     []string   `json:"columns,omitempty"`
+	Rows        [][]string `json:"rows,omitempty"`
+	RowCount    int        `json:"row_count"`
+	DurationMS  float64    `json:"duration_ms"`
+	Coordinator int        `json:"coordinator"`
+	DataNodes   []int      `json:"data_nodes"`
+	Error       string     `json:"error,omitempty"`
+	NodeLost    int        `json:"node_lost"`
+}
+
+// execRequest is the coordinator→participant fan-out body (POST /exec):
+// engine.ExecSpec plus the coordinator's control address for aborts.
+type execRequest struct {
+	QID            int    `json:"qid"`
+	SQL            string `json:"sql"`
+	Coordinator    int    `json:"coordinator"`
+	CoordinatorCtl string `json:"coordinator_ctl"`
+	DataNodes      []int  `json:"data_nodes"`
+}
+
+// abortRequest is the body of POST /abort.
+type abortRequest struct {
+	QID    int    `json:"qid"`
+	Reason string `json:"reason"`
+}
+
+func (s *ctlServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	c, agent := s.get()
+	if c == nil {
+		http.Error(w, "node is still joining the cluster", http.StatusServiceUnavailable)
+		return
+	}
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	view := agent.View()
+	alive := view.Alive()
+	if !containsInt(alive, s.selfID) {
+		http.Error(w, fmt.Sprintf("node %d is not alive in view v%d", s.selfID, view.Version),
+			http.StatusServiceUnavailable)
+		return
+	}
+	spec := engine.ExecSpec{
+		QID: c.NextQueryID(), SQL: req.SQL, Coordinator: s.selfID, DataNodes: alive,
+	}
+	for _, nid := range alive {
+		if nid == s.selfID {
 			continue
 		}
-		kv := strings.SplitN(p, "=", 2)
-		if len(kv) != 2 {
-			log.Fatalf("bad peer %q", p)
+		m, ok := view.Member(nid)
+		if !ok {
+			continue
 		}
-		pid, err := strconv.Atoi(kv[0])
-		if err != nil {
-			log.Fatalf("bad peer id %q", kv[0])
+		go func(ctl string) {
+			if err := s.postJSON(ctl, "/exec", execRequest{
+				QID: spec.QID, SQL: spec.SQL, Coordinator: spec.Coordinator,
+				CoordinatorCtl: s.ctlAddr, DataNodes: spec.DataNodes,
+			}); err != nil {
+				// The participant's absence surfaces as NodeLost through
+				// the detector; nothing to do here but note it.
+				log.Printf("qid %d: exec fan-out to %s failed: %v", spec.QID, ctl, err)
+			}
+		}(m.Ctl)
+	}
+
+	start := time.Now()
+	res, err := c.RunCoordinated(r.Context(), spec, nil)
+	resp := queryResponse{Coordinator: s.selfID, DataNodes: alive, NodeLost: -1,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	if err != nil {
+		resp.Error = err.Error()
+		var nl *engine.NodeLostError
+		if errors.As(err, &nl) {
+			resp.NodeLost = nl.Node
 		}
-		peers[pid] = kv[1]
+		// Release the participants' halves of the dataflow.
+		for _, nid := range alive {
+			if nid == s.selfID {
+				continue
+			}
+			if m, ok := view.Member(nid); ok {
+				go s.postJSON(m.Ctl, "/abort", abortRequest{QID: spec.QID, Reason: err.Error()}) //nolint:errcheck
+			}
+		}
+		writeJSONStatus(w, http.StatusInternalServerError, resp)
+		return
+	}
+	resp.Columns = res.Names
+	resp.RowCount = res.NumRows()
+	for _, row := range res.Rows() {
+		out := make([]string, len(row))
+		for j, v := range row {
+			out[j] = v.String()
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	writeJSONStatus(w, http.StatusOK, resp)
+}
+
+func (s *ctlServer) handleExec(w http.ResponseWriter, r *http.Request) {
+	c, _ := s.get()
+	if c == nil {
+		http.Error(w, "node is still joining the cluster", http.StatusServiceUnavailable)
+		return
+	}
+	var req execRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	go func() {
+		err := c.RunParticipant(context.Background(), engine.ExecSpec{
+			QID: req.QID, SQL: req.SQL, Coordinator: req.Coordinator, DataNodes: req.DataNodes,
+		})
+		if err != nil && !errors.Is(err, engine.ErrNodeLost) {
+			// A local failure the coordinator cannot see (compile error,
+			// worker crash): push an abort so it does not hang.
+			log.Printf("qid %d: participant failed: %v", req.QID, err)
+			if req.CoordinatorCtl != "" {
+				s.postJSON(req.CoordinatorCtl, "/abort", //nolint:errcheck
+					abortRequest{QID: req.QID, Reason: err.Error()})
+			}
+		}
+	}()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *ctlServer) handleAbort(w http.ResponseWriter, r *http.Request) {
+	c, _ := s.get()
+	if c == nil {
+		http.Error(w, "node is still joining the cluster", http.StatusServiceUnavailable)
+		return
+	}
+	var req abortRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	found := c.FailQuery(req.QID, fmt.Errorf("aborted by peer: %s", req.Reason))
+	writeJSONStatus(w, http.StatusOK, map[string]bool{"found": found})
+}
+
+func (s *ctlServer) postJSON(hostport, path string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Post("http://"+hostport+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s%s: status %d", hostport, path, resp.StatusCode)
+	}
+	return nil
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}
+
+func containsInt(v []int, x int) bool {
+	for _, n := range v {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+// runMesh is the legacy static-peers mode: one fixed dataflow shipping
+// hash-partitioned blocks across the mesh, reporting bandwidth. Its
+// exchange lives in the reserved tool namespace (MeshQueryID), so it
+// can never collide with an engine query's exchanges.
+func runMesh(id int, listen, ctl, peerStr string, drive bool, rows int, reg *telemetry.Registry) {
+	peers, err := network.ParsePeers(peerStr)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if len(peers) == 0 {
 		log.Fatal("at least one peer (this node) is required")
 	}
 
-	node, err := network.NewTCPNode(*id, *listen, peers)
+	srv, err := obs.Serve(ctl, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	node, err := network.NewTCPNode(id, listen, peers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer node.Close()
-	log.Printf("node %d listening on %s, %d peers", *id, node.Addr(), len(peers))
+	log.Printf("node %d listening on %s, %d peers", id, node.Addr(), len(peers))
 
 	sch := types.NewSchema(
 		types.Col("k", types.Int64),
 		types.Col("payload", types.Float64),
 	)
 
-	// Every node registers an inbox for exchange 1 of query 0 (the mesh
-	// tool drives one dataflow, so the query namespace is fixed) and
-	// counts arrivals.
-	const queryID = 0
-	const exchangeID = 1
-	inbox := node.RegisterInbox(queryID, exchangeID, *id, len(peers), sch, 256, nil)
+	// Every node registers an inbox for the mesh tool's reserved
+	// exchange and counts arrivals.
+	inbox := node.RegisterInbox(network.MeshQueryID, network.MeshExchangeID, id, len(peers), sch, 256, nil)
 	recvDone := make(chan int64)
 	go func() {
 		var tuples int64
@@ -105,10 +571,12 @@ func main() {
 		}
 	}()
 
-	if !*drive {
+	fmt.Printf("CLAIMS_NODE_READY id=%d addr=%s ctl=%s\n", id, node.Addr(), srv.Addr())
+
+	if !drive {
 		log.Printf("serving; ^C to stop")
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		select {
 		case <-sig:
 		case n := <-recvDone:
@@ -123,13 +591,12 @@ func main() {
 	for pid := range peers {
 		dests = append(dests, pid)
 	}
-	sortInts(dests)
-	outbox := node.NewOutbox(queryID, exchangeID, dests)
+	sort.Ints(dests)
+	outbox := node.NewOutbox(network.MeshQueryID, network.MeshExchangeID, dests)
 
-	log.Printf("driving %d rows across %d destinations...", *rows, len(dests))
+	log.Printf("driving %d rows across %d destinations...", rows, len(dests))
 	part := expr.NewKeyEncoder([]expr.Expr{expr.NewCol(0, "k")})
 	start := time.Now()
-	cur := block.New(sch, 64*1024, nil)
 	byDest := make([]*block.Block, len(dests))
 	var sent int64
 	flush := func(d int) {
@@ -143,7 +610,7 @@ func main() {
 		byDest[d] = nil
 	}
 	rec := make([]byte, sch.Stride())
-	for i := 0; i < *rows; i++ {
+	for i := 0; i < rows; i++ {
 		types.PutValue(rec, sch, 0, types.IntVal(int64(i)))
 		types.PutValue(rec, sch, 1, types.FloatVal(float64(i)))
 		d := int(part.Hash(rec, sch) % uint64(len(dests)))
@@ -162,17 +629,8 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	bytes := float64(sent) * float64(sch.Stride())
+	nbytes := float64(sent) * float64(sch.Stride())
 	fmt.Printf("shipped %d tuples (%.1f MB) in %v — %.1f MB/s\n",
-		sent, bytes/1e6, elapsed.Round(time.Millisecond),
-		bytes/1e6/elapsed.Seconds())
-	_ = cur
-}
-
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
+		sent, nbytes/1e6, elapsed.Round(time.Millisecond),
+		nbytes/1e6/elapsed.Seconds())
 }

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AgentConfig configures one node's membership agent.
+type AgentConfig struct {
+	// ID is this node's data-node id.
+	ID int
+	// Addr is the data-plane address to publish (the bound exchange
+	// listener — with :0 ports, the address is only known after bind,
+	// which is why it is published here rather than configured).
+	Addr string
+	// Ctl is this node's control-plane address to publish.
+	Ctl string
+	// Seed is the seed's control-plane host:port.
+	Seed string
+	// Spec is presented at join for validation; the zero value adopts
+	// the seed's spec unchecked.
+	Spec CatalogSpec
+
+	// OnNodeDead fires when a peer transitions to dead (edge-triggered,
+	// once per incarnation). The engine's NodeLost hangs off this.
+	OnNodeDead func(id int)
+	// OnNodeAlive fires when a peer is seen alive for the first time in
+	// an incarnation — initial join and every rejoin. The engine's
+	// SetPeer/NodeRestored hangs off this.
+	OnNodeAlive func(id int, m Member)
+	// OnView fires after each poll that observed a new view version.
+	OnView func(v View)
+	// Logf, if set, receives agent lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Agent is the node-side half of the membership plane: it joins through
+// the seed, heartbeats, polls the versioned view, and edge-triggers the
+// configured callbacks. Start it after Join+Ready; Stop joins its
+// goroutine.
+type Agent struct {
+	cfg    AgentConfig
+	client *http.Client
+	timing Timing
+
+	mu   sync.Mutex
+	view View
+	// seenAlive/seenDead key (id, incarnation) edges already fired.
+	seenAlive map[[2]int]bool
+	seenDead  map[[2]int]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAgent creates an agent; it performs no I/O until Join.
+func NewAgent(cfg AgentConfig) *Agent {
+	return &Agent{
+		cfg:       cfg,
+		client:    &http.Client{Timeout: 5 * time.Second},
+		seenAlive: make(map[[2]int]bool),
+		seenDead:  make(map[[2]int]bool),
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Join registers with the seed, retrying until the context ends (the
+// seed may not be listening yet when a mesh starts in parallel).
+// Returns the agreed catalog spec; the seed's detector timing is
+// adopted for the heartbeat loop.
+func (a *Agent) Join(ctx context.Context) (CatalogSpec, error) {
+	req := joinRequest{ID: a.cfg.ID, Addr: a.cfg.Addr, Ctl: a.cfg.Ctl, Spec: a.cfg.Spec}
+	for {
+		var resp joinResponse
+		err := a.post("/cluster/join", req, &resp)
+		if err == nil {
+			a.timing = fromWire(resp.Timing)
+			a.timing.Defaults()
+			a.observe(resp.View)
+			return resp.Spec, nil
+		}
+		// A spec conflict or bad id is permanent: retrying cannot fix a
+		// node that disagrees about the catalog.
+		if permanent, ok := err.(*protocolError); ok && permanent.status == http.StatusConflict {
+			return CatalogSpec{}, err
+		}
+		a.logf("join: seed %s not ready (%v), retrying", a.cfg.Seed, err)
+		select {
+		case <-ctx.Done():
+			return CatalogSpec{}, fmt.Errorf("cluster: join %s: %w (last: %v)", a.cfg.Seed, ctx.Err(), err)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Ready reports this node alive (partitions loaded, serving).
+func (a *Agent) Ready() error {
+	return a.post("/cluster/ready", nodeRequest{ID: a.cfg.ID}, &struct{}{})
+}
+
+// Timing returns the detector timing adopted at join.
+func (a *Agent) Timing() Timing { return a.timing }
+
+// View returns the last observed membership view.
+func (a *Agent) View() View {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.view
+}
+
+// Start launches the heartbeat + view-poll loop. Call after Join.
+func (a *Agent) Start() {
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.loop()
+}
+
+// Stop terminates the loop and waits for it.
+func (a *Agent) Stop() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	<-a.done
+	a.stop = nil
+}
+
+func (a *Agent) loop() {
+	defer close(a.done)
+	period := a.timing.HeartbeatEvery
+	if period <= 0 {
+		period = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+		}
+		if err := a.post("/cluster/heartbeat", nodeRequest{ID: a.cfg.ID}, &struct{}{}); err != nil {
+			if pe, ok := err.(*protocolError); ok && pe.status == http.StatusGone {
+				// Falsely declared dead (pause or partition that healed):
+				// re-join under a new incarnation and resume serving —
+				// the partitions are still loaded.
+				a.logf("heartbeat: declared dead, re-joining")
+				ctx, cancel := context.WithTimeout(context.Background(), period)
+				if _, jerr := a.Join(ctx); jerr == nil {
+					if rerr := a.Ready(); rerr != nil {
+						a.logf("re-ready failed: %v", rerr)
+					}
+				}
+				cancel()
+			} else {
+				a.logf("heartbeat failed: %v", err)
+			}
+		}
+		var v View
+		if err := a.get("/cluster/view", &v); err == nil {
+			a.observe(v)
+		}
+	}
+}
+
+// observe diffs a freshly fetched view against fired edges and invokes
+// the callbacks, each at most once per (node, incarnation, edge). The
+// agent's own entry is skipped — a node learns of its own death via the
+// heartbeat 410, not a callback.
+func (a *Agent) observe(v View) {
+	type edge struct {
+		dead bool
+		id   int
+		m    Member
+	}
+	var edges []edge
+	a.mu.Lock()
+	if v.Version <= a.view.Version && a.view.Version != 0 {
+		a.mu.Unlock()
+		return
+	}
+	a.view = v
+	for _, m := range v.Members {
+		if m.ID == a.cfg.ID {
+			continue
+		}
+		key := [2]int{m.ID, m.Incarnation}
+		switch m.State {
+		case StateAlive:
+			if !a.seenAlive[key] {
+				a.seenAlive[key] = true
+				edges = append(edges, edge{dead: false, id: m.ID, m: m})
+			}
+		case StateDead:
+			if !a.seenDead[key] {
+				a.seenDead[key] = true
+				edges = append(edges, edge{dead: true, id: m.ID, m: m})
+			}
+		}
+	}
+	a.mu.Unlock()
+	for _, e := range edges {
+		if e.dead {
+			if a.cfg.OnNodeDead != nil {
+				a.cfg.OnNodeDead(e.id)
+			}
+		} else if a.cfg.OnNodeAlive != nil {
+			a.cfg.OnNodeAlive(e.id, e.m)
+		}
+	}
+	if a.cfg.OnView != nil {
+		a.cfg.OnView(v)
+	}
+}
+
+// protocolError is a non-2xx control-plane reply.
+type protocolError struct {
+	status int
+	body   string
+}
+
+func (e *protocolError) Error() string {
+	return fmt.Sprintf("cluster: control plane replied %d: %s", e.status, e.body)
+}
+
+func (a *Agent) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client.Post("http://"+a.cfg.Seed+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+func (a *Agent) get(path string, out any) error {
+	resp, err := a.client.Get("http://" + a.cfg.Seed + path)
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+func decodeReply(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &protocolError{status: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,364 @@
+// Package cluster is the membership plane of a multi-process claims
+// cluster: a seed-side Registry tracking every node's liveness through
+// heartbeats with deadline-based failure detection, and a node-side
+// Agent that joins, beats, polls the versioned view, and surfaces
+// membership edges (a peer died, a peer came back) to the engine.
+//
+// The protocol is deliberately small — one seed, HTTP/JSON, no
+// consensus — because the data plane it serves (the exchange fabric) is
+// coordinator-driven per query anyway: what the engine needs from
+// membership is agreement on the catalog and partition map before a
+// node serves, a versioned node→address map for dialing, and a bounded
+// detection delay between a process dying and its peers' in-flight
+// queries failing with a typed verdict.
+//
+// Lifecycle of one node:
+//
+//	Join    → state joining: registered, address published, catalog
+//	          spec agreed (mismatches are rejected at the door)
+//	Ready   → state alive: partitions loaded, ready to serve
+//	beat…   → stays alive while heartbeats arrive within SuspectAfter
+//	silence → suspect after SuspectAfter, dead after DeadAfter; dead
+//	          nodes must re-join, which bumps their incarnation
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a member's liveness state.
+type State int
+
+const (
+	// StateJoining: registered but not yet serving (loading partitions).
+	StateJoining State = iota
+	// StateAlive: serving and heartbeating within deadline.
+	StateAlive
+	// StateSuspect: heartbeat overdue; queries keep running, new
+	// queries avoid the node.
+	StateSuspect
+	// StateDead: declared failed; in-flight queries touching it are
+	// torn down, and the node must re-join to serve again.
+	StateDead
+)
+
+var stateNames = [...]string{"joining", "alive", "suspect", "dead"}
+
+// String renders the state; out-of-range values render as "State(n)".
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// Member is one node's entry in the membership view.
+type Member struct {
+	// ID is the data-node id, fixed for the node's lifetime and equal
+	// to its partition assignment (node id n holds hash slice n).
+	ID int `json:"id"`
+	// Addr is the data-plane (exchange transport) address.
+	Addr string `json:"addr"`
+	// Ctl is the control-plane (HTTP) address.
+	Ctl string `json:"ctl"`
+	// State is the detector's current verdict.
+	State State `json:"state"`
+	// Incarnation counts the node's joins: a restarted process carries
+	// the same id with a higher incarnation, so peers can distinguish
+	// "still the run I knew" from "fresh process at a fresh port".
+	Incarnation int `json:"incarnation"`
+}
+
+// View is one versioned membership snapshot. Version increases on every
+// state, address or incarnation change, so pollers can cheaply detect
+// "nothing happened".
+type View struct {
+	Version int64 `json:"version"`
+	// Members is sorted by id ascending.
+	Members []Member `json:"members"`
+}
+
+// Alive lists the ids of alive members, ascending — the data-node set a
+// coordinator fans a new query out to.
+func (v View) Alive() []int {
+	var ids []int
+	for _, m := range v.Members {
+		if m.State == StateAlive {
+			ids = append(ids, m.ID)
+		}
+	}
+	return ids
+}
+
+// Member returns the entry for id, if present.
+func (v View) Member(id int) (Member, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// CatalogSpec pins what every node must agree on before serving: the
+// workload (schema + generator) and its parameters, and the cluster
+// width that fixes the hash partition map. The seed declares it; a
+// joiner either presents a matching spec (or an empty one to adopt the
+// seed's) or is rejected — two processes with diverging catalogs would
+// compile diverging plans for the same SQL and corrupt the dataflow.
+type CatalogSpec struct {
+	// Workload names the dataset generator ("sse", "tpch").
+	Workload string `json:"workload"`
+	// Rows is the generator size parameter (rows per table).
+	Rows int `json:"rows"`
+	// Seed is the generator's deterministic seed.
+	Seed int64 `json:"seed"`
+	// DataNodes is the cluster width: hash space is split into this
+	// many partitions, node id n owning slice n.
+	DataNodes int `json:"data_nodes"`
+}
+
+// Timing parameterizes the failure detector.
+type Timing struct {
+	// HeartbeatEvery is the agents' beat period.
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the silence after which an alive node turns
+	// suspect. Must comfortably exceed HeartbeatEvery.
+	SuspectAfter time.Duration
+	// DeadAfter is the silence after which a node is declared dead and
+	// its peers' in-flight queries are failed. This bounds detection
+	// latency: a kill -9 surfaces as NodeLost within DeadAfter plus one
+	// view-poll period.
+	DeadAfter time.Duration
+}
+
+// Defaults fills zero fields: 250ms beats, suspect at 3 missed beats,
+// dead at 6.
+func (t *Timing) Defaults() {
+	if t.HeartbeatEvery <= 0 {
+		t.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if t.SuspectAfter <= 0 {
+		t.SuspectAfter = 3 * t.HeartbeatEvery
+	}
+	if t.DeadAfter <= 0 {
+		t.DeadAfter = 2 * t.SuspectAfter
+	}
+}
+
+// member is the registry's mutable record for one node.
+type member struct {
+	Member
+	lastBeat time.Time
+}
+
+// Registry is the seed-side membership authority: the join point,
+// heartbeat sink, and failure detector. Methods take the current time
+// explicitly so the detector is deterministic under test (a fake clock
+// drives Tick); the HTTP layer passes time.Now().
+type Registry struct {
+	spec   CatalogSpec
+	timing Timing
+
+	// OnChange, if set, observes every state transition (under no lock;
+	// called synchronously from the mutating call). Wired to telemetry
+	// and logging by the node binary.
+	OnChange func(node int, from, to State, incarnation int)
+
+	mu      sync.Mutex
+	version int64
+	members map[int]*member
+}
+
+// NewRegistry creates the registry for a cluster described by spec.
+func NewRegistry(spec CatalogSpec, timing Timing) *Registry {
+	timing.Defaults()
+	return &Registry{
+		spec:    spec,
+		timing:  timing,
+		members: make(map[int]*member),
+	}
+}
+
+// Spec returns the agreed catalog spec.
+func (r *Registry) Spec() CatalogSpec { return r.spec }
+
+// Timing returns the detector timing (post-defaults).
+func (r *Registry) Timing() Timing { return r.timing }
+
+// Join registers (or re-registers) node id at the given addresses. A
+// non-zero presented spec must match the seed's exactly. Re-joining —
+// same id, whether the old entry is dead (restart after crash) or not
+// (fast restart that beat the detector) — bumps the incarnation and
+// moves the node back to joining. Returns the agreed spec.
+func (r *Registry) Join(id int, addr, ctl string, presented CatalogSpec, now time.Time) (CatalogSpec, error) {
+	if id < 0 || id >= r.spec.DataNodes {
+		return CatalogSpec{}, fmt.Errorf("cluster: node id %d outside [0,%d)", id, r.spec.DataNodes)
+	}
+	if (presented != CatalogSpec{}) && presented != r.spec {
+		return CatalogSpec{}, fmt.Errorf("cluster: catalog spec mismatch: seed has %+v, joiner presented %+v",
+			r.spec, presented)
+	}
+	var ev func()
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		m = &member{Member: Member{ID: id}}
+		r.members[id] = m
+	}
+	from := m.State
+	m.Incarnation++
+	m.Addr, m.Ctl = addr, ctl
+	m.State = StateJoining
+	m.lastBeat = now
+	r.version++
+	ev = r.changeEvent(id, from, StateJoining, m.Incarnation)
+	r.mu.Unlock()
+	ev()
+	return r.spec, nil
+}
+
+// Ready marks a joining node alive: its partitions are loaded and it
+// serves queries from here on.
+func (r *Registry) Ready(id int, now time.Time) error {
+	var ev func()
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: ready from unknown node %d", id)
+	}
+	from := m.State
+	m.State = StateAlive
+	m.lastBeat = now
+	r.version++
+	ev = r.changeEvent(id, from, StateAlive, m.Incarnation)
+	r.mu.Unlock()
+	ev()
+	return nil
+}
+
+// ErrGone is returned for a heartbeat from a node already declared
+// dead: its old incarnation is history, and it must re-join.
+var ErrGone = fmt.Errorf("cluster: node was declared dead; re-join required")
+
+// Heartbeat refreshes a node's liveness. A suspect node beats its way
+// back to alive; a dead one gets ErrGone.
+func (r *Registry) Heartbeat(id int, now time.Time) error {
+	ev := func() {}
+	r.mu.Lock()
+	m := r.members[id]
+	if m == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: heartbeat from unknown node %d", id)
+	}
+	if m.State == StateDead {
+		r.mu.Unlock()
+		return ErrGone
+	}
+	m.lastBeat = now
+	if m.State == StateSuspect {
+		m.State = StateAlive
+		r.version++
+		ev = r.changeEvent(id, StateSuspect, StateAlive, m.Incarnation)
+	}
+	r.mu.Unlock()
+	ev()
+	return nil
+}
+
+// Tick runs the failure detector: members silent beyond SuspectAfter
+// turn suspect, beyond DeadAfter dead. Returns the ids newly declared
+// dead this tick, for the caller to fan NodeLost out.
+func (r *Registry) Tick(now time.Time) []int {
+	var dead []int
+	var evs []func()
+	r.mu.Lock()
+	for id, m := range r.members {
+		silent := now.Sub(m.lastBeat)
+		switch m.State {
+		case StateAlive, StateJoining:
+			if silent > r.timing.DeadAfter {
+				evs = append(evs, r.changeEvent(id, m.State, StateDead, m.Incarnation))
+				m.State = StateDead
+				r.version++
+				dead = append(dead, id)
+			} else if m.State == StateAlive && silent > r.timing.SuspectAfter {
+				evs = append(evs, r.changeEvent(id, StateAlive, StateSuspect, m.Incarnation))
+				m.State = StateSuspect
+				r.version++
+			}
+		case StateSuspect:
+			if silent > r.timing.DeadAfter {
+				evs = append(evs, r.changeEvent(id, StateSuspect, StateDead, m.Incarnation))
+				m.State = StateDead
+				r.version++
+				dead = append(dead, id)
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, ev := range evs {
+		ev()
+	}
+	sort.Ints(dead)
+	return dead
+}
+
+// changeEvent captures an OnChange invocation while r.mu is held, to
+// run after unlock. Always returns a callable.
+func (r *Registry) changeEvent(id int, from, to State, inc int) func() {
+	cb := r.OnChange
+	if cb == nil {
+		return func() {}
+	}
+	return func() { cb(id, from, to, inc) }
+}
+
+// View snapshots the membership, members sorted by id.
+func (r *Registry) View() View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := View{Version: r.version}
+	for _, m := range r.members {
+		v.Members = append(v.Members, m.Member)
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	return v
+}
+
+// StartTicker runs the failure detector on a real clock until the
+// returned stop function is called. onDead (optional) receives each
+// newly-dead node id.
+func (r *Registry) StartTicker(onDead func(id int)) (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	period := r.timing.SuspectAfter / 4
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case now := <-tick.C:
+				for _, id := range r.Tick(now) {
+					if onDead != nil {
+						onDead(id)
+					}
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testTiming = Timing{
+	HeartbeatEvery: 10 * time.Millisecond,
+	SuspectAfter:   30 * time.Millisecond,
+	DeadAfter:      60 * time.Millisecond,
+}
+
+var testSpec = CatalogSpec{Workload: "sse", Rows: 1000, Seed: 7, DataNodes: 3}
+
+// TestDetectorTransitions drives the failure detector with a fake
+// clock through the full joining→alive→suspect→dead arc and back via
+// rejoin.
+func TestDetectorTransitions(t *testing.T) {
+	r := NewRegistry(testSpec, testTiming)
+	t0 := time.Unix(1000, 0)
+
+	if _, err := r.Join(0, "d0", "c0", CatalogSpec{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.View().Members[0].State; st != StateJoining {
+		t.Fatalf("after join: state %v, want joining", st)
+	}
+	if err := r.Ready(0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.View().Members[0].State; st != StateAlive {
+		t.Fatalf("after ready: state %v, want alive", st)
+	}
+
+	// Beating within SuspectAfter keeps the node alive.
+	now := t0
+	for i := 0; i < 5; i++ {
+		now = now.Add(20 * time.Millisecond)
+		if err := r.Heartbeat(0, now); err != nil {
+			t.Fatal(err)
+		}
+		if dead := r.Tick(now); len(dead) != 0 {
+			t.Fatalf("premature death at beat %d: %v", i, dead)
+		}
+	}
+	if st := r.View().Members[0].State; st != StateAlive {
+		t.Fatalf("while beating: state %v, want alive", st)
+	}
+
+	// Silence past SuspectAfter: suspect, not yet dead.
+	now = now.Add(40 * time.Millisecond)
+	if dead := r.Tick(now); len(dead) != 0 {
+		t.Fatalf("suspect window declared dead: %v", dead)
+	}
+	if st := r.View().Members[0].State; st != StateSuspect {
+		t.Fatalf("after suspect window: state %v, want suspect", st)
+	}
+
+	// A suspect that beats again recovers to alive.
+	if err := r.Heartbeat(0, now); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.View().Members[0].State; st != StateAlive {
+		t.Fatalf("after recovery beat: state %v, want alive", st)
+	}
+
+	// Silence past DeadAfter: dead, reported exactly once.
+	now = now.Add(70 * time.Millisecond)
+	if dead := r.Tick(now); len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("Tick returned %v, want [0]", dead)
+	}
+	if dead := r.Tick(now.Add(time.Millisecond)); len(dead) != 0 {
+		t.Fatalf("death reported twice: %v", dead)
+	}
+	if err := r.Heartbeat(0, now); err != ErrGone {
+		t.Fatalf("heartbeat after death: %v, want ErrGone", err)
+	}
+
+	// Rejoin bumps the incarnation and restarts the lifecycle.
+	if _, err := r.Join(0, "d0b", "c0b", CatalogSpec{}, now); err != nil {
+		t.Fatal(err)
+	}
+	m := r.View().Members[0]
+	if m.Incarnation != 2 || m.State != StateJoining || m.Addr != "d0b" {
+		t.Fatalf("after rejoin: %+v, want incarnation 2, joining, addr d0b", m)
+	}
+}
+
+// TestJoinValidation rejects out-of-range ids and conflicting catalog
+// specs — the "agree before serving" door.
+func TestJoinValidation(t *testing.T) {
+	r := NewRegistry(testSpec, testTiming)
+	now := time.Unix(1000, 0)
+	if _, err := r.Join(3, "d", "c", CatalogSpec{}, now); err == nil {
+		t.Fatal("join with id == DataNodes accepted")
+	}
+	if _, err := r.Join(-1, "d", "c", CatalogSpec{}, now); err == nil {
+		t.Fatal("join with negative id accepted")
+	}
+	bad := testSpec
+	bad.Rows = 999
+	if _, err := r.Join(0, "d", "c", bad, now); err == nil || !strings.Contains(err.Error(), "spec mismatch") {
+		t.Fatalf("conflicting spec: err %v, want spec mismatch", err)
+	}
+	if _, err := r.Join(0, "d", "c", testSpec, now); err != nil {
+		t.Fatalf("matching spec rejected: %v", err)
+	}
+}
+
+// TestViewVersioning: the version advances on every membership change
+// and stands still otherwise.
+func TestViewVersioning(t *testing.T) {
+	r := NewRegistry(testSpec, testTiming)
+	now := time.Unix(1000, 0)
+	v0 := r.View().Version
+	r.Join(0, "d0", "c0", CatalogSpec{}, now)
+	v1 := r.View().Version
+	if v1 <= v0 {
+		t.Fatalf("join did not advance version: %d -> %d", v0, v1)
+	}
+	r.Heartbeat(0, now.Add(time.Millisecond))
+	if v := r.View().Version; v != v1 {
+		t.Fatalf("plain heartbeat advanced version: %d -> %d", v1, v)
+	}
+	r.Ready(0, now)
+	if v := r.View().Version; v <= v1 {
+		t.Fatal("ready did not advance version")
+	}
+}
+
+// TestAliveSubset: View.Alive lists exactly the alive ids, ascending.
+func TestAliveSubset(t *testing.T) {
+	r := NewRegistry(testSpec, testTiming)
+	now := time.Unix(1000, 0)
+	for id := 0; id < 3; id++ {
+		r.Join(id, "d", "c", CatalogSpec{}, now)
+		r.Ready(id, now)
+	}
+	// Node 1 goes silent past DeadAfter; 0 and 2 keep beating.
+	later := now.Add(70 * time.Millisecond)
+	r.Heartbeat(0, later)
+	r.Heartbeat(2, later)
+	r.Tick(later)
+	if alive := r.View().Alive(); len(alive) != 2 || alive[0] != 0 || alive[1] != 2 {
+		t.Fatalf("alive = %v, want [0 2]", alive)
+	}
+}
+
+// TestChangeCallback: every transition is observable, with incarnation.
+func TestChangeCallback(t *testing.T) {
+	r := NewRegistry(testSpec, testTiming)
+	var mu sync.Mutex
+	var seen []string
+	r.OnChange = func(node int, from, to State, inc int) {
+		mu.Lock()
+		seen = append(seen, to.String())
+		mu.Unlock()
+	}
+	now := time.Unix(1000, 0)
+	r.Join(0, "d", "c", CatalogSpec{}, now)
+	r.Ready(0, now)
+	r.Tick(now.Add(40 * time.Millisecond)) // suspect
+	r.Tick(now.Add(70 * time.Millisecond)) // dead
+	want := []string{"joining", "alive", "suspect", "dead"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("transitions %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestAgentOverHTTP runs the whole protocol through real HTTP: two
+// agents join a seed registry, see each other alive, one "dies" (stops
+// beating), and the survivor's OnNodeDead fires within the detection
+// deadline. Then the dead node re-joins and OnNodeAlive fires for its
+// new incarnation.
+func TestAgentOverHTTP(t *testing.T) {
+	r := NewRegistry(testSpec, testTiming)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	seedAddr := strings.TrimPrefix(srv.URL, "http://")
+	stopTicker := r.StartTicker(nil)
+	defer stopTicker()
+
+	type deathEvent struct {
+		id int
+		at time.Time
+	}
+	deaths := make(chan deathEvent, 4)
+	alives := make(chan int, 8)
+	a0 := NewAgent(AgentConfig{
+		ID: 0, Addr: "d0", Ctl: "c0", Seed: seedAddr,
+		OnNodeDead:  func(id int) { deaths <- deathEvent{id, time.Now()} },
+		OnNodeAlive: func(id int, m Member) { alives <- id },
+	})
+	a1 := NewAgent(AgentConfig{ID: 1, Addr: "d1", Ctl: "c1", Seed: seedAddr})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, a := range []*Agent{a0, a1} {
+		if _, err := a.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Ready(); err != nil {
+			t.Fatal(err)
+		}
+		a.Start()
+	}
+	defer a0.Stop()
+
+	// Agent 0 sees agent 1 come alive.
+	select {
+	case id := <-alives:
+		if id != 1 {
+			t.Fatalf("OnNodeAlive for node %d, want 1", id)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("survivor never saw the peer alive")
+	}
+
+	// Agent 1 "is killed": its heartbeats stop.
+	killedAt := time.Now()
+	a1.Stop()
+	select {
+	case ev := <-deaths:
+		if ev.id != 1 {
+			t.Fatalf("OnNodeDead for node %d, want 1", ev.id)
+		}
+		// Detection latency: DeadAfter plus a poll period plus slack.
+		if lat := ev.at.Sub(killedAt); lat > testTiming.DeadAfter+10*testTiming.HeartbeatEvery {
+			t.Fatalf("detection took %v, budget %v", lat, testTiming.DeadAfter+10*testTiming.HeartbeatEvery)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("survivor never saw the peer die")
+	}
+
+	// The "restarted" node re-joins at a new address; the survivor sees
+	// the new incarnation alive.
+	a1b := NewAgent(AgentConfig{ID: 1, Addr: "d1b", Ctl: "c1b", Seed: seedAddr})
+	if _, err := a1b.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1b.Ready(); err != nil {
+		t.Fatal(err)
+	}
+	a1b.Start()
+	defer a1b.Stop()
+	select {
+	case id := <-alives:
+		if id != 1 {
+			t.Fatalf("OnNodeAlive (rejoin) for node %d, want 1", id)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("survivor never saw the rejoin")
+	}
+	if m, ok := a0.View().Member(1); !ok || m.Incarnation != 2 || m.Addr != "d1b" {
+		t.Fatalf("rejoined member = %+v, want incarnation 2 at d1b", m)
+	}
+}
+
+// TestJoinRetriesUntilSeedUp: agents started before the seed listener
+// keep retrying instead of failing — process start order in the
+// harness is unconstrained.
+func TestJoinRetriesUntilSeedUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nobody listening yet
+
+	a := NewAgent(AgentConfig{ID: 0, Addr: "d0", Ctl: "c0", Seed: addr})
+	joined := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() {
+		_, err := a.Join(ctx)
+		joined <- err
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	r := NewRegistry(testSpec, testTiming)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln2)
+	defer srv.Close()
+
+	if err := <-joined; err != nil {
+		t.Fatalf("join never succeeded: %v", err)
+	}
+}

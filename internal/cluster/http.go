@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The control-plane wire protocol: three POSTs and a GET, JSON bodies,
+// served by the seed process. Deliberately boring — the interesting
+// guarantees (versioned views, incarnation bumps, catalog agreement)
+// live in the Registry; this file only moves them over HTTP.
+
+// joinRequest is the body of POST /cluster/join.
+type joinRequest struct {
+	ID   int         `json:"id"`
+	Addr string      `json:"addr"`
+	Ctl  string      `json:"ctl"`
+	Spec CatalogSpec `json:"spec"`
+}
+
+// joinResponse is the reply: the agreed spec, the seed's detector
+// timing (so one flag set configures the whole cluster), and the
+// current view.
+type joinResponse struct {
+	Spec   CatalogSpec `json:"spec"`
+	Timing timingWire  `json:"timing"`
+	View   View        `json:"view"`
+}
+
+// timingWire carries Timing as nanoseconds.
+type timingWire struct {
+	HeartbeatEveryNs int64 `json:"heartbeat_every_ns"`
+	SuspectAfterNs   int64 `json:"suspect_after_ns"`
+	DeadAfterNs      int64 `json:"dead_after_ns"`
+}
+
+func toWire(t Timing) timingWire {
+	return timingWire{
+		HeartbeatEveryNs: int64(t.HeartbeatEvery),
+		SuspectAfterNs:   int64(t.SuspectAfter),
+		DeadAfterNs:      int64(t.DeadAfter),
+	}
+}
+
+func fromWire(w timingWire) Timing {
+	return Timing{
+		HeartbeatEvery: time.Duration(w.HeartbeatEveryNs),
+		SuspectAfter:   time.Duration(w.SuspectAfterNs),
+		DeadAfter:      time.Duration(w.DeadAfterNs),
+	}
+}
+
+// nodeRequest is the body of POST /cluster/ready and /cluster/heartbeat.
+type nodeRequest struct {
+	ID int `json:"id"`
+}
+
+// Handler serves the membership protocol under /cluster/.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/join", func(w http.ResponseWriter, req *http.Request) {
+		var jr joinRequest
+		if !decodePost(w, req, &jr) {
+			return
+		}
+		spec, err := r.Join(jr.ID, jr.Addr, jr.Ctl, jr.Spec, time.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, joinResponse{Spec: spec, Timing: toWire(r.timing), View: r.View()})
+	})
+	mux.HandleFunc("/cluster/ready", func(w http.ResponseWriter, req *http.Request) {
+		var nr nodeRequest
+		if !decodePost(w, req, &nr) {
+			return
+		}
+		if err := r.Ready(nr.ID, time.Now()); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/cluster/heartbeat", func(w http.ResponseWriter, req *http.Request) {
+		var nr nodeRequest
+		if !decodePost(w, req, &nr) {
+			return
+		}
+		switch err := r.Heartbeat(nr.ID, time.Now()); err {
+		case nil:
+			writeJSON(w, struct{}{})
+		case ErrGone:
+			// 410: the caller's incarnation was declared dead; it must
+			// re-join rather than keep beating.
+			http.Error(w, err.Error(), http.StatusGone)
+		default:
+			http.Error(w, err.Error(), http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("/cluster/view", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.View())
+	})
+	return mux
+}
+
+func decodePost(w http.ResponseWriter, req *http.Request, v any) bool {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

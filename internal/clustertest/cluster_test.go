@@ -1,0 +1,242 @@
+package clustertest
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// countSQL is the sanity query: its answer is the cluster-wide trades
+// row count, so it directly witnesses how many partitions answered.
+const countSQL = "SELECT count(*) FROM Trades"
+
+// heavySQL repartitions both tables on acct_id and aggregates — enough
+// shuffle traffic that, with delay faults injected, a kill lands
+// mid-query rather than after the result is already back.
+const heavySQL = `SELECT T.acct_id, sum(trade_volume), sum(entry_volume)
+	FROM Trades T, Securities S WHERE T.acct_id = S.acct_id
+	GROUP BY T.acct_id`
+
+// fastTiming trades detection latency against false positives: fast
+// enough that the kill test fits a CI smoke budget, loose enough that
+// three busy processes sharing one CI core cannot starve a heartbeat
+// past the death deadline.
+var fastTiming = cluster.Timing{
+	HeartbeatEvery: 100 * time.Millisecond,
+	SuspectAfter:   500 * time.Millisecond,
+	DeadAfter:      1500 * time.Millisecond,
+}
+
+// TestEphemeralTwoNodeSmoke: two processes on fully ephemeral ports
+// find each other through the seed and answer the same query from
+// either coordinator — the end-to-end check that :0 listeners plus the
+// CLAIMS_NODE_READY line are enough to assemble a cluster with no
+// pre-assigned ports anywhere.
+func TestEphemeralTwoNodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	c := Start(t, Options{Nodes: 2, Rows: 4000, Timing: fastTiming})
+	for _, n := range []*Node{c.node(0), c.node(1)} {
+		if strings.HasSuffix(n.Addr, ":0") || strings.HasSuffix(n.Ctl, ":0") {
+			t.Fatalf("node %d published unbound address (addr %s, ctl %s)", n.ID, n.Addr, n.Ctl)
+		}
+	}
+	results, err := c.RunAll(countSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range results {
+		if r.Failed() {
+			t.Fatalf("coordinator %d failed: %s", id, r.Error)
+		}
+		if len(r.Rows) != 1 || r.Rows[0][0] != "4000" {
+			t.Fatalf("coordinator %d: count = %v, want 4000", id, r.Rows)
+		}
+		if len(r.DataNodes) != 2 {
+			t.Fatalf("coordinator %d ran on %v, want both nodes", id, r.DataNodes)
+		}
+	}
+}
+
+// TestKillNodeMidQueryAndRejoin is the cluster-smoke arc: a 3-process
+// cluster serves from every coordinator; kill -9 takes a node out
+// mid-query and the in-flight query fails with the typed node-lost
+// verdict within the detection deadline; the survivors keep serving
+// (degraded to their partitions); the restarted process re-joins under
+// a new incarnation and the full answer comes back.
+func TestKillNodeMidQueryAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const rows = 20000
+	// Delay faults stretch every exchange frame by up to 3ms, making
+	// the heavy query's runtime long enough to kill into reliably.
+	c := Start(t, Options{Nodes: 3, Rows: rows, Timing: fastTiming, Faults: "delay=3ms"})
+
+	// Every coordinator answers, and answers identically.
+	results, err := c.RunAll(countSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range results {
+		if r.Failed() || len(r.Rows) != 1 || r.Rows[0][0] != fmt.Sprint(rows) {
+			t.Fatalf("coordinator %d: %+v, want count %d", id, r, rows)
+		}
+	}
+
+	// Baseline the heavy query so the kill can be timed inside it.
+	base, err := c.Run(0, heavySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Failed() {
+		t.Fatalf("baseline heavy query failed: %s", base.Error)
+	}
+	baseline := time.Duration(base.DurationMS * float64(time.Millisecond))
+	if baseline < 50*time.Millisecond {
+		t.Logf("note: heavy query only took %v; the kill may land post-query", baseline)
+	}
+
+	// Fire the heavy query on node 0, then pull the plug on node 2
+	// while it is in flight.
+	const victim = 2
+	type outcome struct {
+		r   *QueryResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		r, err := c.Run(0, heavySQL)
+		resCh <- outcome{r, err}
+	}()
+	time.Sleep(baseline / 4)
+	killedAt := time.Now()
+	c.Kill(victim)
+
+	var killed *QueryResult
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			t.Fatalf("query transport error after kill: %v", out.err)
+		}
+		killed = out.r
+	case <-time.After(60 * time.Second):
+		t.Fatal("query never returned after the victim was killed")
+	}
+	detection := time.Since(killedAt)
+	if !killed.Failed() {
+		t.Fatalf("query succeeded despite killing node %d mid-flight (took %.0fms); "+
+			"increase rows or delay so the kill lands in-query", victim, killed.DurationMS)
+	}
+	if killed.NodeLost != victim {
+		t.Fatalf("query failed untyped: node_lost = %d, error %q; want node_lost = %d",
+			killed.NodeLost, killed.Error, victim)
+	}
+	// Budget: DeadAfter of silence, a few heartbeat-period polls to
+	// observe the edge, and real-process slack.
+	budget := fastTiming.DeadAfter + 10*fastTiming.HeartbeatEvery + 2*time.Second
+	if detection > budget {
+		t.Fatalf("node loss surfaced after %v, budget %v", detection, budget)
+	}
+	t.Logf("kill -9 -> typed NodeLost(%d) in %v (budget %v)", killed.NodeLost, detection, budget)
+
+	// The seed's detector agrees the victim is dead.
+	c.WaitState(victim, cluster.StateDead, 10*time.Second)
+
+	// Survivors keep serving, degraded to their own partitions. Wait
+	// for each survivor's own view to register the death first — a
+	// coordinator fans out to whatever its agent last observed.
+	for _, id := range []int{0, 1} {
+		c.WaitViewAlive(id, 2, 10*time.Second)
+	}
+	for _, id := range []int{0, 1} {
+		r, err := c.Run(id, countSQL)
+		if err != nil {
+			t.Fatalf("survivor %d: %v", id, err)
+		}
+		if r.Failed() {
+			t.Fatalf("survivor %d failed post-death: %s", id, r.Error)
+		}
+		if len(r.DataNodes) != 2 {
+			t.Fatalf("survivor %d still fanning to %v", id, r.DataNodes)
+		}
+		if got := r.Rows[0][0]; got == fmt.Sprint(rows) {
+			t.Fatalf("survivor %d returned the full count %s with a partition dead", id, got)
+		}
+	}
+
+	// The restarted victim re-joins (new incarnation), and the cluster
+	// answers in full again from any coordinator.
+	c.Restart(victim)
+	c.WaitState(victim, cluster.StateAlive, 30*time.Second)
+	c.WaitAllAlive(30 * time.Second)
+	v, err := c.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := v.Member(victim); !ok || m.Incarnation < 2 {
+		t.Fatalf("rejoined member = %+v, want incarnation >= 2", m)
+	}
+	results, err = c.RunAll(countSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range results {
+		if r.Failed() || r.Rows[0][0] != fmt.Sprint(rows) {
+			t.Fatalf("post-rejoin coordinator %d: %+v, want count %d", id, r, rows)
+		}
+		if len(r.DataNodes) != 3 {
+			t.Fatalf("post-rejoin coordinator %d ran on %v, want all three", id, r.DataNodes)
+		}
+	}
+
+	// The seed's metrics exposition records the rejoin: parseable
+	// Prometheus text with the victim's incarnation at >= 2.
+	raw, err := c.Metrics(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _, err := obs.ParseProm(strings.NewReader(raw))
+	if err != nil {
+		t.Fatalf("metrics exposition unparseable: %v", err)
+	}
+	sawIncarnation := false
+	for _, s := range samples {
+		if s.Name == "claims_cluster_member_incarnation" && s.Labels["node"] == fmt.Sprint(victim) {
+			sawIncarnation = true
+			if s.Value < 2 {
+				t.Fatalf("metrics report incarnation %v for node %d, want >= 2", s.Value, victim)
+			}
+		}
+	}
+	if !sawIncarnation {
+		t.Fatal("metrics missing claims_cluster_member_incarnation for the victim")
+	}
+
+	// Leak check: tear the cluster down and require the harness process
+	// to return to its baseline goroutine count (the HTTP client and
+	// log-scanner goroutines must all have drained).
+	c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= goroutinesBefore+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after teardown: %d -> %d\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

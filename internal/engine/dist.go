@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/network"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
+)
+
+// ErrNodeLost is the sentinel matched by errors.Is when a distributed
+// query failed because a participating node died (crashed, was killed,
+// or was partitioned away) mid-flight. The concrete error in the chain
+// is *NodeLostError, which names the node.
+var ErrNodeLost = errors.New("engine: node lost")
+
+// NodeLostError is the typed failure of a distributed query whose
+// participant died mid-flight. It is the authoritative verdict from the
+// membership plane's failure detector, and it overrides whatever
+// transport-level symptom (reset connection, aborted exchange, send
+// deadline) the dataflow happened to trip on first.
+type NodeLostError struct {
+	// Node is the data-node id the failure detector declared dead.
+	Node int
+}
+
+func (e *NodeLostError) Error() string {
+	return fmt.Sprintf("engine: node %d lost mid-query", e.Node)
+}
+
+// Unwrap makes errors.Is(err, ErrNodeLost) match.
+func (e *NodeLostError) Unwrap() error { return ErrNodeLost }
+
+// ExecSpec is the control-plane description of one distributed query:
+// what to run, under which cluster-unique id, who coordinates (hosting
+// the master segments and collecting the result), and which data nodes
+// participate. The coordinator builds one, runs RunCoordinated with it
+// locally, and broadcasts it verbatim to every other participant, which
+// runs RunParticipant. Because plan compilation is deterministic over
+// slices (never map iteration) and every process agreed on the catalog
+// at join time, all participants derive the identical plan — same
+// segment ids, same exchange ids — and each instantiates only the
+// segment instances placed on its own node.
+type ExecSpec struct {
+	// QID is the cluster-unique query id (from the coordinator's
+	// NextQueryID); it namespaces every exchange of the dataflow.
+	QID int
+	// SQL is the query text, compiled independently by each participant.
+	SQL string
+	// Coordinator is the data-node id of the coordinating process. It
+	// doubles as the query's master node: master-resident segments and
+	// the result collector live there, so a per-cluster master process
+	// is not needed and any node can coordinate.
+	Coordinator int
+	// DataNodes are the participating data nodes in ascending order —
+	// the alive subset of the full partition map at submission time.
+	// Partitions of dead nodes are not scanned (degraded coverage until
+	// the node rejoins); the list must be identical on every
+	// participant, as it determines exchange instance indexing.
+	DataNodes []int
+}
+
+// distState is the extra state of a distributed-mode cluster: one
+// process among several, owning one data node's partition of every
+// table and exchanging blocks with its peers over the wire.
+type distState struct {
+	local  int // this process's data node id
+	fabric *network.DistFabric
+
+	mu       sync.Mutex
+	inflight map[int]*exec // qid → running query (this process's side)
+	lost     map[int]bool  // node id → declared dead and not yet back
+}
+
+// NewClusterDist creates one process's slice of a multi-process
+// cluster: cfg.Nodes data nodes exist cluster-wide, but only node's id
+// is backed by a local store — the other entries stay nil and their
+// partitions live in peer processes. The transport node's peer table is
+// expected to be maintained by the membership plane (SetPeer on join,
+// DropPeer on death); the cluster closes the node on Close.
+//
+// There is no dedicated master process: each query's coordinator hosts
+// its master segments and result collector (ExecSpec.Coordinator).
+func NewClusterDist(cfg Config, cat *catalog.Catalog, node *network.TCPNode) (*Cluster, error) {
+	cfg.defaults()
+	if node.ID() < 0 || node.ID() >= cfg.Nodes {
+		return nil, fmt.Errorf("engine: dist node id %d outside [0,%d)", node.ID(), cfg.Nodes)
+	}
+	inj := cfg.resolveFaults()
+	node.SetFaults(inj)
+	if cfg.Retry != nil {
+		node.SetRetryPolicy(*cfg.Retry)
+	}
+	df := network.NewDistFabric(node)
+	c := &Cluster{
+		cfg: cfg, cat: cat, faultInj: inj,
+		fabric:   df,
+		tcpNodes: map[int]*network.TCPNode{node.ID(): node},
+		dist: &distState{
+			local:    node.ID(),
+			fabric:   df,
+			inflight: make(map[int]*exec),
+			lost:     make(map[int]bool),
+		},
+	}
+	c.stores = make([]*storage.Store, cfg.Nodes)
+	c.stores[node.ID()] = storage.NewStore(cfg.Sockets)
+	c.initShared()
+	return c, nil
+}
+
+// LocalNode returns the data node this process owns in distributed
+// mode, or -1 for an all-in-one-process cluster.
+func (c *Cluster) LocalNode() int {
+	if c.dist == nil {
+		return -1
+	}
+	return c.dist.local
+}
+
+// NextQueryID allocates a query id for a new coordinated query. In
+// distributed mode ids must be unique across every process that can
+// coordinate, so the low byte carries the local node id (+1, so a
+// distributed id is never mistaken for a pre-dist plain sequence
+// number) under a per-process sequence. Ids stay below
+// network.ReservedQueryIDBase by construction, so they can never
+// collide with out-of-band tool dataflows (the claims-node mesh
+// exerciser) that share the transport.
+func (c *Cluster) NextQueryID() int {
+	seq := querySeq.Add(1)
+	if c.dist == nil {
+		return int(seq)
+	}
+	return int(seq%(1<<21))<<8 | (c.dist.local + 1)
+}
+
+// RunCoordinated executes a distributed query from the coordinator
+// side: compile spec.SQL, host the master segments and the result
+// collector, run the locally-placed data segments, and return the
+// assembled result. The caller must have broadcast the same spec to
+// every other node in spec.DataNodes (RunParticipant) — the dataflow
+// completes only when all sides run.
+func (c *Cluster) RunCoordinated(ctx context.Context, spec ExecSpec, sc *telemetry.Scope) (*Result, error) {
+	if c.dist == nil {
+		return nil, fmt.Errorf("engine: RunCoordinated on a non-distributed cluster")
+	}
+	if spec.Coordinator != c.dist.local {
+		return nil, fmt.Errorf("engine: spec names node %d as coordinator, this is node %d",
+			spec.Coordinator, c.dist.local)
+	}
+	p, err := plan.Compile(spec.SQL, c.cat)
+	if err != nil {
+		return nil, err
+	}
+	if sc == nil {
+		sc = newQueryScope()
+	}
+	return c.runPlanOpts(ctx, p, sc, spec.SQL, nil, specOpts(spec, c.dist.local))
+}
+
+// RunParticipant executes this process's share of a distributed query
+// coordinated elsewhere: compile the same SQL, instantiate the segment
+// instances placed on the local node, stream blocks to the wire, and
+// return when the local side has drained. The result flows to the
+// coordinator; participants return only an error.
+func (c *Cluster) RunParticipant(ctx context.Context, spec ExecSpec) error {
+	if c.dist == nil {
+		return fmt.Errorf("engine: RunParticipant on a non-distributed cluster")
+	}
+	p, err := plan.Compile(spec.SQL, c.cat)
+	if err != nil {
+		return err
+	}
+	_, err = c.runPlanOpts(ctx, p, newQueryScope(), spec.SQL, nil, specOpts(spec, c.dist.local))
+	return err
+}
+
+// specOpts lowers a control-plane spec into the exec placement options.
+func specOpts(spec ExecSpec, local int) *runOpts {
+	return &runOpts{
+		qid:       spec.QID,
+		master:    spec.Coordinator,
+		dataNodes: spec.DataNodes,
+		local:     local,
+	}
+}
+
+// NodeLost is the membership plane's death notification: the failure
+// detector declared node dead. Every in-flight query that node
+// participates in is torn down with the typed NodeLostError — which
+// overrides any transport symptom the teardown races with — and the
+// node's address is dropped from the transport so new dataflows fail
+// fast instead of dialing a corpse. The node stays on the lost list
+// until NodeRestored, closing the race where a query registers between
+// the death and its own first send.
+func (c *Cluster) NodeLost(node int) {
+	if c.dist == nil || node == c.dist.local {
+		return
+	}
+	d := c.dist
+	d.mu.Lock()
+	d.lost[node] = true
+	var victims []*exec
+	for _, e := range d.inflight {
+		if e.usesNode(node) {
+			victims = append(victims, e)
+		}
+	}
+	d.mu.Unlock()
+	d.fabric.Node().DropPeer(node)
+	for _, e := range victims {
+		e.failWithNodeLost(node)
+	}
+}
+
+// NodeRestored is the membership plane's rejoin notification: the node
+// is alive again at addr (possibly a fresh ephemeral port), re-admitted
+// to the transport's peer table and cleared from the lost list so new
+// queries may fan out to it.
+func (c *Cluster) NodeRestored(node int, addr string) {
+	if c.dist == nil || node == c.dist.local {
+		return
+	}
+	d := c.dist
+	d.mu.Lock()
+	delete(d.lost, node)
+	d.mu.Unlock()
+	d.fabric.Node().SetPeer(node, addr)
+}
+
+// FailQuery aborts one in-flight distributed query by id — the /abort
+// control-plane path, used by a coordinator to tear down participant
+// sides after its own side failed. Reports whether the query was found.
+func (c *Cluster) FailQuery(qid int, err error) bool {
+	if c.dist == nil {
+		return false
+	}
+	c.dist.mu.Lock()
+	e := c.dist.inflight[qid]
+	c.dist.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	e.fail(err)
+	return true
+}
+
+// OpenExchanges reports the transport-layer exchange registrations
+// still live in this process — inboxes, stream reassembly state, abort
+// markers. A quiesced cluster must report zero: every query's deferred
+// Release drops its registrations, and leaks here are what the
+// clustertest harness's teardown assertions catch.
+func (c *Cluster) OpenExchanges() int {
+	n := 0
+	for _, tn := range c.tcpNodes {
+		n += tn.OpenExchanges()
+	}
+	return n
+}
+
+// register enrolls a fully-wired exec in the inflight table, unless one
+// of its participants is already on the lost list — then the query
+// fails immediately with the same typed error a mid-flight death would
+// produce, closing the window between a death notification and this
+// query's registration.
+func (d *distState) register(e *exec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, n := range e.dataNodes {
+		if d.lost[n] {
+			return &NodeLostError{Node: n}
+		}
+	}
+	if d.lost[e.master] {
+		return &NodeLostError{Node: e.master}
+	}
+	d.inflight[e.qid] = e
+	return nil
+}
+
+func (d *distState) unregister(qid int) {
+	d.mu.Lock()
+	delete(d.inflight, qid)
+	d.mu.Unlock()
+}
+
+// usesNode reports whether the query fans out to the given node.
+func (e *exec) usesNode(node int) bool {
+	if node == e.master {
+		return true
+	}
+	for _, n := range e.dataNodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// failWithNodeLost tears the query down under the failure detector's
+// verdict. Unlike ordinary fail() — first error wins — the NodeLost
+// verdict OVERRIDES a previously recorded error: when a peer dies, the
+// dataflow usually trips on a transport symptom (reset connection,
+// aborted exchange) a beat before the detector's deadline fires, and
+// surfacing the symptom would hide the cause. The first NodeLost
+// verdict sticks.
+func (e *exec) failWithNodeLost(node int) {
+	nl := &NodeLostError{Node: node}
+	e.fail(nl) // no-op if teardown already ran
+	e.failMu.Lock()
+	if _, already := e.failErr.(*NodeLostError); !already {
+		e.failErr = nl
+	}
+	e.failMu.Unlock()
+}
+
+// resolveDistError post-processes a distributed query's failure. If the
+// error is already the detector's verdict it is final. Otherwise the
+// query lingers up to the configured grace, giving the failure detector
+// time to attribute a transport symptom to a node death — the detector
+// deadline is typically a few hundred milliseconds behind the first
+// connection reset when a process is killed outright. Without a grace
+// (the default) the symptom error returns as-is.
+func (e *exec) resolveDistError(err error) error {
+	if errors.Is(err, ErrNodeLost) {
+		return e.err()
+	}
+	grace := e.c.cfg.NodeLossGrace
+	if grace <= 0 {
+		return err
+	}
+	deadline := time.Now().Add(grace)
+	for {
+		if cur := e.err(); cur != nil && errors.Is(cur, ErrNodeLost) {
+			return cur
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

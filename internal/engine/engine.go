@@ -109,6 +109,13 @@ type Config struct {
 	MemoryPerQuery int64
 	// SpillDir receives operator spill files (default os.TempDir()).
 	SpillDir string
+	// NodeLossGrace applies to distributed clusters (NewClusterDist):
+	// when a distributed query fails with a transport symptom, it lingers
+	// up to this long for the membership failure detector to attribute
+	// the symptom to a node death, upgrading the error to the typed
+	// NodeLostError. Set it a margin past the detector deadline;
+	// 0 (default) returns the raw symptom immediately.
+	NodeLossGrace time.Duration
 	// RowExec forces row-at-a-time (tuple-per-tuple) expression
 	// evaluation in filters, projections, join key computation and
 	// aggregation, bypassing the vectorized batch kernels. The two paths
@@ -164,6 +171,10 @@ type Cluster struct {
 	faultInj *faults.Injector
 	// tcpNodes holds the sockets of a TCP-backed cluster, for Close.
 	tcpNodes map[int]*network.TCPNode
+	// dist is the distributed-mode state (NewClusterDist): this process
+	// is one data node of a multi-process cluster. Nil for the ordinary
+	// all-in-one-process cluster.
+	dist *distState
 
 	// leases[n] is node n's core-slot pool (slaves 0..Nodes-1 plus the
 	// master at index Nodes), shared by every concurrent query.
@@ -423,7 +434,16 @@ func (c *Cluster) NewTableLoader(name string) (*TableLoader, error) {
 		keyExprs = append(keyExprs, expr.NewCol(idx, tbl.Schema.Cols[idx].Name))
 	}
 	tl.keyEnc = expr.NewKeyEncoder(keyExprs)
+	// In distributed mode only the local node's store exists; the other
+	// slots stay nil so the hash routing below still sees the full
+	// cluster width and rows bound for remote partitions are dropped
+	// locally (each process generates the full dataset deterministically
+	// and keeps its own slice).
 	for _, st := range c.stores {
+		if st == nil {
+			tl.loaders = append(tl.loaders, nil)
+			continue
+		}
 		p := st.CreatePartition(name, tbl.Schema)
 		tl.loaders = append(tl.loaders, storage.NewLoader(p, c.cfg.BlockSize))
 	}
@@ -433,21 +453,29 @@ func (c *Cluster) NewTableLoader(name string) (*TableLoader, error) {
 // Row returns a scratch record to fill; commit it with Add.
 func (l *TableLoader) Row() []byte { return l.scratch }
 
-// Add routes the filled scratch record to its node.
+// Add routes the filled scratch record to its node. The row count
+// advances even when the destination partition lives in another process
+// (nil loader): table statistics must reflect the CLUSTER-WIDE row
+// count on every process, or the per-process plan compilations of one
+// distributed query would diverge.
 func (l *TableLoader) Add() {
 	node := 0
 	if len(l.loaders) > 1 {
 		h := l.keyEnc.Hash(l.scratch, l.table.Schema)
 		node = int(h % uint64(len(l.loaders)))
 	}
-	copy(l.loaders[node].Row(), l.scratch)
+	if ld := l.loaders[node]; ld != nil {
+		copy(ld.Row(), l.scratch)
+	}
 	l.rows++
 }
 
 // Close seals all partitions and refreshes the table row statistics.
 func (l *TableLoader) Close() {
 	for _, ld := range l.loaders {
-		ld.Close()
+		if ld != nil {
+			ld.Close()
+		}
 	}
 	l.table.Stats.Rows = l.rows
 }

@@ -65,12 +65,35 @@ type segInst struct {
 	done    chan struct{}
 }
 
+// runOpts places a query explicitly — the distributed execution path.
+// Nil means the classic all-in-one-process placement: master segments
+// on the cluster's master node, data segments on every data node, all
+// instantiated locally.
+type runOpts struct {
+	// qid is the externally assigned, cluster-unique query id.
+	qid int
+	// master hosts master-resident segments and the result collector.
+	master int
+	// dataNodes is the (alive) subset of data nodes scanning their
+	// partitions, in ascending order on every participant.
+	dataNodes []int
+	// local is the only node this process instantiates segments for.
+	local int
+}
+
 // exec carries one query's runtime state. All measurement flows through
 // the telemetry scope; ExecStats is derived from it after completion.
 type exec struct {
 	c   *Cluster
 	p   *plan.Plan
-	qid int // process-unique query id: the exchange namespace
+	qid int // cluster-unique query id: the exchange namespace
+	// master is the node hosting master segments and the result
+	// collector; dataNodes are the nodes running data segments; local
+	// restricts instantiation to one node (-1 = instantiate all, the
+	// single-process cluster).
+	master    int
+	dataNodes []int
+	local     int
 	// resultExID is the result collector's exchange id, derived as one
 	// past the plan's highest exchange id — unique within the query's
 	// namespace, no reserved constant to collide on.
@@ -129,7 +152,9 @@ func (e *exec) fail(err error) {
 		for _, ex := range e.exchanges {
 			ex.Abort()
 		}
-		e.resultEx.Abort()
+		if e.resultEx != nil {
+			e.resultEx.Abort()
+		}
 	})
 }
 
@@ -176,16 +201,21 @@ func (e *exec) opMem(op plan.PhysOp, kind string, node int) *iterator.MemConfig 
 	return m
 }
 
-// nodesOf lists the nodes a segment group is instantiated on.
+// nodesOf lists the nodes a segment group is instantiated on. The
+// answer must be identical on every participant of a distributed query
+// (it fixes exchange instance indexing), so it derives purely from the
+// exec's agreed placement, never from process-local state.
 func (e *exec) nodesOf(seg *plan.Segment) []int {
 	if seg.OnMaster {
-		return []int{e.c.master()}
+		return []int{e.master}
 	}
-	nodes := make([]int, e.c.cfg.Nodes)
-	for i := range nodes {
-		nodes[i] = i
-	}
-	return nodes
+	return e.dataNodes
+}
+
+// hosts reports whether this process instantiates segment instances
+// placed on the given node.
+func (e *exec) hosts(node int) bool {
+	return e.local < 0 || node == e.local
 }
 
 // newQueryScope creates the auto-named telemetry scope of one query.
@@ -211,6 +241,13 @@ func (c *Cluster) RunPlanScoped(p *plan.Plan, sc *telemetry.Scope) (*Result, err
 // the extra per-exchange measurements EXPLAIN ANALYZE reports; ctx
 // cancellation routes into the fail-fast teardown.
 func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope, sqlText string, az *analyzeState) (res *Result, err error) {
+	return c.runPlanOpts(ctx, p, sc, sqlText, az, nil)
+}
+
+// runPlanOpts is runPlan with explicit placement — the distributed
+// path, where each participating process runs it against the same plan
+// under the same opts and instantiates only its local share.
+func (c *Cluster) runPlanOpts(ctx context.Context, p *plan.Plan, sc *telemetry.Scope, sqlText string, az *analyzeState, opts *runOpts) (res *Result, err error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -221,7 +258,6 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 
 	e := &exec{
 		c: c, p: p,
-		qid:       int(querySeq.Add(1)),
 		tracker:   block.NewTracker(),
 		exchanges: make(map[int]network.FabricExchange),
 		consNodes: make(map[int][]int),
@@ -230,6 +266,15 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 		memGauge:  sc.Gauge(telemetry.GaugeMemBytes),
 		traceSink: telemetry.NewMemSink(telemetry.KindParallelismSample),
 		startAt:   sc.Elapsed(),
+	}
+	if opts != nil {
+		e.qid, e.master, e.dataNodes, e.local = opts.qid, opts.master, opts.dataNodes, opts.local
+	} else {
+		e.qid, e.master, e.local = c.NextQueryID(), c.master(), -1
+		e.dataNodes = make([]int, c.cfg.Nodes)
+		for i := range e.dataNodes {
+			e.dataNodes[i] = i
+		}
 	}
 	sc.Attach(e.traceSink)
 	if az != nil {
@@ -325,7 +370,7 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 	e.resultExID = maxExID + 1
 	finalNodes := e.nodesOf(p.Final)
 	e.resultEx = c.fabric.NewExchange(e.qid, e.resultExID, len(finalNodes),
-		[]int{c.master()}, p.Final.Root.Schema(), buf, e.tracker, e.scope)
+		[]int{e.master}, p.Final.Root.Schema(), buf, e.tracker, e.scope)
 
 	// When the query is fully torn down (all senders, readers and
 	// samplers joined), drop its exchange state from the transport so a
@@ -337,9 +382,14 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 		e.resultEx.Release()
 	}()
 
-	// Instantiate all segments on their nodes.
+	// Instantiate the segments this process hosts on their nodes (all of
+	// them for a single-process cluster, the local node's share in
+	// distributed mode).
 	for _, seg := range p.Segments {
 		for _, node := range e.nodesOf(seg) {
+			if !e.hosts(node) {
+				continue
+			}
 			inst, err := e.instantiate(seg, node)
 			if err != nil {
 				return nil, err
@@ -348,6 +398,22 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 		}
 	}
 	wireSp.End()
+
+	// Distributed queries enroll in the inflight table only now that the
+	// dataflow is fully wired: NodeLost tears execs down concurrently,
+	// and it must never observe a half-built one. A death notification
+	// that raced the wiring is caught here by the lost list instead.
+	if opts != nil && c.dist != nil {
+		if rerr := c.dist.register(e); rerr != nil {
+			e.fail(rerr)
+			for _, inst := range e.insts {
+				inst.el.Close()
+			}
+			close(e.stop)
+			return nil, rerr
+		}
+		defer c.dist.unregister(e.qid)
+	}
 	execSp := sc.StartSpan("execute", "query")
 
 	// Route caller cancellation into the fail-fast teardown: aborting
@@ -365,20 +431,26 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 	}
 
 	// Result reader drains the collector concurrently so bounded
-	// buffers never stall the final senders.
+	// buffers never stall the final senders. Only the master-hosting
+	// process has the collector inbox; participants of a distributed
+	// query stream their final blocks to the coordinator instead.
 	var resBlocks []*block.Block
 	resDone := make(chan struct{})
-	go func() {
-		defer close(resDone)
-		in := e.resultEx.Inbox(0)
-		for {
-			b, st := in.Recv(nil)
-			if st != iterator.RecvOK {
-				return
+	if e.hosts(e.master) {
+		go func() {
+			defer close(resDone)
+			in := e.resultEx.Inbox(0)
+			for {
+				b, st := in.Recv(nil)
+				if st != iterator.RecvOK {
+					return
+				}
+				resBlocks = append(resBlocks, b)
 			}
-			resBlocks = append(resBlocks, b)
-		}
-	}()
+		}()
+	} else {
+		close(resDone)
+	}
 
 	// Memory/trace sampler.
 	samplerDone := make(chan struct{})
@@ -421,6 +493,11 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 		e.fail(err)
 		<-resDone
 		execSp.End()
+		if opts != nil && c.dist != nil {
+			// Give the failure detector its grace to upgrade a transport
+			// symptom into the typed NodeLostError verdict.
+			err = e.resolveDistError(err)
+		}
 		return nil, err
 	}
 	<-resDone

@@ -1,0 +1,62 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsePeers parses a static peer list, a comma-separated sequence of
+// id=host:port entries:
+//
+//	0=localhost:7100,1=localhost:7101,2=localhost:7102
+//
+// Empty entries (from a trailing or doubled comma) are skipped, so
+// generated lists need no special-casing. Ids must be non-negative
+// integers and unique; addresses must be non-empty. The returned map is
+// the peers argument of NewTCPNode.
+func ParsePeers(spec string) (map[int]string, error) {
+	peers := make(map[int]string)
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		kv := strings.SplitN(p, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("network: bad peer %q (want id=host:port)", p)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, fmt.Errorf("network: bad peer id %q: %w", kv[0], err)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("network: bad peer id %d: must be non-negative", id)
+		}
+		addr := strings.TrimSpace(kv[1])
+		if addr == "" {
+			return nil, fmt.Errorf("network: peer %d has an empty address", id)
+		}
+		if prev, dup := peers[id]; dup {
+			return nil, fmt.Errorf("network: duplicate peer id %d (%s and %s)", id, prev, addr)
+		}
+		peers[id] = addr
+	}
+	return peers, nil
+}
+
+// FormatPeers renders a peer map back into ParsePeers syntax, ids
+// ascending.
+func FormatPeers(peers map[int]string) string {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d=%s", id, peers[id])
+	}
+	return strings.Join(parts, ",")
+}

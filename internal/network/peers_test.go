@@ -1,0 +1,64 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("0=localhost:7100,1=localhost:7101,2=localhost:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "localhost:7100", 1: "localhost:7101", 2: "localhost:7102"}
+	if len(peers) != len(want) {
+		t.Fatalf("got %d peers, want %d", len(peers), len(want))
+	}
+	for id, addr := range want {
+		if peers[id] != addr {
+			t.Fatalf("peer %d = %q, want %q", id, peers[id], addr)
+		}
+	}
+}
+
+func TestParsePeersSkipsEmptyEntries(t *testing.T) {
+	peers, err := ParsePeers(",0=h:1,,1=h:2,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("got %d peers, want 2", len(peers))
+	}
+	if peers, err := ParsePeers(""); err != nil || len(peers) != 0 {
+		t.Fatalf("empty spec: got %v, %v; want empty map, nil", peers, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantErr string
+	}{
+		{"0localhost:7100", "want id=host:port"},
+		{"x=h:1", "bad peer id"},
+		{"-1=h:1", "must be non-negative"},
+		{"0=h:1,0=h:2", "duplicate peer id 0"},
+		{"0=", "empty address"},
+		{"0=  ", "empty address"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePeers(c.spec); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParsePeers(%q) = %v, want error containing %q", c.spec, err, c.wantErr)
+		}
+	}
+}
+
+func TestFormatPeersRoundTrip(t *testing.T) {
+	spec := "0=h:1,2=h:3,7=h:9"
+	peers, err := ParsePeers(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatPeers(peers); got != spec {
+		t.Fatalf("FormatPeers = %q, want %q", got, spec)
+	}
+}

@@ -153,6 +153,66 @@ func NewTCPNode(id int, addr string, peers map[int]string) (*TCPNode, error) {
 // Addr returns the node's bound listen address.
 func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
 
+// ID returns the node's id in the mesh.
+func (n *TCPNode) ID() int { return n.id }
+
+// SetPeer installs or updates the dial address of a peer node. A
+// cached connection to an address that changed is dropped so the next
+// send redials — this is how a membership view update rewires the
+// fabric around a node that rejoined on a new ephemeral port.
+func (n *TCPNode) SetPeer(id int, addr string) {
+	n.mu.Lock()
+	if n.peers == nil {
+		n.peers = make(map[int]string)
+	}
+	var stale *tcpConn
+	if c, ok := n.conns[id]; ok && n.peers[id] != addr {
+		delete(n.conns, id)
+		stale = c
+	}
+	n.peers[id] = addr
+	n.mu.Unlock()
+	if stale != nil {
+		stale.c.Close()
+	}
+}
+
+// DropPeer forgets a peer's address and closes any cached connection
+// to it. Subsequent sends to the peer fail at dial time instead of
+// waiting out TCP timeouts against a dead address.
+func (n *TCPNode) DropPeer(id int) {
+	n.mu.Lock()
+	delete(n.peers, id)
+	c, ok := n.conns[id]
+	delete(n.conns, id)
+	n.mu.Unlock()
+	if ok {
+		c.c.Close()
+	}
+}
+
+// Peers returns a copy of the node's current peer address map.
+func (n *TCPNode) Peers() map[int]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int]string, len(n.peers))
+	for id, addr := range n.peers {
+		out[id] = addr
+	}
+	return out
+}
+
+// OpenExchanges counts the per-exchange registrations the node still
+// holds (inboxes, schemas, trackers, scopes, stream watermarks, abort
+// channels). Zero after every query released its exchanges — tests and
+// the /metrics surface use it to prove teardown leaves nothing behind.
+func (n *TCPNode) OpenExchanges() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.inboxes) + len(n.schemas) + len(n.trackers) +
+		len(n.scopes) + len(n.streams) + len(n.aborts)
+}
+
 // SetFaults attaches a fault injector consulted on every outgoing
 // frame. Attach the SAME injector to every node of a mesh: an enabled
 // injector switches the node into its reliable (ack + retransmit)
@@ -439,8 +499,11 @@ func (n *TCPNode) conn(peer int) (*tcpConn, error) {
 		n.mu.Unlock()
 		return c, nil
 	}
-	addr := n.peers[peer]
+	addr, known := n.peers[peer]
 	n.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("network: no address for node %d (dropped from the peer set?)", peer)
+	}
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("network: dial node %d (%s): %w", peer, addr, err)

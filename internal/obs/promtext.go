@@ -43,6 +43,14 @@ func (p *promWriter) family(name, help, typ string) {
 	}
 }
 
+// Family and Sample implement MetricWriter for OnMetrics callbacks.
+func (p *promWriter) Family(name, help, typ string) { p.family(name, help, typ) }
+
+// Sample implements MetricWriter.
+func (p *promWriter) Sample(name string, labels [][2]string, v float64) {
+	p.sample(name, labels, v)
+}
+
 func (p *promWriter) sample(name string, labels [][2]string, v float64) {
 	if p.err != nil {
 		return

@@ -21,6 +21,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -31,6 +32,43 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 	reg *telemetry.Registry
+
+	// extra holds routes mounted by the embedding binary (Handle); it
+	// is consulted before the built-in routes, and may grow after the
+	// server started serving — claims-node mounts its cluster control
+	// plane here once membership is up.
+	mu        sync.RWMutex
+	extra     *http.ServeMux
+	onMetrics []func(MetricWriter)
+}
+
+// MetricWriter appends families to the /metrics exposition; see
+// Server.OnMetrics.
+type MetricWriter interface {
+	// Family declares a metric family (help + type) once per exposition.
+	Family(name, help, typ string)
+	// Sample appends one sample of a declared family.
+	Sample(name string, labels [][2]string, v float64)
+}
+
+// Handle mounts an extra route on the admin server, taking precedence
+// over built-ins on conflict. Safe to call while serving.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extra == nil {
+		s.extra = http.NewServeMux()
+	}
+	s.extra.Handle(pattern, h)
+}
+
+// OnMetrics registers a callback appending process-specific families to
+// every /metrics exposition (e.g. cluster membership states). Safe to
+// call while serving.
+func (s *Server) OnMetrics(cb func(MetricWriter)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onMetrics = append(s.onMetrics, cb)
 }
 
 // Serve starts the admin server on addr (e.g. ":8080"; use ":0" for an
@@ -62,7 +100,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		extra := s.extra
+		s.mu.RUnlock()
+		if extra != nil {
+			if h, pattern := extra.Handler(r); pattern != "" {
+				h.ServeHTTP(w, r)
+				return
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Addr returns the bound listen address.
@@ -139,6 +188,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p.sample("claims_scope_gauge", lbl, float64(gs[name].Cur))
 			p.sample("claims_scope_gauge_peak", lbl, float64(gs[name].Peak))
 		}
+	}
+
+	s.mu.RLock()
+	extras := make([]func(MetricWriter), len(s.onMetrics))
+	copy(extras, s.onMetrics)
+	s.mu.RUnlock()
+	for _, cb := range extras {
+		cb(p)
 	}
 	if p.err != nil {
 		// Headers are gone; nothing to do but drop the connection.

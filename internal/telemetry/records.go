@@ -50,6 +50,10 @@ const (
 	// KindSpill is one operator partition spilled to disk under memory
 	// pressure.
 	KindSpill
+	// KindMembershipChange is one node's membership state transition
+	// (joining/alive/suspect/dead) as seen by the cluster registry or a
+	// node agent's view poll.
+	KindMembershipChange
 
 	numKinds
 )
@@ -58,6 +62,7 @@ var kindNames = [...]string{
 	"SchedDecision", "WorkerExpand", "WorkerShrink", "SegmentStageChange",
 	"BlockSent", "QueryPhase", "Barrier", "ParallelismSample", "UtilSample",
 	"FaultInjected", "NetRetry", "Recovery", "Span", "Spill",
+	"MembershipChange",
 }
 
 // String renders the kind; out-of-range values render as "Kind(n)".
@@ -248,6 +253,19 @@ type Spill struct {
 
 // Kind implements Record.
 func (Spill) Kind() Kind { return KindSpill }
+
+// MembershipChange records one node's membership state transition: the
+// registry's failure detector moving a node along
+// joining→alive→suspect→dead, or a (re)join bumping its incarnation.
+type MembershipChange struct {
+	Node        int    `json:"node"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Incarnation int    `json:"incarnation"`
+}
+
+// Kind implements Record.
+func (MembershipChange) Kind() Kind { return KindMembershipChange }
 
 // Recovery records one recovery action. Action is "re-expand" (a
 // segment whose worker pool died was re-grown via the elastic expand

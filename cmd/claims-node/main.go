@@ -84,6 +84,10 @@ func main() {
 		mode      = flag.String("mode", "EP", "execution mode: EP | SP | ME")
 		faultSpec = flag.String("faults", "", "fault injection spec, e.g. delay=5ms:p0.1 (see internal/faults)")
 
+		// Wire fabric tuning (see DESIGN.md §15). 0 keeps the default.
+		netWindow   = flag.Int("net-window", 0, "reliable-mode send window in frames per stream (0 = default)")
+		netCoalesce = flag.Int("net-coalesce", 0, "wire batch coalescing threshold in bytes; 1 disables coalescing (0 = default)")
+
 		// Legacy mesh mode.
 		peerStr   = flag.String("peers", "", "legacy mesh mode: comma-separated id=host:port list (all nodes); disables membership")
 		drive     = flag.Bool("drive", false, "(mesh) drive a throughput test against the mesh")
@@ -115,15 +119,23 @@ func main() {
 	reg := telemetry.NewRegistry(true)
 	telemetry.SetDefaultRegistry(reg)
 
+	wire := network.DefaultWireConfig
+	if *netWindow > 0 {
+		wire.Window = *netWindow
+	}
+	if *netCoalesce > 0 {
+		wire.CoalesceBytes = *netCoalesce
+	}
+
 	if *peerStr != "" {
-		runMesh(*id, *listen, *ctl, *peerStr, *drive, *driveRows, reg)
+		runMesh(*id, *listen, *ctl, *peerStr, *drive, *driveRows, wire, reg)
 		return
 	}
 	runClusterNode(clusterNodeConfig{
 		id: *id, listen: *listen, ctl: *ctl, seed: *seed,
 		nodes: *nodes, workload: *workload, rows: *rows, genSeed: *genSeed,
 		timing: cluster.Timing{HeartbeatEvery: *hb, SuspectAfter: *suspect, DeadAfter: *deadAfr},
-		cores:  *cores, mode: m, reg: reg,
+		cores:  *cores, mode: m, wire: wire, reg: reg,
 	})
 }
 
@@ -140,6 +152,7 @@ type clusterNodeConfig struct {
 	timing   cluster.Timing
 	cores    int
 	mode     engine.Mode
+	wire     network.WireConfig
 	reg      *telemetry.Registry
 }
 
@@ -152,6 +165,7 @@ func runClusterNode(nc clusterNodeConfig) {
 		log.Fatal(err)
 	}
 	defer node.Close()
+	node.SetWireConfig(nc.wire)
 	// Self-sends (a local producer feeding a local consumer instance)
 	// go through the same transport, so the node is its own peer.
 	node.SetPeer(nc.id, node.Addr())
@@ -528,7 +542,8 @@ func containsInt(v []int, x int) bool {
 // hash-partitioned blocks across the mesh, reporting bandwidth. Its
 // exchange lives in the reserved tool namespace (MeshQueryID), so it
 // can never collide with an engine query's exchanges.
-func runMesh(id int, listen, ctl, peerStr string, drive bool, rows int, reg *telemetry.Registry) {
+func runMesh(id int, listen, ctl, peerStr string, drive bool, rows int,
+	wire network.WireConfig, reg *telemetry.Registry) {
 	peers, err := network.ParsePeers(peerStr)
 	if err != nil {
 		log.Fatal(err)
@@ -548,6 +563,7 @@ func runMesh(id int, listen, ctl, peerStr string, drive bool, rows int, reg *tel
 		log.Fatal(err)
 	}
 	defer node.Close()
+	node.SetWireConfig(wire)
 	log.Printf("node %d listening on %s, %d peers", id, node.Addr(), len(peers))
 
 	sch := types.NewSchema(

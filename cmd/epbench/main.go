@@ -48,6 +48,7 @@ func experiments() []entry {
 		{"multiquery", bench.MultiQuery},
 		{"mq", bench.MultiQueryEngine},
 		{"mem", bench.MemGovernance},
+		{"net", bench.NetFabric},
 	}
 }
 

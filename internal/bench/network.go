@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// NetFabric measures the TCP fabric on the workload the wire protocol
+// was rebuilt for: small-block repartition in reliable (ack +
+// retransmit) mode. It runs the same traffic twice —
+//
+//   - baseline: window 1, coalescing off — the v1 stop-and-wait
+//     protocol, one frame per write and a full ack round trip per
+//     frame;
+//   - tuned: the default wire config — windowed sends, coalesced
+//     batches, pooled connections;
+//
+// and reports bytes/sec for each plus the speedup (acceptance target:
+// ≥3× on this shape). Per-node transmit-scheduler stall and frames per
+// batch come from the nodes' NetStats.
+//
+// EPBENCH_NET_BLOCKS overrides the per-producer block count (CI uses a
+// small value; the default is sized for a stable local measurement).
+func NetFabric() (*Report, error) {
+	blocks := 20000
+	if v := os.Getenv("EPBENCH_NET_BLOCKS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad EPBENCH_NET_BLOCKS %q", v)
+		}
+		blocks = n
+	}
+
+	baseline := network.WireConfig{PoolSize: 1, Window: 1, CoalesceBytes: 1}
+	tuned := network.DefaultWireConfig
+
+	r := &Report{Title: "net: wire fabric, reliable small-block repartition"}
+	r.notef("2 nodes on loopback, 2 producers x 2 consumers, 64-row blocks, %d blocks/producer", blocks)
+	r.notef("reliable mode: every frame acked, retransmit on timeout")
+
+	base, err := netRepartition(baseline, blocks)
+	if err != nil {
+		return nil, err
+	}
+	tun, err := netRepartition(tuned, blocks)
+	if err != nil {
+		return nil, err
+	}
+
+	row := func(name string, m netRun) {
+		r.addf("%-26s %8.1f MB/s  %7.0f blocks/s  %5.1f frames/batch  stall=%v",
+			name, m.mbps(), m.blocksPerSec(), m.framesPerBatch(), m.stall.Round(time.Microsecond))
+	}
+	row("stop-and-wait (v1 shape)", base)
+	row(fmt.Sprintf("windowed+coalesced (w=%d)", tuned.Window), tun)
+	speedup := tun.mbps() / base.mbps()
+	r.addf("speedup: %.2fx (target >=3x)", speedup)
+	if speedup < 3 {
+		r.notef("WARNING: below the 3x acceptance target on this machine/run")
+	}
+	return r, nil
+}
+
+type netRun struct {
+	elapsed time.Duration
+	bytes   int64
+	blocks  int64
+	batches int64
+	frames  int64
+	stall   time.Duration
+}
+
+func (m netRun) mbps() float64 {
+	return float64(m.bytes) / 1e6 / m.elapsed.Seconds()
+}
+
+func (m netRun) blocksPerSec() float64 {
+	return float64(m.blocks) / m.elapsed.Seconds()
+}
+
+func (m netRun) framesPerBatch() float64 {
+	if m.batches == 0 {
+		return 0
+	}
+	return float64(m.frames) / float64(m.batches)
+}
+
+// netRepartition runs the repartition workload under one wire config
+// and returns its measurements.
+func netRepartition(cfg network.WireConfig, blocks int) (netRun, error) {
+	sch := types.NewSchema(types.Col("k", types.Int64), types.Col("v", types.Int64))
+	const rows = 64
+	blk := block.New(sch, rows*sch.Stride(), nil)
+	for i := 0; i < rows; i++ {
+		r := blk.AppendRowTo()
+		types.PutValue(r, sch, 0, types.IntVal(int64(i)))
+		types.PutValue(r, sch, 1, types.IntVal(int64(i*2)))
+	}
+
+	var nodes []*network.TCPNode
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		n, err := network.NewTCPNode(i, "127.0.0.1:0", nil)
+		if err != nil {
+			return netRun{}, err
+		}
+		nodes = append(nodes, n)
+	}
+	pol := network.RetryPolicy{Base: 50 * time.Millisecond, Max: time.Second,
+		Deadline: 30 * time.Second, Jitter: 0.2}
+	for _, n := range nodes {
+		for pid, p := range nodes {
+			n.SetPeer(pid, p.Addr())
+		}
+		n.SetRetryPolicy(pol)
+		n.SetWireConfig(cfg)
+	}
+
+	ins := make([]*network.Inbox, 2)
+	obs := make([]iterator.Outbox, 2)
+	for i, n := range nodes {
+		ins[i] = n.RegisterInbox(1, 1, i, 2, sch, 64, nil)
+	}
+	for i, n := range nodes {
+		obs[i] = n.NewOutbox(1, 1, []int{0, 1})
+	}
+
+	done := make(chan int64, 2)
+	for i := range ins {
+		go func(in *network.Inbox) {
+			var got int64
+			for {
+				b, st := in.Recv(nil)
+				if st != iterator.RecvOK {
+					break
+				}
+				got += int64(b.NumTuples())
+			}
+			done <- got
+		}(ins[i])
+	}
+
+	start := time.Now()
+	errCh := make(chan error, 2)
+	for p := 0; p < 2; p++ {
+		go func(ob iterator.Outbox) {
+			for i := 0; i < blocks; i++ {
+				if err := ob.Send(i%2, blk); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- ob.CloseSend()
+		}(obs[p])
+	}
+	for p := 0; p < 2; p++ {
+		if err := <-errCh; err != nil {
+			return netRun{}, err
+		}
+	}
+	var tuples int64
+	for range ins {
+		tuples += <-done
+	}
+	elapsed := time.Since(start)
+	if want := int64(2 * blocks * rows); tuples != want {
+		return netRun{}, fmt.Errorf("net: received %d tuples, want %d", tuples, want)
+	}
+
+	m := netRun{elapsed: elapsed, blocks: int64(2 * blocks)}
+	for _, n := range nodes {
+		batches, frames, bytes, stall, _ := n.NetStats()
+		m.batches += batches
+		m.frames += frames
+		m.bytes += bytes
+		m.stall += stall
+	}
+	return m, nil
+}

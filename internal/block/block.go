@@ -255,6 +255,20 @@ func (b *Block) Encode(dst []byte) []byte {
 	return dst
 }
 
+// EncodeAppend serializes the block onto the end of dst and returns the
+// extended slice. Unlike Encode it never discards dst's existing
+// contents, so callers can pack several blocks (plus framing) into one
+// pooled buffer without an intermediate copy per block.
+func (b *Block) EncodeAppend(dst []byte) []byte {
+	at := len(dst)
+	dst = append(dst, make([]byte, headerLen)...)
+	binary.LittleEndian.PutUint32(dst[at+0:], uint32(b.n))
+	binary.LittleEndian.PutUint64(dst[at+4:], mathFloat64bits(b.VisitRate))
+	binary.LittleEndian.PutUint64(dst[at+12:], b.Seq)
+	binary.LittleEndian.PutUint32(dst[at+20:], uint32(b.Socket))
+	return append(dst, b.Bytes()...)
+}
+
 // Decode parses an encoded block for the given schema. The payload is
 // copied so src may be reused.
 func Decode(sch *types.Schema, src []byte, tr *Tracker) (*Block, error) {

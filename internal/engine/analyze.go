@@ -178,6 +178,14 @@ func (a *Analysis) ExchangeStats(ex int) (rows, blocks, bytes int64) {
 	return a.exRows[ex], a.exBlocks[ex], a.exBytes[ex]
 }
 
+// ExchangeStall returns the cumulative time this exchange's senders
+// spent waiting for their turn on the per-node transmit scheduler —
+// the TCP fabric's ex.<id>.stall_ns counter. Always zero on the
+// in-process fabric, which has no shared transmit path.
+func (a *Analysis) ExchangeStall(ex int) time.Duration {
+	return time.Duration(a.Scope.Counter(telemetry.ExCtr(ex, "stall_ns")).Load())
+}
+
 // SegmentWorkers returns a segment's worker-parallelism peak and mean.
 func (a *Analysis) SegmentWorkers(seg *plan.Segment) (peak int64, mean float64) {
 	name := fmt.Sprintf("S%d", seg.ID)
@@ -226,7 +234,11 @@ func (a *Analysis) Render() string {
 				ex = s.Out.Exchange
 			}
 			rows, blocks, bytes := a.ExchangeStats(ex)
-			return fmt.Sprintf("  (rows=%d blocks=%d net=%dB)", rows, blocks, bytes)
+			line := fmt.Sprintf("  (rows=%d blocks=%d net=%dB", rows, blocks, bytes)
+			if stall := a.ExchangeStall(ex); stall > 0 {
+				line += fmt.Sprintf(" stall=%v", stall.Round(time.Microsecond))
+			}
+			return line + ")"
 		},
 	})
 }

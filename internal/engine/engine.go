@@ -97,6 +97,10 @@ type Config struct {
 	// forces the reliable (ack + retransmit) protocol on even without an
 	// injector; leave nil outside recovery tests.
 	Retry *network.RetryPolicy
+	// Wire tunes the TCP fabric (connection pool size, send window,
+	// coalescing). Nil uses network.DefaultWireConfig; ignored by the
+	// in-process fabric.
+	Wire *network.WireConfig
 	// MemoryPerNode caps the tracked working memory (hash tables, sort
 	// buffers, parked worker state) of all concurrent queries on one
 	// node, in bytes (0 = unlimited). Admission prepays an estimate
@@ -288,8 +292,19 @@ func NewClusterTCP(cfg Config, cat *catalog.Catalog) (*Cluster, error) {
 		if cfg.Retry != nil {
 			n.SetRetryPolicy(*cfg.Retry)
 		}
+		if cfg.Wire != nil {
+			n.SetWireConfig(*cfg.Wire)
+		}
 		nodes[i] = n
-		peers[i] = n.Addr() // the shared map is read lazily on dial
+		peers[i] = n.Addr()
+	}
+	// Every node now knows every address: register the full peer set so
+	// the connection pools pre-dial here, off the query path, instead of
+	// paying the first dial on the hot send path.
+	for _, n := range nodes {
+		for pid, paddr := range peers {
+			n.SetPeer(pid, paddr)
+		}
 	}
 	c := &Cluster{cfg: cfg, cat: cat, faultInj: inj,
 		fabric:   network.NewTCPFabric(nodes),

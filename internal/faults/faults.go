@@ -246,7 +246,12 @@ func (j *Injector) Config() Config {
 // Frame returns the verdict for one attempt at shipping frame seq on
 // the from→to link of the given exchange. The verdict is a pure hash of
 // the coordinates, so retries of the same seq draw fresh (but
-// reproducible) verdicts via attempt.
+// reproducible) verdicts via attempt. Under the windowed wire protocol
+// (DESIGN.md §15) a go-back-N round retransmits every in-flight frame
+// of a stream; each frame in the round consults Frame with its own
+// incremented attempt, so the coordinate space — and therefore any
+// recorded fault schedule — is identical whether frames travel alone
+// or coalesced into batches.
 func (j *Injector) Frame(from, to, exchange int, seq uint64, attempt int) FrameVerdict {
 	if j == nil {
 		return FrameVerdict{}

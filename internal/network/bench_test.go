@@ -1,0 +1,146 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+// Send-path benchmarks: small-block repartition traffic over loopback
+// TCP, fast path and reliable path. Allocations per op are the send
+// side's (the drain goroutine's decode allocations are shared by both
+// variants). EXPERIMENTS.md records benchstat deltas across the wire
+// protocol versions.
+
+func benchSchema() *types.Schema {
+	return types.NewSchema(types.Col("k", types.Int64), types.Col("v", types.Int64))
+}
+
+// benchBlock builds one small block (rows tuples, 16B stride).
+func benchBlock(sch *types.Schema, rows int) *block.Block {
+	b := block.New(sch, rows*sch.Stride(), nil)
+	for i := 0; i < rows; i++ {
+		r := b.AppendRowTo()
+		types.PutValue(r, sch, 0, types.IntVal(int64(i)))
+		types.PutValue(r, sch, 1, types.IntVal(int64(i*2)))
+	}
+	return b
+}
+
+// benchDrain consumes an inbox until EOF, discarding blocks.
+func benchDrain(in *Inbox, done chan<- int) {
+	n := 0
+	for {
+		b, st := in.Recv(nil)
+		if st != iterator.RecvOK {
+			break
+		}
+		n += b.NumTuples()
+	}
+	done <- n
+}
+
+func benchPair(b *testing.B, reliable bool) (*TCPNode, *TCPNode) {
+	b.Helper()
+	n0, err := NewTCPNode(0, "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n1, err := NewTCPNode(1, "127.0.0.1:0", nil)
+	if err != nil {
+		n0.Close()
+		b.Fatal(err)
+	}
+	peers := map[int]string{0: n0.Addr(), 1: n1.Addr()}
+	n0.SetPeer(0, peers[0])
+	n0.SetPeer(1, peers[1])
+	n1.SetPeer(0, peers[0])
+	n1.SetPeer(1, peers[1])
+	if reliable {
+		pol := RetryPolicy{Base: 50 * time.Millisecond, Max: time.Second,
+			Deadline: 30 * time.Second, Jitter: 0.2}
+		n0.SetRetryPolicy(pol)
+		n1.SetRetryPolicy(pol)
+	}
+	b.Cleanup(func() { n0.Close(); n1.Close() })
+	return n0, n1
+}
+
+func benchSend(b *testing.B, reliable bool, rows int) {
+	sch := benchSchema()
+	n0, n1 := benchPair(b, reliable)
+	in := n1.RegisterInbox(1, 1, 0, 1, sch, 64, nil)
+	ob := n0.NewOutbox(1, 1, []int{1})
+	blk := benchBlock(sch, rows)
+	done := make(chan int, 1)
+	go benchDrain(in, done)
+
+	b.SetBytes(int64(blk.WireSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ob.Send(0, blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ob.CloseSend(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	<-done
+}
+
+func BenchmarkTCPSendFastSmall(b *testing.B)     { benchSend(b, false, 64) }
+func BenchmarkTCPSendReliableSmall(b *testing.B) { benchSend(b, true, 64) }
+func BenchmarkTCPSendReliableWide(b *testing.B)  { benchSend(b, true, 2048) }
+
+// BenchmarkTCPRepartitionReliable is the acceptance workload shape: two
+// producers each shuffling small blocks to two consumer instances on
+// opposite nodes, reliable mode.
+func BenchmarkTCPRepartitionReliable(b *testing.B) {
+	sch := benchSchema()
+	n0, n1 := benchPair(b, true)
+	nodes := []*TCPNode{n0, n1}
+	ins := make([]*Inbox, 2)
+	obs := make([]iterator.Outbox, 2)
+	for i, n := range nodes {
+		ins[i] = n.RegisterInbox(1, 1, i, 2, sch, 64, nil)
+	}
+	for i, n := range nodes {
+		obs[i] = n.NewOutbox(1, 1, []int{0, 1})
+	}
+	blk := benchBlock(sch, 64)
+	done := make(chan int, 2)
+	for i := range ins {
+		go benchDrain(ins[i], done)
+	}
+	b.SetBytes(int64(2 * blk.WireSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	errCh := make(chan error, 2)
+	per := b.N
+	for p := 0; p < 2; p++ {
+		go func(p int) {
+			ob := obs[p]
+			for i := 0; i < per; i++ {
+				if err := ob.Send(i%2, blk); err != nil {
+					errCh <- fmt.Errorf("producer %d: %w", p, err)
+					return
+				}
+			}
+			errCh <- ob.CloseSend()
+		}(p)
+	}
+	for p := 0; p < 2; p++ {
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	<-done
+	<-done
+}

@@ -142,13 +142,13 @@ func (o *outbox) CloseSend() error {
 // bounded (pipelined modes: backpressure propagates to senders) or
 // unbounded (materialized execution).
 type Inbox struct {
-	mu       sync.Mutex
-	notEmpty *sync.Cond
-	notFull  *sync.Cond
-	queue    []*block.Block
-	capB     int // <=0: unbounded
-	expected int
-	done     int
+	mu        sync.Mutex
+	notEmpty  *sync.Cond
+	notFull   *sync.Cond
+	queue     []*block.Block
+	capB      int // <=0: unbounded
+	expected  int
+	done      int
 	tracker   *block.Tracker
 	buffered  int64
 	peakBuf   int64
@@ -182,6 +182,32 @@ func (in *Inbox) put(b *block.Block) {
 		in.tracker.Alloc(int64(b.SizeBytes()))
 	}
 	in.notEmpty.Broadcast()
+}
+
+// tryPut is put without the backpressure wait: it returns false when a
+// bounded inbox is full instead of blocking. The TCP read loop uses it
+// to detect that an insert is about to block so it can flush pending
+// acks first — acks must never be stuck behind a full inbox.
+func (in *Inbox) tryPut(b *block.Block) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.capB > 0 && len(in.queue) >= in.capB && !in.abandoned {
+		return false
+	}
+	if in.abandoned {
+		return true // dead dataflow: drop, nothing to wait for
+	}
+	in.queue = append(in.queue, b)
+	in.received += int64(b.NumTuples())
+	in.buffered += int64(b.SizeBytes())
+	if in.buffered > in.peakBuf {
+		in.peakBuf = in.buffered
+	}
+	if in.tracker != nil {
+		in.tracker.Alloc(int64(b.SizeBytes()))
+	}
+	in.notEmpty.Broadcast()
+	return true
 }
 
 func (in *Inbox) producerDone() {

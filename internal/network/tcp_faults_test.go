@@ -161,8 +161,11 @@ func TestTCPCorruptionDetectedAndRetransmitted(t *testing.T) {
 }
 
 // TestTCPSendAfterPeerClose exercises the retry-until-deadline path
-// against a genuinely dead peer: Send must fail with a diagnosable
-// error instead of hanging or succeeding silently.
+// against a genuinely dead peer. Sends are windowed, so the first few
+// queue without error; once the retransmission budget for the oldest
+// unacked frame is exhausted the stream fails sticky, and a later Send
+// (or CloseSend) must report it instead of hanging or succeeding
+// silently.
 func TestTCPSendAfterPeerClose(t *testing.T) {
 	n0, n1 := twoTCPNodes(t)
 	pol := fastRetry
@@ -179,11 +182,19 @@ func TestTCPSendAfterPeerClose(t *testing.T) {
 
 	n1.Close()
 	errCh := make(chan error, 1)
-	go func() { errCh <- ob.Send(0, mkBlock(2)) }()
+	go func() {
+		for i := 0; i < 10000; i++ {
+			if err := ob.Send(0, mkBlock(int64(i+2))); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- ob.CloseSend()
+	}()
 	select {
 	case err := <-errCh:
 		if err == nil {
-			t.Fatal("send to closed peer reported success")
+			t.Fatal("stream to closed peer reported success")
 		}
 		if !strings.Contains(err.Error(), "unacknowledged") {
 			t.Fatalf("unexpected error: %v", err)
@@ -252,8 +263,17 @@ func TestTCPAbortUnblocksPendingSend(t *testing.T) {
 	n1.RegisterInbox(0, exID, 0, 1, sch, 1, nil)
 	ob := n0.NewOutbox(0, exID, []int{1})
 
+	// Sends queue freely until the sliding window fills; the next one
+	// blocks for window space that can only come from an ack.
 	errCh := make(chan error, 1)
-	go func() { errCh <- ob.Send(0, mkBlock(7)) }()
+	go func() {
+		for i := 0; ; i++ {
+			if err := ob.Send(0, mkBlock(int64(i))); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
 	time.Sleep(20 * time.Millisecond)
 	n0.AbortExchange(0, exID)
 	select {
@@ -330,7 +350,8 @@ func TestTCPNodeGoroutineLeak(t *testing.T) {
 }
 
 // TestTCPFastPathStaysUnreliable checks the default path (no injector,
-// no forced policy) stays fire-and-forget: no ack waiters accumulate.
+// no forced policy) stays fire-and-forget: no send windows (and hence
+// no retransmission pumps or ack traffic) are ever created.
 func TestTCPFastPathStaysUnreliable(t *testing.T) {
 	n0, n1 := twoTCPNodes(t)
 	const exID = 8
@@ -345,10 +366,13 @@ func TestTCPFastPathStaysUnreliable(t *testing.T) {
 	if got := drain(t, in); len(got) != 5 {
 		t.Fatalf("received %d blocks, want 5", len(got))
 	}
-	n0.ackMu.Lock()
-	waiters := len(n0.acks)
-	n0.ackMu.Unlock()
-	if waiters != 0 {
-		t.Fatalf("%d ack waiters registered on the fast path", waiters)
+	n0.winMu.Lock()
+	wins := len(n0.wins)
+	n0.winMu.Unlock()
+	if wins != 0 {
+		t.Fatalf("%d send windows registered on the fast path", wins)
+	}
+	if ob.wins != nil {
+		t.Fatal("outbox allocated send windows on the fast path")
 	}
 }

@@ -171,6 +171,24 @@ const (
 	// engine refused at the memory high watermark (the degradation
 	// ladder's first rung).
 	CtrMemRefusedExpands = "mem.refused_expands"
+	// CtrNetStallNs is cumulative time senders spent waiting for their
+	// turn on the node's transmit scheduler — the flow-scheduling
+	// overhead one exchange pays to fairness. Per-exchange splits live
+	// under ExCtr(ex, "stall_ns").
+	CtrNetStallNs = "net.stall_ns"
+	// CtrNetAckSendErrors counts ack writes that failed even after the
+	// one-shot fresh-connection retry; each one costs the sender a full
+	// retransmit timeout.
+	CtrNetAckSendErrors = "net.ack_send_errors"
+	// CtrNetBatches counts wire batches written (one write syscall each).
+	CtrNetBatches = "net.batches"
+	// CtrNetBatchFrames counts frames carried inside those batches;
+	// frames/batches is the realized coalescing factor.
+	CtrNetBatchFrames = "net.batch_frames"
+	// CtrNetGapDropped counts in-window frames the receiver discarded
+	// because an earlier frame of the stream was still missing (go-back-N
+	// re-delivers them in order after the retransmit).
+	CtrNetGapDropped = "net.gap_dropped"
 	// Simulator float accumulators (core-second integrals and fluid
 	// traffic).
 	FCtrBusyCoreSec      = "cpu.busy_core_sec"
@@ -205,6 +223,13 @@ const (
 // OpCtr names one per-operator counter: "op.<id>.<what>".
 func OpCtr(op int, what string) string {
 	return "op." + strconv.Itoa(op) + "." + what
+}
+
+// ExCtr names one per-exchange counter: "ex.<id>.<what>". The network
+// layer splits node-wide quantities (transmit stalls) per exchange so
+// EXPLAIN ANALYZE can attribute them to plan edges.
+func ExCtr(ex int, what string) string {
+	return "ex." + strconv.Itoa(ex) + "." + what
 }
 
 // GaugeSegWorkers names the per-segment worker-pool gauge the elastic

@@ -59,6 +59,8 @@ import (
 	"repro/internal/iterator"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sql"
 	"repro/internal/sse"
 	"repro/internal/telemetry"
 	"repro/internal/types"
@@ -83,6 +85,7 @@ func main() {
 		cores     = flag.Int("cores", 4, "per-node core budget for the scheduler")
 		mode      = flag.String("mode", "EP", "execution mode: EP | SP | ME")
 		faultSpec = flag.String("faults", "", "fault injection spec, e.g. delay=5ms:p0.1 (see internal/faults)")
+		slowlogMS = flag.Int("slowlog-ms", -1, "log queries slower than this to stderr as JSONL (0 logs all, -1 disables)")
 
 		// Wire fabric tuning (see DESIGN.md §15). 0 keeps the default.
 		netWindow   = flag.Int("net-window", 0, "reliable-mode send window in frames per stream (0 = default)")
@@ -118,6 +121,9 @@ func main() {
 
 	reg := telemetry.NewRegistry(true)
 	telemetry.SetDefaultRegistry(reg)
+	if *slowlogMS >= 0 {
+		reg.SetSlowLog(time.Duration(*slowlogMS)*time.Millisecond, os.Stderr)
+	}
 
 	wire := network.DefaultWireConfig
 	if *netWindow > 0 {
@@ -203,6 +209,30 @@ func runClusterNode(nc clusterNodeConfig) {
 			})
 		}
 		srv.Handle("/cluster/", registry.Handler())
+		// Metrics federation: the seed re-exports every alive member's
+		// observability surface under one scrape. The specific patterns
+		// win over the membership plane's /cluster/ prefix above.
+		fedTargets := func() map[int]string {
+			targets := map[int]string{}
+			for _, m := range registry.View().Members {
+				if m.State == cluster.StateAlive && m.Ctl != "" {
+					targets[m.ID] = m.Ctl
+				}
+			}
+			return targets
+		}
+		srv.Handle("/cluster/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.FederateMetrics(w, fedTargets(), nil); err != nil {
+				log.Printf("federate metrics: %v", err)
+			}
+		}))
+		srv.Handle("/cluster/queries", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := obs.FederateQueries(w, fedTargets(), nil); err != nil {
+				log.Printf("federate queries: %v", err)
+			}
+		}))
 		stopTick := registry.StartTicker(nil)
 		defer stopTick()
 		seedAddr = srv.Addr()
@@ -215,6 +245,7 @@ func runClusterNode(nc clusterNodeConfig) {
 	srv.Handle("/query", http.HandlerFunc(cs.handleQuery))
 	srv.Handle("/exec", http.HandlerFunc(cs.handleExec))
 	srv.Handle("/abort", http.HandlerFunc(cs.handleAbort))
+	srv.Handle("/stats", http.HandlerFunc(cs.handleStats))
 
 	agent := cluster.NewAgent(cluster.AgentConfig{
 		ID: nc.id, Addr: node.Addr(), Ctl: srv.Addr(), Seed: seedAddr,
@@ -347,25 +378,42 @@ type queryRequest struct {
 
 // queryResponse is the /query reply. NodeLost is -1 unless the query
 // failed because a participant died, in which case it names the victim.
+// Analysis carries the rendered EXPLAIN [ANALYZE] plan — for analyzed
+// queries, annotated with merged cluster-wide measurements and the
+// per-node operator breakdown; PerNode is the same breakdown in
+// machine-readable form.
 type queryResponse struct {
-	Columns     []string   `json:"columns,omitempty"`
-	Rows        [][]string `json:"rows,omitempty"`
-	RowCount    int        `json:"row_count"`
-	DurationMS  float64    `json:"duration_ms"`
-	Coordinator int        `json:"coordinator"`
-	DataNodes   []int      `json:"data_nodes"`
-	Error       string     `json:"error,omitempty"`
-	NodeLost    int        `json:"node_lost"`
+	Columns     []string                  `json:"columns,omitempty"`
+	Rows        [][]string                `json:"rows,omitempty"`
+	RowCount    int                       `json:"row_count"`
+	DurationMS  float64                   `json:"duration_ms"`
+	Coordinator int                       `json:"coordinator"`
+	DataNodes   []int                     `json:"data_nodes"`
+	Analysis    string                    `json:"analysis,omitempty"`
+	PerNode     []telemetry.NodeBreakdown `json:"per_node,omitempty"`
+	Error       string                    `json:"error,omitempty"`
+	NodeLost    int                       `json:"node_lost"`
 }
 
 // execRequest is the coordinator→participant fan-out body (POST /exec):
-// engine.ExecSpec plus the coordinator's control address for aborts.
+// engine.ExecSpec plus the coordinator's control address for aborts and
+// (for analyzed queries) stats shipping.
 type execRequest struct {
 	QID            int    `json:"qid"`
 	SQL            string `json:"sql"`
 	Coordinator    int    `json:"coordinator"`
 	CoordinatorCtl string `json:"coordinator_ctl"`
 	DataNodes      []int  `json:"data_nodes"`
+	Analyze        bool   `json:"analyze,omitempty"`
+	TraceID        string `json:"trace_id,omitempty"`
+}
+
+// statsRequest is the participant→coordinator stats return (POST
+// /stats): the participant's serialized telemetry scope for one
+// analyzed query, merged into the coordinator's EXPLAIN ANALYZE.
+type statsRequest struct {
+	QID      int                      `json:"qid"`
+	Snapshot *telemetry.ScopeSnapshot `json:"snapshot"`
 }
 
 // abortRequest is the body of POST /abort.
@@ -391,8 +439,26 @@ func (s *ctlServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 			http.StatusServiceUnavailable)
 		return
 	}
+	stmt, explain, analyze := sql.StripExplain(strings.TrimSuffix(strings.TrimSpace(req.SQL), ";"))
+	if explain && !analyze {
+		// Plan only — nothing executes, so no fan-out.
+		p, err := plan.Compile(stmt, c.Catalog())
+		if err != nil {
+			writeJSONStatus(w, http.StatusBadRequest,
+				queryResponse{Coordinator: s.selfID, NodeLost: -1, Error: err.Error()})
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, queryResponse{
+			Coordinator: s.selfID, DataNodes: alive, NodeLost: -1, Analysis: p.String(),
+		})
+		return
+	}
 	spec := engine.ExecSpec{
-		QID: c.NextQueryID(), SQL: req.SQL, Coordinator: s.selfID, DataNodes: alive,
+		QID: c.NextQueryID(), SQL: stmt, Coordinator: s.selfID, DataNodes: alive,
+		Analyze: analyze,
+	}
+	if analyze {
+		spec.TraceID = fmt.Sprintf("q%d@node%d", spec.QID, s.selfID)
 	}
 	for _, nid := range alive {
 		if nid == s.selfID {
@@ -406,6 +472,7 @@ func (s *ctlServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if err := s.postJSON(ctl, "/exec", execRequest{
 				QID: spec.QID, SQL: spec.SQL, Coordinator: spec.Coordinator,
 				CoordinatorCtl: s.ctlAddr, DataNodes: spec.DataNodes,
+				Analyze: spec.Analyze, TraceID: spec.TraceID,
 			}); err != nil {
 				// The participant's absence surfaces as NodeLost through
 				// the detector; nothing to do here but note it.
@@ -415,9 +482,20 @@ func (s *ctlServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := c.RunCoordinated(r.Context(), spec, nil)
+	var res *engine.Result
+	var an *engine.Analysis
+	var err error
+	if analyze {
+		res, an, err = c.RunCoordinatedAnalyze(r.Context(), spec, nil)
+	} else {
+		res, err = c.RunCoordinated(r.Context(), spec, nil)
+	}
 	resp := queryResponse{Coordinator: s.selfID, DataNodes: alive, NodeLost: -1,
 		DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	if an != nil {
+		resp.Analysis = an.Render()
+		resp.PerNode = an.NodeBreakdowns()
+	}
 	if err != nil {
 		resp.Error = err.Error()
 		var nl *engine.NodeLostError
@@ -459,9 +537,25 @@ func (s *ctlServer) handleExec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	go func() {
-		err := c.RunParticipant(context.Background(), engine.ExecSpec{
+		spec := engine.ExecSpec{
 			QID: req.QID, SQL: req.SQL, Coordinator: req.Coordinator, DataNodes: req.DataNodes,
-		})
+			Analyze: req.Analyze, TraceID: req.TraceID,
+		}
+		var err error
+		if req.Analyze {
+			// Run instrumented and ship the scope snapshot back so the
+			// coordinator's EXPLAIN ANALYZE covers this node.
+			var snap *telemetry.ScopeSnapshot
+			snap, err = c.RunParticipantStats(context.Background(), spec)
+			if err == nil && req.CoordinatorCtl != "" {
+				if perr := s.postJSON(req.CoordinatorCtl, "/stats",
+					statsRequest{QID: req.QID, Snapshot: snap}); perr != nil {
+					log.Printf("qid %d: stats return to %s failed: %v", req.QID, req.CoordinatorCtl, perr)
+				}
+			}
+		} else {
+			err = c.RunParticipant(context.Background(), spec)
+		}
 		if err != nil && !errors.Is(err, engine.ErrNodeLost) {
 			// A local failure the coordinator cannot see (compile error,
 			// worker crash): push an abort so it does not hang.
@@ -473,6 +567,28 @@ func (s *ctlServer) handleExec(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleStats accepts a participant's serialized telemetry scope for an
+// analyzed query this node coordinates and hands it to the engine's
+// stats channel; the coordinator's gather phase blocks on these (up to
+// its stats wait) before rendering the merged analysis.
+func (s *ctlServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	c, _ := s.get()
+	if c == nil {
+		http.Error(w, "node is still joining the cluster", http.StatusServiceUnavailable)
+		return
+	}
+	var req statsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Snapshot == nil {
+		http.Error(w, "no snapshot in body", http.StatusBadRequest)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK,
+		map[string]bool{"accepted": c.DeliverStats(req.QID, req.Snapshot)})
 }
 
 func (s *ctlServer) handleAbort(w http.ResponseWriter, r *http.Request) {

@@ -71,6 +71,8 @@ func main() {
 				"through refused expansions, pool shrinks, then spill to disk")
 		spillDir = flag.String("spill-dir", "",
 			"directory for operator spill files (default: system temp dir)")
+		slowlogMS = flag.Int("slowlog-ms", -1,
+			"log queries slower than this to stderr as JSONL (0 logs all, -1 disables)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,17 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "observability HTTP on http://%s (/metrics /queries /debug/pprof/)\n", srv.Addr())
+	}
+
+	if *slowlogMS >= 0 {
+		// The slow-query log lives on the process registry; create one if
+		// -http did not already.
+		reg := telemetry.DefaultRegistry()
+		if reg == nil {
+			reg = telemetry.NewRegistry(false)
+			telemetry.SetDefaultRegistry(reg)
+		}
+		reg.SetSlowLog(time.Duration(*slowlogMS)*time.Millisecond, os.Stderr)
 	}
 
 	if *faultSpec != "" {
@@ -227,6 +240,9 @@ func runServe(c *engine.Cluster, maxInflight int, admitTimeout time.Duration) {
 		n   int
 		buf strings.Builder
 	)
+	// Completion latencies (success and failure alike) feed a mergeable
+	// histogram; the run ends with its p50/p95/p99 summary line.
+	hist := telemetry.NewHistogram(telemetry.LatencyBuckets)
 	for scanner.Scan() {
 		buf.WriteString(scanner.Text())
 		buf.WriteByte('\n')
@@ -245,6 +261,7 @@ func runServe(c *engine.Cluster, maxInflight int, admitTimeout time.Duration) {
 			defer wg.Done()
 			t0 := time.Now()
 			res, err := srv.Query(context.Background(), stmt)
+			hist.Observe(time.Since(t0).Seconds())
 			out.Lock()
 			defer out.Unlock()
 			if err != nil {
@@ -258,7 +275,7 @@ func runServe(c *engine.Cluster, maxInflight int, admitTimeout time.Duration) {
 		}()
 	}
 	wg.Wait()
-	fmt.Printf("served %d queries\n", n)
+	fmt.Printf("served %d queries; %s\n", n, hist.Snapshot().SummaryLine())
 }
 
 func runQuery(c *engine.Cluster, q string) {

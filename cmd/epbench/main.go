@@ -49,6 +49,7 @@ func experiments() []entry {
 		{"mq", bench.MultiQueryEngine},
 		{"mem", bench.MemGovernance},
 		{"net", bench.NetFabric},
+		{"obs", bench.ObsOverhead},
 	}
 }
 

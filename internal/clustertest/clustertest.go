@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 // Options configures a harness cluster.
@@ -56,7 +57,12 @@ type QueryResult struct {
 	DurationMS  float64    `json:"duration_ms"`
 	Coordinator int        `json:"coordinator"`
 	DataNodes   []int      `json:"data_nodes"`
-	Error       string     `json:"error"`
+	// Analysis is the rendered plan for EXPLAIN [ANALYZE] statements;
+	// analyzed distributed queries include the per-node section.
+	Analysis string `json:"analysis"`
+	// PerNode is the per-participant breakdown of an analyzed query.
+	PerNode []telemetry.NodeBreakdown `json:"per_node"`
+	Error   string                    `json:"error"`
 	// NodeLost names the node whose death failed the query, -1 otherwise.
 	NodeLost int `json:"node_lost"`
 }
@@ -379,7 +385,24 @@ func (c *Cluster) getView(hostpath string) (cluster.View, error) {
 
 // Metrics fetches and returns one node's raw /metrics exposition.
 func (c *Cluster) Metrics(id int) (string, error) {
-	resp, err := c.client.Get("http://" + c.node(id).Ctl + "/metrics")
+	return c.getText(c.node(id).Ctl + "/metrics")
+}
+
+// ClusterMetrics fetches the seed's federated /cluster/metrics
+// exposition — every alive member's metrics re-emitted under one
+// scrape with node labels.
+func (c *Cluster) ClusterMetrics() (string, error) {
+	return c.getText(c.seedCtl + "/cluster/metrics")
+}
+
+// ClusterQueries fetches the seed's federated /cluster/queries view:
+// every alive member's query registry merged, entries tagged by node.
+func (c *Cluster) ClusterQueries() (string, error) {
+	return c.getText(c.seedCtl + "/cluster/queries")
+}
+
+func (c *Cluster) getText(hostpath string) (string, error) {
+	resp, err := c.client.Get("http://" + hostpath)
 	if err != nil {
 		return "", err
 	}

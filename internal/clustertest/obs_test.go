@@ -1,0 +1,121 @@
+package clustertest
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// analyzeSQL shuffles rows between all nodes before aggregating, so an
+// analyzed run produces per-node operator stats and cross-node traffic
+// on every participant.
+const analyzeSQL = "EXPLAIN ANALYZE SELECT acct_id, sum(trade_volume) FROM Trades GROUP BY acct_id"
+
+// TestObsDistributedAnalyzeAndFederation is the cluster observability
+// smoke arc: an EXPLAIN ANALYZE coordinated on one of three real
+// processes must come back with per-node operator stats shipped over
+// the control plane, and the seed's federated /cluster/metrics scrape
+// must expose every member's latency histograms under node labels,
+// passing the strict parser and the histogram invariant checker.
+func TestObsDistributedAnalyzeAndFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	const nNodes = 3
+	c := Start(t, Options{Nodes: nNodes, Rows: 6000, Timing: fastTiming})
+
+	r, err := c.Run(0, analyzeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("analyzed query failed: %s", r.Error)
+	}
+	if r.Analysis == "" {
+		t.Fatal("analyzed query returned no analysis")
+	}
+	if !strings.Contains(r.Analysis, "per-node:") {
+		t.Fatalf("analysis has no per-node section:\n%s", r.Analysis)
+	}
+	for _, want := range []string{"node0 rows=", "node1 rows=", "node2 rows="} {
+		if !strings.Contains(r.Analysis, want) {
+			t.Fatalf("analysis missing %q:\n%s", want, r.Analysis)
+		}
+	}
+	if len(r.PerNode) != nNodes {
+		t.Fatalf("per-node breakdown covers %d nodes, want %d: %+v", len(r.PerNode), nNodes, r.PerNode)
+	}
+	var totalRows int64
+	for _, bd := range r.PerNode {
+		if bd.Rows == 0 {
+			t.Errorf("node %d breakdown reports zero operator rows: %+v", bd.Node, bd)
+		}
+		totalRows += bd.Rows
+	}
+	if totalRows == 0 {
+		t.Fatal("no operator rows in any node breakdown")
+	}
+
+	// Federated metrics: one scrape, every member, node-labeled
+	// histogram families that survive the strict checks.
+	scrape, err := c.ClusterMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := os.Getenv("CLAIMS_OBS_SCRAPE_OUT"); out != "" {
+		if werr := os.WriteFile(out, []byte(scrape), 0o644); werr != nil {
+			t.Logf("writing scrape dump: %v", werr)
+		}
+	}
+	samples, types, err := obs.ParseProm(strings.NewReader(scrape))
+	if err != nil {
+		t.Fatalf("/cluster/metrics does not parse: %v\n%s", err, scrape)
+	}
+	if err := obs.CheckHistograms(samples, types); err != nil {
+		t.Fatalf("/cluster/metrics histogram invariants: %v", err)
+	}
+	if types["claims_query_latency_seconds"] != "histogram" {
+		t.Fatalf("no query-latency histogram family federated; types: %v", types)
+	}
+	latencyNodes := map[string]bool{}
+	for _, s := range samples {
+		if s.Labels["node"] == "" {
+			t.Fatalf("federated sample %s has no node label (labels %v)", s.Name, s.Labels)
+		}
+		if s.Name == "claims_query_latency_seconds_count" && s.Value > 0 {
+			latencyNodes[s.Labels["node"]] = true
+		}
+	}
+	// Every participant ran its fragment under its own registry, so all
+	// three processes must have observed at least one query latency.
+	for _, n := range []string{"0", "1", "2"} {
+		if !latencyNodes[n] {
+			t.Errorf("node %s federated no query-latency observations (saw %v)", n, latencyNodes)
+		}
+	}
+
+	// Federated query registry: the analyzed query appears under its
+	// coordinator's node tag.
+	qjson, err := c.ClusterQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal([]byte(qjson), &entries); err != nil {
+		t.Fatalf("/cluster/queries is not JSON: %v\n%s", err, qjson)
+	}
+	found := false
+	for _, e := range entries {
+		if n, ok := e["node"].(float64); ok && n == 0 {
+			if sql, _ := e["sql"].(string); strings.Contains(sql, "GROUP BY acct_id") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("analyzed query not in federated registry under node 0: %s", qjson)
+	}
+}

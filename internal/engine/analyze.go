@@ -3,6 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/plan"
@@ -41,6 +45,76 @@ func (c *Cluster) ExplainAnalyzeScoped(query string, sc *telemetry.Scope) (*Resu
 type analyzeState struct {
 	sent *telemetry.MemSink
 	an   *Analysis
+	// perNode holds the per-participant scope snapshots of an analyzed
+	// distributed query — the coordinator's own share first (taken before
+	// the merge), then every remote snapshot the control plane shipped in
+	// time. Nil on single-process runs.
+	perNode []*telemetry.ScopeSnapshot
+}
+
+// nodeBreakdowns summarizes the per-node snapshots for the registry's
+// slow-query log: each participant's cumulative operator rows and busy
+// time, memory peak, and cross-node traffic. Nil when the query ran
+// without stats shipping.
+func (az *analyzeState) nodeBreakdowns() []telemetry.NodeBreakdown {
+	return breakdownsFromSnaps(az.perNode)
+}
+
+// NodeBreakdowns is the analysis's per-node summary (same shape the
+// slow-query log records); nil on single-process runs.
+func (a *Analysis) NodeBreakdowns() []telemetry.NodeBreakdown {
+	return breakdownsFromSnaps(a.perNode)
+}
+
+func breakdownsFromSnaps(perNode []*telemetry.ScopeSnapshot) []telemetry.NodeBreakdown {
+	if perNode == nil {
+		return nil
+	}
+	out := make([]telemetry.NodeBreakdown, 0, len(perNode))
+	for _, snap := range perNode {
+		bd := telemetry.NodeBreakdown{
+			Node:     snap.Node,
+			NetBytes: snap.Counter(telemetry.CtrNetBytes),
+		}
+		if g, ok := snap.Gauges[telemetry.GaugeMemBytes]; ok {
+			bd.MemPeakBytes = g.Peak
+		}
+		var busy int64
+		for name, v := range snap.Counters {
+			_, what, ok := parseIDCtr(name, "op.")
+			if !ok {
+				continue
+			}
+			switch what {
+			case telemetry.OpRows:
+				bd.Rows += v
+			case telemetry.OpBusyNs, telemetry.OpOpenNs:
+				busy += v
+			}
+		}
+		bd.BusyMS = busy / int64(time.Millisecond)
+		out = append(out, bd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// parseIDCtr splits a "<prefix><id>.<what>" counter name (the op.* and
+// ex.* families built by telemetry.OpCtr/ExCtr).
+func parseIDCtr(name, prefix string) (id int, what string, ok bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, "", false
+	}
+	rest := name[len(prefix):]
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(rest[:dot])
+	if err != nil {
+		return 0, "", false
+	}
+	return n, rest[dot+1:], true
 }
 
 // attach hooks the state into a starting execution.
@@ -52,21 +126,26 @@ func (az *analyzeState) attach(e *exec) {
 // finish snapshots the completed execution into an Analysis.
 func (az *analyzeState) finish(e *exec) {
 	an := &Analysis{
-		Plan:     e.p,
-		Scope:    e.scope,
-		Mode:     e.c.cfg.Mode.String(),
-		Nodes:    e.c.cfg.Nodes,
-		resultEx: e.resultExID,
-		Duration: e.scope.Elapsed() - e.startAt,
-		ops:      e.ops,
-		exBytes:  map[int]int64{},
-		exBlocks: map[int]int64{},
-		exRows:   map[int]int64{},
-		segPeak:  map[string]int64{},
-		segMean:  map[string]float64{},
-		opMemPk:  map[int]int64{},
-		opMemMn:  map[int]float64{},
+		Plan:        e.p,
+		Scope:       e.scope,
+		Mode:        e.c.cfg.Mode.String(),
+		Nodes:       e.c.cfg.Nodes,
+		resultEx:    e.resultExID,
+		Duration:    e.scope.Elapsed() - e.startAt,
+		ops:         e.ops,
+		master:      e.master,
+		dataNodes:   e.dataNodes,
+		perNode:     az.perNode,
+		exBytes:     map[int]int64{},
+		exBlocks:    map[int]int64{},
+		exRows:      map[int]int64{},
+		exNodeBytes: map[int]map[int]int64{},
+		segPeak:     map[string]int64{},
+		segMean:     map[string]float64{},
+		opMemPk:     map[int]int64{},
+		opMemMn:     map[int]float64{},
 	}
+	sort.Slice(an.perNode, func(i, j int) bool { return an.perNode[i].Node < an.perNode[j].Node })
 	// Operator memory: peak from the op.<id>.mem_bytes gauge (written on
 	// every reservation), mean from the sampler's 25ms readings; short
 	// queries that finished between samples fall back to the peak.
@@ -79,11 +158,40 @@ func (az *analyzeState) finish(e *exec) {
 			an.opMemMn[id] = float64(pk)
 		}
 	}
-	for _, ev := range az.sent.Events() {
-		bs := ev.Rec.(telemetry.BlockSent)
-		an.exBytes[bs.Exchange] += int64(bs.Bytes)
-		an.exBlocks[bs.Exchange]++
-		an.exRows[bs.Exchange] += int64(bs.Tuples)
+	// Exchange traffic. Distributed analyzed runs read the per-node
+	// snapshots — every participant folded its own BlockSent events into
+	// ex.<id>.* counters, the coordinator's share included as perNode[…]
+	// — which both totals cluster-wide traffic and attributes it per
+	// producing node for skew. Single-process runs fold the local events
+	// directly, exactly as before.
+	if az.perNode != nil {
+		for _, snap := range az.perNode {
+			for name, v := range snap.Counters {
+				ex, what, ok := parseIDCtr(name, "ex.")
+				if !ok {
+					continue
+				}
+				switch what {
+				case "rows":
+					an.exRows[ex] += v
+				case "blocks":
+					an.exBlocks[ex] += v
+				case "bytes":
+					an.exBytes[ex] += v
+					if an.exNodeBytes[ex] == nil {
+						an.exNodeBytes[ex] = map[int]int64{}
+					}
+					an.exNodeBytes[ex][snap.Node] += v
+				}
+			}
+		}
+	} else {
+		for _, ev := range az.sent.Events() {
+			bs := ev.Rec.(telemetry.BlockSent)
+			an.exBytes[bs.Exchange] += int64(bs.Bytes)
+			an.exBlocks[bs.Exchange]++
+			an.exRows[bs.Exchange] += int64(bs.Tuples)
+		}
 	}
 	// Worker parallelism: peak from the per-segment worker gauge (set on
 	// every expand/shrink), mean from the 25ms parallelism samples.
@@ -131,10 +239,95 @@ type Analysis struct {
 	exBytes  map[int]int64 // exchange id → bytes crossing node boundaries
 	exBlocks map[int]int64
 	exRows   map[int]int64
-	segPeak  map[string]int64
-	segMean  map[string]float64
-	opMemPk  map[int]int64
-	opMemMn  map[int]float64
+	// exNodeBytes attributes exchange bytes to the producing node
+	// (distributed analyzed runs only) — the input to per-exchange skew.
+	exNodeBytes map[int]map[int]int64
+	segPeak     map[string]int64
+	segMean     map[string]float64
+	opMemPk     map[int]int64
+	opMemMn     map[int]float64
+	// master/dataNodes echo the run's placement; perNode holds each
+	// participant's scope snapshot (sorted by node), nil outside
+	// distributed analyzed runs.
+	master    int
+	dataNodes []int
+	perNode   []*telemetry.ScopeSnapshot
+}
+
+// PerNode returns each participant's scope snapshot, sorted by node id
+// — the coordinator's own share included. Nil unless the query ran
+// distributed with stats shipping (RunCoordinatedAnalyze).
+func (a *Analysis) PerNode() []*telemetry.ScopeSnapshot {
+	return a.perNode
+}
+
+// nodeSnap finds one node's snapshot, or nil.
+func (a *Analysis) nodeSnap(node int) *telemetry.ScopeSnapshot {
+	for _, snap := range a.perNode {
+		if snap.Node == node {
+			return snap
+		}
+	}
+	return nil
+}
+
+// NodeOpStats is OpStats restricted to one participant: the operator's
+// rows, blocks and busy time on that node alone, read from the node's
+// shipped snapshot. ok is false when the query had no per-node stats or
+// the node never reported.
+func (a *Analysis) NodeOpStats(op plan.PhysOp, node int) (rows, blocks int64, busy time.Duration, ok bool) {
+	id, okID := a.ops[op]
+	snap := a.nodeSnap(node)
+	if !okID || snap == nil {
+		return 0, 0, 0, false
+	}
+	return snap.Counter(telemetry.OpCtr(id, telemetry.OpRows)),
+		snap.Counter(telemetry.OpCtr(id, telemetry.OpBlocks)),
+		time.Duration(snap.Counter(telemetry.OpCtr(id, telemetry.OpBusyNs)) +
+			snap.Counter(telemetry.OpCtr(id, telemetry.OpOpenNs))),
+		true
+}
+
+// producersOf lists the nodes producing into a segment's output
+// exchange — the placement rule nodesOf uses, rederived from the
+// analysis's recorded placement.
+func (a *Analysis) producersOf(s *plan.Segment) []int {
+	if s.OnMaster {
+		return []int{a.master}
+	}
+	return a.dataNodes
+}
+
+// ExchangeSkew reports the max/min ratio of bytes produced into the
+// exchange across its producing nodes — the paper's skew signal for
+// adaptive repartitioning. +Inf means at least one producer sent
+// nothing while another did. ok is false without per-node stats, with
+// fewer than two producers, or when no producer sent anything.
+func (a *Analysis) ExchangeSkew(ex int, producers []int) (ratio float64, ok bool) {
+	if len(a.perNode) < 2 || len(producers) < 2 {
+		return 0, false
+	}
+	m := a.exNodeBytes[ex]
+	if m == nil {
+		return 0, false
+	}
+	var mx, mn int64 = -1, -1
+	for _, n := range producers {
+		v := m[n]
+		if mx < 0 || v > mx {
+			mx = v
+		}
+		if mn < 0 || v < mn {
+			mn = v
+		}
+	}
+	if mx <= 0 {
+		return 0, false
+	}
+	if mn == 0 {
+		return math.Inf(1), true
+	}
+	return float64(mx) / float64(mn), true
 }
 
 // OpID returns the instrumentation id of a plan operator — the <id> in
@@ -208,11 +401,13 @@ func (a *Analysis) selfTime(op plan.PhysOp) time.Duration {
 }
 
 // Render renders the analyzed plan: the EXPLAIN tree with a measurement
-// suffix on every line.
+// suffix on every line, followed — for distributed analyzed runs — by a
+// per-node section breaking every operator's rows/time/mem down by
+// participant, the cluster view the snapshot shipping exists for.
 func (a *Analysis) Render() string {
 	head := fmt.Sprintf("mode=%s nodes=%d duration=%v\n",
 		a.Mode, a.Nodes, a.Duration.Round(time.Microsecond))
-	return head + a.Plan.Render(plan.Annotations{
+	out := head + a.Plan.Render(plan.Annotations{
 		Op: func(op plan.PhysOp) string {
 			rows, blocks, busy := a.OpStats(op)
 			s := fmt.Sprintf("  (rows=%d blocks=%d time=%v self=%v",
@@ -238,7 +433,53 @@ func (a *Analysis) Render() string {
 			if stall := a.ExchangeStall(ex); stall > 0 {
 				line += fmt.Sprintf(" stall=%v", stall.Round(time.Microsecond))
 			}
+			if skew, ok := a.ExchangeSkew(ex, a.producersOf(s)); ok {
+				if math.IsInf(skew, 1) {
+					line += " skew=inf"
+				} else {
+					line += fmt.Sprintf(" skew=%.1fx", skew)
+				}
+			}
 			return line + ")"
 		},
 	})
+	if a.perNode != nil {
+		out += a.renderPerNode()
+	}
+	return out
+}
+
+// renderPerNode renders the per-node section: one line per instrumented
+// operator, the operator's share on every reporting node side by side.
+func (a *Analysis) renderPerNode() string {
+	var ops []plan.PhysOp
+	seen := map[int]bool{}
+	for _, s := range a.Plan.Segments {
+		plan.Walk(s.Root, func(op plan.PhysOp) {
+			if id, ok := a.ops[op]; ok && !seen[id] {
+				seen[id] = true
+				ops = append(ops, op)
+			}
+		})
+	}
+	sort.Slice(ops, func(i, j int) bool { return a.ops[ops[i]] < a.ops[ops[j]] })
+
+	var b strings.Builder
+	b.WriteString("per-node:\n")
+	for _, op := range ops {
+		id := a.ops[op]
+		fmt.Fprintf(&b, "  [op %d %s]", id, plan.OpLabel(op))
+		for i, snap := range a.perNode {
+			rows, _, busy, _ := a.NodeOpStats(op, snap.Node)
+			if i > 0 {
+				b.WriteString(" |")
+			}
+			fmt.Fprintf(&b, " node%d rows=%d time=%v", snap.Node, rows, busy.Round(time.Microsecond))
+			if g, ok := snap.Gauges[telemetry.OpCtr(id, telemetry.OpMemBytes)]; ok && g.Peak > 0 {
+				fmt.Fprintf(&b, " mem=%dB", g.Peak)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }

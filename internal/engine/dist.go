@@ -64,6 +64,17 @@ type ExecSpec struct {
 	// the node rejoins); the list must be identical on every
 	// participant, as it determines exchange instance indexing.
 	DataNodes []int
+	// Analyze requests the cluster-wide observability plane: every
+	// participant runs its fragment span-enabled with per-operator
+	// instrumentation and ships a serialized scope snapshot back to the
+	// coordinator at fragment end (RunParticipantStats → control plane →
+	// DeliverStats), so the coordinator's EXPLAIN ANALYZE and Chrome
+	// trace describe all nodes, not just its own.
+	Analyze bool
+	// TraceID is the coordinator-chosen trace-context id propagated to
+	// every participant; snapshots echo it so the control plane can
+	// correlate them with the originating query across processes.
+	TraceID string
 }
 
 // distState is the extra state of a distributed-mode cluster: one
@@ -76,6 +87,60 @@ type distState struct {
 	mu       sync.Mutex
 	inflight map[int]*exec // qid → running query (this process's side)
 	lost     map[int]bool  // node id → declared dead and not yet back
+
+	// statsMu guards the per-query snapshot channels participants'
+	// shipped telemetry arrives on. Channels are created by whichever
+	// side touches a qid first (delivery can race the coordinator's
+	// collection), so no registration ordering is required; statsOrder
+	// bounds the map against stray deliveries for dead coordinators.
+	statsMu    sync.Mutex
+	stats      map[int]chan *telemetry.ScopeSnapshot
+	statsOrder []int
+}
+
+// maxStatsPerQuery bounds one query's snapshot channel; a cluster never
+// has more participants than nodes, and excess deliveries are dropped
+// rather than blocking the control plane.
+const maxStatsPerQuery = 64
+
+// maxStatsQueries bounds the number of per-query snapshot channels kept
+// at once; the oldest is evicted so stray deliveries (a coordinator that
+// died before collecting) cannot grow the map forever.
+const maxStatsQueries = 128
+
+// statsCh returns the query's snapshot channel, creating it on first
+// touch from either side.
+func (d *distState) statsCh(qid int) chan *telemetry.ScopeSnapshot {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	if d.stats == nil {
+		d.stats = make(map[int]chan *telemetry.ScopeSnapshot)
+	}
+	ch, ok := d.stats[qid]
+	if !ok {
+		ch = make(chan *telemetry.ScopeSnapshot, maxStatsPerQuery)
+		d.stats[qid] = ch
+		d.statsOrder = append(d.statsOrder, qid)
+		if len(d.statsOrder) > maxStatsQueries {
+			evict := d.statsOrder[0]
+			d.statsOrder = d.statsOrder[1:]
+			delete(d.stats, evict)
+		}
+	}
+	return ch
+}
+
+// dropStats releases a query's snapshot channel after collection.
+func (d *distState) dropStats(qid int) {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	delete(d.stats, qid)
+	for i, id := range d.statsOrder {
+		if id == qid {
+			d.statsOrder = append(d.statsOrder[:i], d.statsOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // NewClusterDist creates one process's slice of a multi-process
@@ -181,6 +246,103 @@ func (c *Cluster) RunParticipant(ctx context.Context, spec ExecSpec) error {
 	return err
 }
 
+// RunParticipantStats is RunParticipant for an analyzed query: the
+// fragment runs under a span-enabled scope with per-operator
+// instrumentation, and the scope is serialized into a snapshot —
+// counters, gauges with peaks, histograms, spans stamped with this
+// node's id, per-exchange traffic folded from BlockSent events — for
+// the control plane to ship back to the coordinator (DeliverStats on
+// the coordinating process).
+func (c *Cluster) RunParticipantStats(ctx context.Context, spec ExecSpec) (*telemetry.ScopeSnapshot, error) {
+	if c.dist == nil {
+		return nil, fmt.Errorf("engine: RunParticipantStats on a non-distributed cluster")
+	}
+	p, err := plan.Compile(spec.SQL, c.cat)
+	if err != nil {
+		return nil, err
+	}
+	sc := newQueryScope()
+	sc.EnableSpans() // turns on per-operator instrumentation in runPlanOpts
+	spanSink := telemetry.NewMemSink(telemetry.KindSpan)
+	sentSink := telemetry.NewMemSink(telemetry.KindBlockSent)
+	sc.Attach(spanSink)
+	sc.Attach(sentSink)
+	if _, err := c.runPlanOpts(ctx, p, sc, spec.SQL, nil, specOpts(spec, c.dist.local)); err != nil {
+		return nil, err
+	}
+	snap := sc.Snapshot(c.dist.local)
+	snap.TraceID = spec.TraceID
+	snap.AddSpans(spanSink.Events())
+	foldBlockSent(snap, sentSink.Events())
+	return snap, nil
+}
+
+// foldBlockSent folds a fragment's cross-node BlockSent events into a
+// snapshot's per-exchange counters (ex.<id>.rows/blocks/bytes), so the
+// coordinator can attribute exchange traffic — and compute skew — per
+// producing node. Scopes never write these counter names directly;
+// they exist only in snapshots, which keeps the merge double-count-free.
+func foldBlockSent(snap *telemetry.ScopeSnapshot, evs []telemetry.Event) {
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]int64)
+	}
+	for _, ev := range evs {
+		bs, ok := ev.Rec.(telemetry.BlockSent)
+		if !ok {
+			continue
+		}
+		snap.Counters[telemetry.ExCtr(bs.Exchange, "rows")] += int64(bs.Tuples)
+		snap.Counters[telemetry.ExCtr(bs.Exchange, "blocks")]++
+		snap.Counters[telemetry.ExCtr(bs.Exchange, "bytes")] += int64(bs.Bytes)
+	}
+}
+
+// DeliverStats hands a participant's shipped snapshot to the
+// coordinator-side collector — the control plane calls it on the
+// coordinating process when a /stats request arrives. Reports whether
+// the snapshot was accepted (a full or evicted channel drops it; the
+// analysis then renders without that node rather than blocking).
+func (c *Cluster) DeliverStats(qid int, snap *telemetry.ScopeSnapshot) bool {
+	if c.dist == nil || snap == nil {
+		return false
+	}
+	select {
+	case c.dist.statsCh(qid) <- snap:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunCoordinatedAnalyze is RunCoordinated with the cluster observability
+// plane on: the coordinator's fragment is instrumented, participants'
+// snapshots (shipped by the control plane via DeliverStats) are merged
+// into the query scope, and the returned Analysis renders per-operator
+// stats per node plus per-exchange skew. The caller must broadcast the
+// same spec — with Analyze set — to every other participant.
+func (c *Cluster) RunCoordinatedAnalyze(ctx context.Context, spec ExecSpec, sc *telemetry.Scope) (*Result, *Analysis, error) {
+	if c.dist == nil {
+		return nil, nil, fmt.Errorf("engine: RunCoordinatedAnalyze on a non-distributed cluster")
+	}
+	if spec.Coordinator != c.dist.local {
+		return nil, nil, fmt.Errorf("engine: spec names node %d as coordinator, this is node %d",
+			spec.Coordinator, c.dist.local)
+	}
+	p, err := plan.Compile(spec.SQL, c.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sc == nil {
+		sc = newQueryScope()
+	}
+	az := &analyzeState{}
+	res, err := c.runPlanOpts(ctx, p, sc, spec.SQL, az, specOpts(spec, c.dist.local))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, az.an, nil
+}
+
 // specOpts lowers a control-plane spec into the exec placement options.
 func specOpts(spec ExecSpec, local int) *runOpts {
 	return &runOpts{
@@ -189,6 +351,49 @@ func specOpts(spec ExecSpec, local int) *runOpts {
 		dataNodes: spec.DataNodes,
 		local:     local,
 	}
+}
+
+// gatherDistStats completes an analyzed distributed query's telemetry:
+// snapshot the coordinator's own scope first (pre-merge, so the local
+// share is attributable), then wait up to Config.StatsWait for every
+// remote participant's shipped snapshot, merging each into the query
+// scope (counters add, gauge peaks accumulate, histograms fold) and
+// replaying its spans shifted onto the coordinator's timeline. The
+// per-node snapshots land in the analyzeState for skew and per-node
+// rendering. Missing snapshots (slow control plane, dropped delivery)
+// degrade the analysis to the nodes that reported, never fail the query.
+func (e *exec) gatherDistStats(az *analyzeState) {
+	local := e.scope.Snapshot(e.local)
+	if az.sent != nil {
+		foldBlockSent(local, az.sent.Events())
+	}
+	perNode := []*telemetry.ScopeSnapshot{local}
+	expected := 0
+	for _, n := range e.dataNodes {
+		if n != e.local {
+			expected++
+		}
+	}
+	if expected > 0 {
+		ch := e.c.dist.statsCh(e.qid)
+		deadline := time.NewTimer(e.c.cfg.StatsWait)
+		defer deadline.Stop()
+	collect:
+		for len(perNode)-1 < expected {
+			select {
+			case snap := <-ch:
+				perNode = append(perNode, snap)
+			case <-deadline.C:
+				break collect
+			}
+		}
+	}
+	e.c.dist.dropStats(e.qid)
+	for _, snap := range perNode[1:] {
+		e.scope.MergeSnapshot(snap)
+		e.scope.ReplaySpans(snap)
+	}
+	az.perNode = perNode
 }
 
 // NodeLost is the membership plane's death notification: the failure

@@ -120,6 +120,13 @@ type Config struct {
 	// NodeLostError. Set it a margin past the detector deadline;
 	// 0 (default) returns the raw symptom immediately.
 	NodeLossGrace time.Duration
+	// StatsWait applies to distributed clusters: how long an analyzed
+	// coordinated query waits for participants' telemetry snapshots
+	// (shipped over the control plane at fragment end) before rendering
+	// the analysis from whatever arrived. Participants finish no later
+	// than the coordinator's own dataflow, so the wait only covers the
+	// control-plane hop (default 2s).
+	StatsWait time.Duration
 	// RowExec forces row-at-a-time (tuple-per-tuple) expression
 	// evaluation in filters, projections, join key computation and
 	// aggregation, bypassing the vectorized batch kernels. The two paths
@@ -154,6 +161,9 @@ func (c *Config) defaults() {
 	}
 	if c.SpillDir == "" {
 		c.SpillDir = os.TempDir()
+	}
+	if c.StatsWait <= 0 {
+		c.StatsWait = 2 * time.Second
 	}
 	if os.Getenv("CLAIMS_ROWEXEC") != "" {
 		c.RowExec = true

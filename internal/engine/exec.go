@@ -513,7 +513,15 @@ func (c *Cluster) runPlanOpts(ctx context.Context, p *plan.Plan, sc *telemetry.S
 	e.memGauge.Set(finalMem) // raises the gauge peak if exceeded
 	e.scope.Emit(telemetry.QueryPhase{Phase: "end"})
 	if az != nil {
+		// Analyzed distributed queries first gather the participants'
+		// shipped scope snapshots, so the analysis below reads the merged
+		// cluster-wide counters and keeps each node's share for per-node
+		// rendering and skew.
+		if opts != nil && c.dist != nil {
+			e.gatherDistStats(az)
+		}
 		az.finish(e)
+		qrec.SetNodeBreakdown(az.nodeBreakdowns())
 	}
 
 	res = &Result{
@@ -523,6 +531,7 @@ func (c *Cluster) runPlanOpts(ctx context.Context, p *plan.Plan, sc *telemetry.S
 		Stats:  e.stats(),
 		Scope:  e.scope,
 	}
+	qrec.SetRows(int64(res.NumRows()))
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/expr"
@@ -650,6 +651,7 @@ func (ha *HashAgg) reabsorb(sh *aggShard, idx int) error {
 		return nil
 	}
 	defer sf.drop()
+	reabsorbStart := time.Now()
 	enc := expr.NewKeyEncoder(ha.keys)
 	argVals := make([]types.Value, len(ha.specs))
 	err := sf.iterate(func(rec []byte) error {
@@ -672,7 +674,7 @@ func (ha *HashAgg) reabsorb(sh *aggShard, idx int) error {
 		}
 		return nil
 	})
-	ha.Mem.spilled(idx, sf.bytes, sf.rows, "input")
+	ha.Mem.spilled(idx, sf.bytes, sf.rows, "input", time.Since(reabsorbStart))
 	return err
 }
 

@@ -3,6 +3,7 @@ package iterator
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/expr"
@@ -290,6 +291,7 @@ func (hj *HashJoin) spillOne() bool {
 	if sh.spilled || sh.nrows == 0 {
 		return false
 	}
+	spillStart := time.Now()
 	sf, err := newSpillFile(hj.Mem.SpillDir, hj.buildSch)
 	if err != nil {
 		hj.Mem.spillFailed()
@@ -317,7 +319,7 @@ func (hj *HashJoin) spillOne() bool {
 	hj.nSpilled.Add(1)
 	hj.memTracked.Add(-freed)
 	hj.Mem.freeSmall(freed)
-	hj.Mem.spilled(vi, freed, int64(rows), "build")
+	hj.Mem.spilled(vi, freed, int64(rows), "build", time.Since(spillStart))
 	return true
 }
 

@@ -2,6 +2,7 @@ package iterator
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/telemetry"
@@ -131,14 +132,19 @@ func (m *MemConfig) gaugeAdd(n int64) {
 // canSpill reports whether the operator has somewhere to spill to.
 func (m *MemConfig) canSpill() bool { return m != nil && m.SpillDir != "" }
 
-// spilled records one partition spill: counters, a typed event, and an
-// instant span visible in trace exports.
-func (m *MemConfig) spilled(partition int, bytes, rows int64, phase string) {
+// spilled records one partition spill: counters, a typed event, the
+// spill-duration histogram, and an instant span visible in trace
+// exports. dur is the wall time of the spill I/O (write-out or
+// reabsorb); zero when the caller did not time it.
+func (m *MemConfig) spilled(partition int, bytes, rows int64, phase string, dur time.Duration) {
 	if m == nil || m.Scope == nil {
 		return
 	}
 	m.Scope.Counter(telemetry.CtrSpillEvents).Inc()
 	m.Scope.Counter(telemetry.CtrSpillBytes).Add(bytes)
+	if dur > 0 {
+		m.Scope.Histogram(telemetry.HistSpill, telemetry.DurationBuckets).Observe(dur.Seconds())
+	}
 	m.Scope.Emit(telemetry.Spill{
 		Op: m.Op, Node: m.Node, Partition: partition,
 		Bytes: bytes, Rows: rows, Phase: phase,

@@ -239,6 +239,7 @@ func (n *TCPNode) transmit(peer int, fl flowKey, hash uint64,
 		if scope != nil {
 			scope.Counter(telemetry.CtrNetStallNs).Add(int64(stall))
 			scope.Counter(telemetry.ExCtr(fl.exchange, "stall_ns")).Add(int64(stall))
+			scope.Histogram(telemetry.HistNetStall, telemetry.DurationBuckets).Observe(stall.Seconds())
 			sp.End()
 		}
 	}

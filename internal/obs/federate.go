@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metrics federation: the seed node re-exports the whole cluster's
+// observability surface from one place. FederateMetrics scrapes every
+// member's /metrics, validates each exposition through the strict
+// parser, and re-emits the union with a `node` label distinguishing the
+// origins — so one Prometheus scrape (or one curl) sees every process.
+// FederateQueries does the same for the /queries JSON registry.
+
+// federateClient bounds how long one member scrape may take; a wedged
+// node must not stall the whole federated exposition.
+var federateClient = &http.Client{Timeout: 5 * time.Second}
+
+// FederateMetrics scrapes /metrics from every target (node id →
+// control-plane base address, e.g. "127.0.0.1:9090"), and writes one
+// merged Prometheus exposition to w. Every re-emitted sample gains a
+// leading node="<id>" label; families are grouped (one # TYPE header
+// each) with each node's samples kept in original scrape order, so
+// histogram bucket le ordering survives the round trip and the merged
+// output still passes CheckHistograms. A member that fails to scrape
+// degrades to a comment line rather than failing the exposition: the
+// surviving nodes' metrics are exactly what an operator debugging that
+// failure needs.
+func FederateMetrics(w io.Writer, targets map[int]string, client *http.Client) error {
+	if client == nil {
+		client = federateClient
+	}
+	type nodeScrape struct {
+		node    int
+		samples []Sample
+	}
+	var (
+		scrapes  []nodeScrape
+		types    = map[string]string{}
+		families []string // first-seen order is discarded; sorted below
+		seenFam  = map[string]bool{}
+		comments []string
+	)
+	for _, node := range sortedIntKeys(targets) {
+		url := "http://" + targets[node] + "/metrics"
+		samples, t, err := scrapeProm(client, url)
+		if err != nil {
+			comments = append(comments, fmt.Sprintf("# node %d (%s) scrape failed: %s",
+				node, targets[node], strings.ReplaceAll(err.Error(), "\n", " ")))
+			continue
+		}
+		for name, typ := range t {
+			if prev, ok := types[name]; ok && prev != typ {
+				return fmt.Errorf("obs: federation type conflict for %q: node %d says %s, earlier node said %s",
+					name, node, typ, prev)
+			}
+			types[name] = typ
+			if !seenFam[name] {
+				seenFam[name] = true
+				families = append(families, name)
+			}
+		}
+		scrapes = append(scrapes, nodeScrape{node: node, samples: samples})
+	}
+	for _, c := range comments {
+		if _, err := fmt.Fprintln(w, c); err != nil {
+			return err
+		}
+	}
+	p := &promWriter{w: w}
+	sort.Strings(families)
+	for _, fam := range families {
+		p.family(fam, "Federated from member /metrics.", types[fam])
+		for _, sc := range scrapes {
+			for _, s := range sc.samples {
+				if famOf(s.Name, types) != fam {
+					continue
+				}
+				p.sample(s.Name, nodeLabels(sc.node, s.Labels), s.Value)
+			}
+		}
+	}
+	return p.err
+}
+
+// famOf maps a sample name to the family its # TYPE was declared on:
+// histogram samples carry _bucket/_sum/_count suffixes over a base-name
+// declaration, everything else declares on the sample name itself.
+func famOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	if base, suffix := histSuffix(name); suffix != "" && types[base] == "histogram" {
+		return base
+	}
+	return name
+}
+
+// nodeLabels prepends node="<id>" and re-serializes the sample's parsed
+// labels in sorted key order — except le, which always goes last so the
+// bucket label reads naturally.
+func nodeLabels(node int, labels map[string]string) [][2]string {
+	out := make([][2]string, 0, len(labels)+1)
+	out = append(out, [2]string{"node", fmt.Sprint(node)})
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, [2]string{k, labels[k]})
+	}
+	if le, ok := labels["le"]; ok {
+		out = append(out, [2]string{"le", le})
+	}
+	return out
+}
+
+// scrapeProm fetches and strictly parses one member's exposition.
+func scrapeProm(client *http.Client, url string) ([]Sample, map[string]string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return ParseProm(io.LimitReader(resp.Body, 8<<20))
+}
+
+// FederateQueries fetches /queries from every target, tags each entry
+// with its origin node, and writes the merged list (ordered by start
+// time, then node) as JSON. Scrape failures surface as error entries so
+// the reader can tell "no queries" from "node unreachable".
+func FederateQueries(w io.Writer, targets map[int]string, client *http.Client) error {
+	if client == nil {
+		client = federateClient
+	}
+	merged := []map[string]any{}
+	for _, node := range sortedIntKeys(targets) {
+		url := "http://" + targets[node] + "/queries"
+		entries, err := fetchQueries(client, url)
+		if err != nil {
+			merged = append(merged, map[string]any{
+				"node": node, "error": fmt.Sprintf("scrape %s: %v", targets[node], err),
+			})
+			continue
+		}
+		for _, e := range entries {
+			e["node"] = node
+			merged = append(merged, e)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		si, _ := merged[i]["started"].(string)
+		sj, _ := merged[j]["started"].(string)
+		if si != sj {
+			return si < sj
+		}
+		ni, _ := merged[i]["node"].(int)
+		nj, _ := merged[j]["node"].(int)
+		return ni < nj
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(merged)
+}
+
+// fetchQueries fetches and decodes one member's /queries list.
+func fetchQueries(client *http.Client, url string) ([]map[string]any, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var entries []map[string]any
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// sortedIntKeys returns the map's keys ascending.
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestMetricsHistogramExport checks the registry's cumulative
+// histograms round-trip through /metrics: conventional
+// _bucket/_sum/_count shape, strict-parseable, and CheckHistograms
+// clean.
+func TestMetricsHistogramExport(t *testing.T) {
+	reg := telemetry.NewRegistry(false)
+	for _, v := range []float64{0.002, 0.03, 0.03, 1.5, 70} {
+		reg.Observe(telemetry.HistQueryLatency, v)
+	}
+	reg.Observe(telemetry.HistAdmitWait, 0.001)
+
+	srv := &Server{reg: reg}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	samples, types_, err := ParseProm(rec.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if err := CheckHistograms(samples, types_); err != nil {
+		t.Fatalf("histogram invariants violated: %v", err)
+	}
+	if types_["claims_query_latency_seconds"] != "histogram" {
+		t.Fatalf("claims_query_latency_seconds type = %q", types_["claims_query_latency_seconds"])
+	}
+	var infBucket, count, sum float64
+	buckets := 0
+	for _, s := range samples {
+		switch s.Name {
+		case "claims_query_latency_seconds_bucket":
+			buckets++
+			if s.Labels["le"] == "+Inf" {
+				infBucket = s.Value
+			}
+		case "claims_query_latency_seconds_count":
+			count = s.Value
+		case "claims_query_latency_seconds_sum":
+			sum = s.Value
+		}
+	}
+	if buckets != len(telemetry.LatencyBuckets)+1 {
+		t.Errorf("bucket samples = %d, want %d", buckets, len(telemetry.LatencyBuckets)+1)
+	}
+	if infBucket != 5 || count != 5 {
+		t.Errorf("+Inf bucket %g, _count %g, want both 5", infBucket, count)
+	}
+	if sum < 71.5 || sum > 71.6 {
+		t.Errorf("_sum = %g", sum)
+	}
+}
+
+// TestCheckHistogramsCatchesViolations pins each invariant the checker
+// exists for: promcheck in CI leans on these failing loudly.
+func TestCheckHistogramsCatchesViolations(t *testing.T) {
+	for name, bad := range map[string]string{
+		"missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 2
+h_sum 1
+h_count 2
+`,
+		"le out of order": `# TYPE h histogram
+h_bucket{le="2"} 1
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 2
+`,
+		"cumulative counts decrease": `# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="2"} 2
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`,
+		"_count disagrees with +Inf": `# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 3
+`,
+		"missing _sum": `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`,
+		"missing _count": `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_sum 0.5
+`,
+		"bucket without le": `# TYPE h histogram
+h_bucket 1
+h_bucket{le="+Inf"} 1
+h_sum 0.5
+h_count 1
+`,
+		"bare sample on histogram family": `# TYPE h histogram
+h 1
+`,
+		"declared but empty": `# TYPE h histogram
+# TYPE g gauge
+g 1
+`,
+	} {
+		samples, types_, err := ParseProm(strings.NewReader(bad))
+		if err != nil {
+			t.Fatalf("%s: fixture does not parse: %v", name, err)
+		}
+		if err := CheckHistograms(samples, types_); err == nil {
+			t.Errorf("%s: CheckHistograms accepted:\n%s", name, bad)
+		}
+	}
+	good := `# TYPE h histogram
+h_bucket{q="a",le="0.5"} 1
+h_bucket{q="a",le="+Inf"} 3
+h_sum{q="a"} 2.5
+h_count{q="a"} 3
+h_bucket{q="b",le="0.5"} 0
+h_bucket{q="b",le="+Inf"} 0
+h_sum{q="b"} 0
+h_count{q="b"} 0
+`
+	samples, types_, err := ParseProm(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good fixture does not parse: %v", err)
+	}
+	if err := CheckHistograms(samples, types_); err != nil {
+		t.Errorf("CheckHistograms rejected a valid multi-series histogram: %v", err)
+	}
+}
+
+// fedTargets spins up n obs servers, each with its own registry fed
+// some latency observations, and returns the node→addr target map.
+func fedTargets(t *testing.T, n int) (map[int]string, []*telemetry.Registry) {
+	t.Helper()
+	targets := map[int]string{}
+	var regs []*telemetry.Registry
+	for i := 0; i < n; i++ {
+		reg := telemetry.NewRegistry(false)
+		reg.Observe(telemetry.HistQueryLatency, 0.01*float64(i+1))
+		srv := &Server{reg: reg}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		targets[i] = strings.TrimPrefix(ts.URL, "http://")
+		regs = append(regs, reg)
+	}
+	return targets, regs
+}
+
+// TestFederateMetrics checks the merged exposition: node labels on
+// every sample, one TYPE header per family, and histogram invariants
+// preserved across the re-emit.
+func TestFederateMetrics(t *testing.T) {
+	targets, _ := fedTargets(t, 3)
+	var buf bytes.Buffer
+	if err := FederateMetrics(&buf, targets, nil); err != nil {
+		t.Fatalf("FederateMetrics: %v", err)
+	}
+	out := buf.String()
+	samples, types_, err := ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("federated exposition does not parse: %v\n%s", err, out)
+	}
+	if err := CheckHistograms(samples, types_); err != nil {
+		t.Fatalf("federated histograms violate invariants: %v\n%s", err, out)
+	}
+	nodesSeen := map[string]bool{}
+	for _, s := range samples {
+		node, ok := s.Labels["node"]
+		if !ok {
+			t.Fatalf("federated sample %s has no node label", s.Name)
+		}
+		if s.Name == "claims_query_latency_seconds_count" {
+			nodesSeen[node] = true
+			if s.Value != 1 {
+				t.Errorf("node %s latency count %g, want 1", node, s.Value)
+			}
+		}
+	}
+	for _, n := range []string{"0", "1", "2"} {
+		if !nodesSeen[n] {
+			t.Errorf("no latency histogram from node %s (saw %v)", n, nodesSeen)
+		}
+	}
+	if c := strings.Count(out, "# TYPE claims_query_latency_seconds "); c != 1 {
+		t.Errorf("family declared %d times, want once:\n%s", c, out)
+	}
+}
+
+// TestFederateMetricsSurvivesDeadNode checks a failed member scrape
+// degrades to a comment while the rest of the exposition stays valid.
+func TestFederateMetricsSurvivesDeadNode(t *testing.T) {
+	targets, _ := fedTargets(t, 2)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := strings.TrimPrefix(dead.URL, "http://")
+	dead.Close() // connection refused from here on
+	targets[7] = deadAddr
+
+	var buf bytes.Buffer
+	if err := FederateMetrics(&buf, targets, nil); err != nil {
+		t.Fatalf("FederateMetrics: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# node 7 ("+deadAddr+") scrape failed:") {
+		t.Fatalf("no failure comment for the dead node:\n%s", out)
+	}
+	samples, types_, err := ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("degraded exposition does not parse: %v", err)
+	}
+	if err := CheckHistograms(samples, types_); err != nil {
+		t.Fatalf("degraded histograms: %v", err)
+	}
+	for _, s := range samples {
+		if s.Labels["node"] == "7" {
+			t.Fatalf("dead node contributed sample %+v", s)
+		}
+	}
+}
+
+// TestFederateQueries checks the merged registry view: entries tagged
+// by node, unreachable members reported inline.
+func TestFederateQueries(t *testing.T) {
+	targets := map[int]string{}
+	for i := 0; i < 2; i++ {
+		reg := telemetry.NewRegistry(false)
+		q := reg.Begin(telemetry.NewScope("q"+strings.Repeat("x", i+1)), "SELECT 1")
+		reg.Finish(q, nil)
+		srv := &Server{reg: reg}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		targets[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := strings.TrimPrefix(dead.URL, "http://")
+	dead.Close()
+	targets[9] = deadAddr
+
+	var buf bytes.Buffer
+	if err := FederateQueries(&buf, targets, nil); err != nil {
+		t.Fatalf("FederateQueries: %v", err)
+	}
+	var merged []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &merged); err != nil {
+		t.Fatalf("federated queries not JSON: %v\n%s", err, buf.String())
+	}
+	nodes := map[float64]int{}
+	var deadErr string
+	for _, e := range merged {
+		n, _ := e["node"].(float64)
+		nodes[n]++
+		if n == 9 {
+			deadErr, _ = e["error"].(string)
+		}
+	}
+	if nodes[0] != 1 || nodes[1] != 1 {
+		t.Fatalf("per-node entry counts %v, want one each from nodes 0 and 1", nodes)
+	}
+	if deadErr == "" {
+		t.Fatalf("dead node has no error entry: %+v", merged)
+	}
+}

@@ -1,7 +1,9 @@
 // Command promcheck validates that a file parses as Prometheus text
 // exposition format (version 0.0.4) under the strict parser in
-// internal/obs — the CI obs-smoke job runs it against a live /metrics
-// scrape, so a format regression fails the build.
+// internal/obs, and that every histogram family satisfies the format's
+// invariants (ascending le, monotone cumulative buckets, +Inf ==
+// _count) — the CI obs smoke jobs run it against live /metrics and
+// /cluster/metrics scrapes, so a format regression fails the build.
 package main
 
 import (
@@ -31,5 +33,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "promcheck: exposition has no samples")
 		os.Exit(1)
 	}
-	fmt.Printf("ok: %d samples across %d families\n", len(samples), len(families))
+	if err := obs.CheckHistograms(samples, families); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	hists := 0
+	for _, typ := range families {
+		if typ == "histogram" {
+			hists++
+		}
+	}
+	fmt.Printf("ok: %d samples across %d families (%d histogram)\n",
+		len(samples), len(families), hists)
 }

@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Prometheus text exposition format, version 0.0.4 — written by the
@@ -70,6 +73,29 @@ func (p *promWriter) sample(name string, labels [][2]string, v float64) {
 	_, p.err = fmt.Fprintf(p.w, "%s %s\n", sb.String(), strconv.FormatFloat(v, 'g', -1, 64))
 }
 
+// histogramSamples writes one histogram series in the conventional
+// shape: cumulative <name>_bucket samples with ascending le labels, the
+// +Inf bucket, then <name>_sum and <name>_count. The +Inf bucket equals
+// _count by construction (both are the snapshot's total), the invariant
+// CheckHistograms enforces on every scrape. The family's # TYPE
+// histogram header must already have been declared on the base name.
+func (p *promWriter) histogramSamples(name string, labels [][2]string, s telemetry.HistogramSnapshot) {
+	base := make([][2]string, len(labels), len(labels)+1)
+	copy(base, labels)
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		p.sample(name+"_bucket", append(base, [2]string{"le", formatLe(b)}), float64(cum))
+	}
+	total := s.Count()
+	p.sample(name+"_bucket", append(base, [2]string{"le", "+Inf"}), float64(total))
+	p.sample(name+"_sum", labels, s.Sum)
+	p.sample(name+"_count", labels, float64(total))
+}
+
+// formatLe renders a bucket bound exactly as its le label value.
+func formatLe(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
 // ParseProm parses a Prometheus text-format exposition, returning the
 // samples and the family types declared by # TYPE lines. It is strict
 // about structure: every non-comment line must be a well-formed sample,
@@ -103,7 +129,12 @@ func ParseProm(r io.Reader) (samples []Sample, types map[string]string, err erro
 			return nil, nil, fmt.Errorf("promtext: line %d: %w", lineNo, perr)
 		}
 		if _, ok := types[s.Name]; !ok {
-			return nil, nil, fmt.Errorf("promtext: line %d: sample %q has no # TYPE declaration", lineNo, s.Name)
+			// Histogram families declare # TYPE on the base name while the
+			// samples carry _bucket/_sum/_count suffixes.
+			base, suffix := histSuffix(s.Name)
+			if suffix == "" || types[base] != "histogram" {
+				return nil, nil, fmt.Errorf("promtext: line %d: sample %q has no # TYPE declaration", lineNo, s.Name)
+			}
 		}
 		samples = append(samples, s)
 	}
@@ -209,6 +240,144 @@ func validMetricName(s string) bool {
 		}
 	}
 	return true
+}
+
+// histSuffix splits a histogram sample name into its base family and
+// suffix kind ("bucket", "sum", "count"); suffix is "" for non-histogram
+// names.
+func histSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, s); ok && b != "" {
+			return b, s[1:]
+		}
+	}
+	return "", ""
+}
+
+// histSeries accumulates one histogram series (a family under one
+// label set, le excluded) during validation.
+type histSeries struct {
+	les       []float64 // in exposition order
+	cumCounts []float64
+	sum, cnt  *float64
+}
+
+// labelKeyWithout serializes a label set minus one key, for grouping.
+func labelKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// CheckHistograms validates every histogram family of a parsed
+// exposition: each series must expose its buckets in ascending le order
+// with monotonically non-decreasing cumulative counts, end in a +Inf
+// bucket, and carry _sum and _count samples with _count equal to the
+// +Inf bucket. Promcheck and the cluster smoke tests run this against
+// live scrapes, so a histogram that violates the format's invariants
+// fails CI instead of silently confusing a real Prometheus.
+func CheckHistograms(samples []Sample, types map[string]string) error {
+	series := map[string]map[string]*histSeries{} // family → label key → series
+	get := func(fam, key string) *histSeries {
+		if series[fam] == nil {
+			series[fam] = map[string]*histSeries{}
+		}
+		hs := series[fam][key]
+		if hs == nil {
+			hs = &histSeries{}
+			series[fam][key] = hs
+		}
+		return hs
+	}
+	for _, s := range samples {
+		base, suffix := histSuffix(s.Name)
+		if suffix == "" || types[base] != "histogram" {
+			if types[s.Name] == "histogram" {
+				return fmt.Errorf("promtext: histogram family %q exposes a bare sample (want %s_bucket/_sum/_count)",
+					s.Name, s.Name)
+			}
+			continue
+		}
+		hs := get(base, labelKeyWithout(s.Labels, "le"))
+		switch suffix {
+		case "bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("promtext: %s_bucket sample without le label", base)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("promtext: %s: bad le %q: %w", base, leStr, err)
+				}
+				le = v
+			}
+			hs.les = append(hs.les, le)
+			hs.cumCounts = append(hs.cumCounts, s.Value)
+		case "sum":
+			if hs.sum != nil {
+				return fmt.Errorf("promtext: %s: duplicate _sum for label set {%s}", base, labelKeyWithout(s.Labels, "le"))
+			}
+			v := s.Value
+			hs.sum = &v
+		case "count":
+			if hs.cnt != nil {
+				return fmt.Errorf("promtext: %s: duplicate _count for label set {%s}", base, labelKeyWithout(s.Labels, "le"))
+			}
+			v := s.Value
+			hs.cnt = &v
+		}
+	}
+	for fam := range types {
+		if types[fam] == "histogram" && series[fam] == nil {
+			return fmt.Errorf("promtext: histogram family %q declared but has no samples", fam)
+		}
+	}
+	for _, fam := range sortedKeys(series) {
+		for _, key := range sortedKeys(series[fam]) {
+			hs := series[fam][key]
+			where := fmt.Sprintf("%s{%s}", fam, key)
+			if len(hs.les) == 0 {
+				return fmt.Errorf("promtext: %s: no _bucket samples", where)
+			}
+			for i := 1; i < len(hs.les); i++ {
+				if hs.les[i] <= hs.les[i-1] {
+					return fmt.Errorf("promtext: %s: le out of order (%g after %g)", where, hs.les[i], hs.les[i-1])
+				}
+				if hs.cumCounts[i] < hs.cumCounts[i-1] {
+					return fmt.Errorf("promtext: %s: cumulative bucket counts decrease (%g after %g at le=%g)",
+						where, hs.cumCounts[i], hs.cumCounts[i-1], hs.les[i])
+				}
+			}
+			last := len(hs.les) - 1
+			if !math.IsInf(hs.les[last], 1) {
+				return fmt.Errorf("promtext: %s: final bucket is le=%g, want +Inf", where, hs.les[last])
+			}
+			if hs.cnt == nil {
+				return fmt.Errorf("promtext: %s: missing _count", where)
+			}
+			if *hs.cnt != hs.cumCounts[last] {
+				return fmt.Errorf("promtext: %s: _count %g != +Inf bucket %g", where, *hs.cnt, hs.cumCounts[last])
+			}
+			if hs.sum == nil {
+				return fmt.Errorf("promtext: %s: missing _sum", where)
+			}
+		}
+	}
+	return nil
 }
 
 // sortedKeys is a tiny helper for deterministic exposition order.

@@ -173,6 +173,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.family("claims_go_goroutines", "Live goroutines.", "gauge")
 	p.sample("claims_go_goroutines", nil, float64(runtime.NumGoroutine()))
 
+	// Histogram families: the registry's process-cumulative histograms
+	// (query latency, admission wait, exchange stall, spill durations),
+	// with live queries' scope histograms merged in. Exposed in the
+	// conventional _bucket/_sum/_count shape under the base family name.
+	if s.reg != nil {
+		hists := s.reg.Histograms()
+		for _, name := range sortedKeys(hists) {
+			fam := "claims_" + strings.ReplaceAll(name, ".", "_")
+			p.family(fam, "Histogram of "+name+" observations.", "histogram")
+			p.histogramSamples(fam, nil, hists[name])
+		}
+	}
+
 	p.family("claims_scope_counter", "Telemetry scope counters, one series per query and instrument.", "gauge")
 	p.family("claims_scope_gauge", "Telemetry scope gauges (current value).", "gauge")
 	p.family("claims_scope_gauge_peak", "Telemetry scope gauges (peak value).", "gauge")

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 // ErrAdmissionTimeout is returned when a query waited longer than
@@ -130,6 +131,9 @@ func (s *Server) Stats() (inflight, queued int) {
 }
 
 // admit takes an execution slot, waiting FIFO when none is free.
+// Successful admissions observe their queue wait into the process
+// registry's admission-wait histogram (zero on the uncontended fast
+// path), so /metrics shows the admission tail, not just queue depth.
 func (s *Server) admit(ctx context.Context) error {
 	s.mu.Lock()
 	// A free slot goes to the queue head first (strict FIFO); a new
@@ -137,6 +141,7 @@ func (s *Server) admit(ctx context.Context) error {
 	if s.inflight < s.cfg.MaxInflight && len(s.queue) == 0 {
 		s.inflight++
 		s.mu.Unlock()
+		telemetry.DefaultRegistry().Observe(telemetry.HistAdmitWait, 0)
 		return nil
 	}
 	if len(s.queue) >= s.cfg.MaxQueue {
@@ -147,15 +152,18 @@ func (s *Server) admit(ctx context.Context) error {
 	s.queue = append(s.queue, w)
 	s.mu.Unlock()
 
+	start := time.Now()
 	timer := time.NewTimer(s.cfg.QueueTimeout)
 	defer timer.Stop()
 	select {
 	case <-w.ch:
+		telemetry.DefaultRegistry().Observe(telemetry.HistAdmitWait, time.Since(start).Seconds())
 		return nil // slot transferred by release()
 	case <-timer.C:
 		if s.abandon(w) {
 			return ErrAdmissionTimeout
 		}
+		telemetry.DefaultRegistry().Observe(telemetry.HistAdmitWait, time.Since(start).Seconds())
 		return nil // granted concurrently with the timeout
 	case <-ctx.Done():
 		if s.abandon(w) {

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"encoding/json"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +28,18 @@ type Registry struct {
 
 	started atomic.Int64
 	done    atomic.Int64
+
+	// hists are process-cumulative histograms. Query scopes' histograms
+	// are folded in at Finish (so history survives recent-ring eviction);
+	// process-level observers (admission wait, query latency) write here
+	// directly via Observe.
+	hists sync.Map // name → *Histogram
+
+	// slowMu guards the slow-query log configuration; Finish emits one
+	// JSONL record per query at or over the threshold.
+	slowMu    sync.Mutex
+	slowThres time.Duration
+	slowW     io.Writer
 }
 
 // defaultKeepRecent bounds the finished-query ring of a registry.
@@ -57,10 +71,24 @@ type QueryRecord struct {
 	// them; nil otherwise.
 	spans *MemSink
 
-	mu   sync.Mutex
-	done bool
-	err  string
-	dur  time.Duration
+	mu    sync.Mutex
+	done  bool
+	err   string
+	dur   time.Duration
+	rows  int64
+	nodes []NodeBreakdown
+}
+
+// NodeBreakdown is one participant's share of a distributed query,
+// recorded for the slow-query log and /queries surface. For
+// single-process queries there is exactly one entry (node = the
+// coordinator).
+type NodeBreakdown struct {
+	Node         int   `json:"node"`
+	Rows         int64 `json:"rows"`
+	BusyMS       int64 `json:"busy_ms"`
+	MemPeakBytes int64 `json:"mem_peak_bytes"`
+	NetBytes     int64 `json:"net_bytes"`
 }
 
 // Begin registers a query and returns its record; Finish must be called
@@ -84,7 +112,11 @@ func (r *Registry) Begin(sc *Scope, sql string) *QueryRecord {
 }
 
 // Finish marks the record done (err may be nil) and moves it from the
-// live set to the recent ring.
+// live set to the recent ring. End-to-end latency is observed into the
+// cumulative HistQueryLatency histogram, the query scope's histograms
+// are folded into the cumulative set (so evicted queries keep
+// contributing to /metrics), and a slow-query record is emitted when a
+// slow log is configured and the query met the threshold.
 func (r *Registry) Finish(q *QueryRecord, err error) {
 	if r == nil || q == nil {
 		return
@@ -97,6 +129,14 @@ func (r *Registry) Finish(q *QueryRecord, err error) {
 	}
 	q.mu.Unlock()
 	r.done.Add(1)
+	r.Observe(HistQueryLatency, q.dur.Seconds())
+	if q.Scope != nil {
+		for name, hs := range q.Scope.HistogramSnapshot() {
+			h := r.Histogram(name, hs.Bounds)
+			h.MergeSnapshot(hs) //nolint:errcheck // mismatched layouts dropped by contract
+		}
+	}
+	r.logSlow(q)
 	r.mu.Lock()
 	delete(r.live, q.ID)
 	r.recent = append(r.recent, q)
@@ -152,6 +192,49 @@ func (q *QueryRecord) Spans() []Event {
 	return q.spans.Events()
 }
 
+// SetRows records the result-row count; the engine sets it before
+// Finish so the slow-query log and /queries can report it.
+func (q *QueryRecord) SetRows(n int64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.rows = n
+	q.mu.Unlock()
+}
+
+// Rows returns the recorded result-row count (0 until set).
+func (q *QueryRecord) Rows() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.rows
+}
+
+// SetNodeBreakdown records the per-node shares of a distributed query
+// (available on analyzed runs, where participants ship stats back).
+func (q *QueryRecord) SetNodeBreakdown(nodes []NodeBreakdown) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.nodes = nodes
+	q.mu.Unlock()
+}
+
+// NodeBreakdowns returns the recorded per-node shares (nil when the
+// query ran without stats shipping).
+func (q *QueryRecord) NodeBreakdowns() []NodeBreakdown {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.nodes
+}
+
 // Queries lists every tracked query, in-flight first, then recent
 // (oldest first within each group, by start time).
 func (r *Registry) Queries() []*QueryRecord {
@@ -190,6 +273,143 @@ func (r *Registry) Lookup(id string) *QueryRecord {
 // finish.
 func (r *Registry) Counts() (started, done int64) {
 	return r.started.Load(), r.done.Load()
+}
+
+// --- cumulative histograms ---------------------------------------------------
+
+// Histogram returns (creating on first use) a process-cumulative
+// histogram. Nil-safe: a nil registry returns a throwaway histogram so
+// observers need no guard.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := r.hists.LoadOrStore(name, NewHistogram(bounds))
+	return h.(*Histogram)
+}
+
+// Observe records one value into a cumulative histogram, choosing the
+// bucket layout by the instrument name's convention (latency-scale for
+// query/admission, short-duration otherwise). Nil-safe.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	bounds := DurationBuckets
+	if name == HistQueryLatency || name == HistAdmitWait {
+		bounds = LatencyBuckets
+	}
+	r.Histogram(name, bounds).Observe(v)
+}
+
+// Histograms returns the process's histogram families: the cumulative
+// set (which already includes every finished query, folded at Finish)
+// merged with live queries' scope histograms. The recent ring is NOT
+// re-merged — its queries contributed at Finish.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot)
+	merged := make(map[string]*Histogram)
+	r.hists.Range(func(k, v any) bool {
+		merged[k.(string)] = v.(*Histogram)
+		return true
+	})
+	r.mu.Lock()
+	live := make([]*QueryRecord, 0, len(r.live))
+	for _, q := range r.live {
+		live = append(live, q)
+	}
+	r.mu.Unlock()
+	for name, h := range merged {
+		out[name] = h.Snapshot()
+	}
+	for _, q := range live {
+		if q.Scope == nil {
+			continue
+		}
+		for name, hs := range q.Scope.HistogramSnapshot() {
+			cur, ok := out[name]
+			if !ok {
+				out[name] = hs
+				continue
+			}
+			acc := NewHistogram(cur.Bounds)
+			acc.MergeSnapshot(cur) //nolint:errcheck // same layout
+			if acc.MergeSnapshot(hs) == nil {
+				out[name] = acc.Snapshot()
+			}
+		}
+	}
+	return out
+}
+
+// --- slow-query log ----------------------------------------------------------
+
+// SetSlowLog configures the slow-query log: queries finishing at or
+// over threshold emit one JSON line to w. A zero threshold logs every
+// query; a nil writer disables logging.
+func (r *Registry) SetSlowLog(threshold time.Duration, w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.slowMu.Lock()
+	r.slowThres = threshold
+	r.slowW = w
+	r.slowMu.Unlock()
+}
+
+// slowRecord is the JSONL schema of one slow-query log line.
+type slowRecord struct {
+	TS        string          `json:"ts"`
+	QID       string          `json:"qid"`
+	SQL       string          `json:"sql,omitempty"`
+	LatencyMS float64         `json:"latency_ms"`
+	Rows      int64           `json:"rows"`
+	Error     string          `json:"error,omitempty"`
+	Nodes     []NodeBreakdown `json:"nodes,omitempty"`
+}
+
+// logSlow emits the query's slow-log line if a log is configured and
+// the threshold was met. Serialization happens outside the config lock;
+// the write itself is serialized so concurrent finishes can't interleave
+// lines.
+func (r *Registry) logSlow(q *QueryRecord) {
+	r.slowMu.Lock()
+	w, thres := r.slowW, r.slowThres
+	r.slowMu.Unlock()
+	if w == nil {
+		return
+	}
+	q.mu.Lock()
+	rec := slowRecord{
+		TS:        q.Started.Format(time.RFC3339Nano),
+		QID:       q.ID,
+		SQL:       q.SQL,
+		LatencyMS: float64(q.dur) / float64(time.Millisecond),
+		Rows:      q.rows,
+		Error:     q.err,
+		Nodes:     q.nodes,
+	}
+	dur := q.dur
+	q.mu.Unlock()
+	if dur < thres {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	r.slowMu.Lock()
+	if r.slowW != nil {
+		r.slowW.Write(b) //nolint:errcheck // best-effort log
+	}
+	r.slowMu.Unlock()
 }
 
 // --- process default ---------------------------------------------------------

@@ -90,6 +90,16 @@ func (g *Gauge) Load() int64 { return g.cur.Load() }
 // Peak returns the high-water mark.
 func (g *Gauge) Peak() int64 { return g.peak.Load() }
 
+// MergePeak raises the high-water mark by d without touching the
+// current value — the gauge merge rule for distributed snapshots, where
+// the cluster-wide peak is conservatively the sum of per-node peaks
+// (node peaks need not coincide in time, so the sum is an upper bound).
+func (g *Gauge) MergePeak(d int64) {
+	if d > 0 {
+		g.peak.Add(d)
+	}
+}
+
 // FloatGauge is a Gauge over float64 values (the simulator's fluid
 // memory footprint).
 type FloatGauge struct {
@@ -256,6 +266,7 @@ type Scope struct {
 	fcounters sync.Map // name → *FloatCounter
 	gauges    sync.Map // name → *Gauge
 	fgauges   sync.Map // name → *FloatGauge
+	hists     sync.Map // name → *Histogram
 
 	sinks atomic.Pointer[[]Sink]
 
@@ -348,6 +359,33 @@ func (s *Scope) Gauge(name string) *Gauge {
 	v, _ := s.gauges.LoadOrStore(name, &Gauge{})
 	return v.(*Gauge)
 }
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls keep the original bounds).
+func (s *Scope) Histogram(name string, bounds []float64) *Histogram {
+	if v, ok := s.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := s.hists.LoadOrStore(name, NewHistogram(bounds))
+	return v.(*Histogram)
+}
+
+// HistogramSnapshot returns all histograms by name — the histogram
+// counterpart of CounterSnapshot, consumed by scope serialization and
+// the registry's cumulative fold.
+func (s *Scope) HistogramSnapshot() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	s.hists.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// StartTime returns the wall-clock instant the scope was created — the
+// clock base span offsets are relative to, needed to shift a remote
+// scope's spans onto a coordinator's timeline.
+func (s *Scope) StartTime() time.Time { return s.start }
 
 // FloatGauge returns the named float gauge, creating it on first use.
 func (s *Scope) FloatGauge(name string) *FloatGauge {
@@ -480,7 +518,7 @@ func (s *Scope) FloatGaugeSnapshot() map[string]FloatGaugeValue {
 // InstrumentNames lists every registered instrument, sorted.
 func (s *Scope) InstrumentNames() []string {
 	var names []string
-	for _, m := range []*sync.Map{&s.counters, &s.fcounters, &s.gauges, &s.fgauges} {
+	for _, m := range []*sync.Map{&s.counters, &s.fcounters, &s.gauges, &s.fgauges, &s.hists} {
 		m.Range(func(k, _ any) bool {
 			names = append(names, k.(string))
 			return true

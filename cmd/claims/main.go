@@ -22,16 +22,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/protocol"
 	"repro/internal/server"
 	"repro/internal/sql"
 	"repro/internal/sse"
@@ -73,8 +77,20 @@ func main() {
 			"directory for operator spill files (default: system temp dir)")
 		slowlogMS = flag.Int("slowlog-ms", -1,
 			"log queries slower than this to stderr as JSONL (0 logs all, -1 disables)")
+		fastPath = flag.Bool("fastpath", false,
+			"serial fast path for small gather-only queries (the high-QPS serving mode)")
+		listenAddr = flag.String("listen", "",
+			"serve the streaming client protocol on this TCP address, e.g. :7654; "+
+				"queries admit through the same front end as -serve")
+		connectAddr = flag.String("connect", "",
+			"connect to a -listen server as a client REPL instead of booting a cluster")
 	)
 	flag.Parse()
+
+	if *connectAddr != "" {
+		runClient(*connectAddr)
+		return
+	}
 
 	if *httpAddr != "" {
 		// The registry captures spans, so every query run while the
@@ -154,6 +170,7 @@ func main() {
 		RowExec:          *rowExec,
 		MemoryPerNode:    memBudget,
 		SpillDir:         *spillDir,
+		FastPath:         *fastPath,
 	}, cat)
 
 	fmt.Printf("loading %s workload onto %d nodes...\n", *workload, *nodes)
@@ -178,6 +195,11 @@ func main() {
 
 	if *query != "" {
 		runQuery(c, *query)
+		return
+	}
+
+	if *listenAddr != "" {
+		runListen(c, *listenAddr, *serve, *admitTimeout)
 		return
 	}
 
@@ -276,6 +298,103 @@ func runServe(c *engine.Cluster, maxInflight int, admitTimeout time.Duration) {
 	}
 	wg.Wait()
 	fmt.Printf("served %d queries; %s\n", n, hist.Snapshot().SummaryLine())
+}
+
+// runListen serves the streaming client protocol: every connection is
+// one session (its own prepared statements), every query admits through
+// the bounded front end. Runs until interrupted.
+func runListen(c *engine.Cluster, addr string, maxInflight int, admitTimeout time.Duration) {
+	if maxInflight <= 0 {
+		maxInflight = 4
+	}
+	backend := server.New(c, server.Config{
+		MaxInflight:  maxInflight,
+		QueueTimeout: admitTimeout,
+	})
+	srv, err := protocol.Serve(addr, backend)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("client protocol on %s (up to %d concurrent queries, admission timeout %v); ctrl-c stops\n",
+		srv.Addr(), maxInflight, admitTimeout)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+// runClient is the wire-protocol REPL: ';'-terminated statements from
+// stdin go to a -listen server, results stream back. PREPARE / EXECUTE
+// / DEALLOCATE work textually — the server session handles them.
+func runClient(addr string) {
+	conn, err := client.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s; type SQL terminated by ';' — PREPARE/EXECUTE/DEALLOCATE are session statements; \\q quits\n", addr)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("claims> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		if t := strings.TrimSpace(line); t == `\q` || t == "exit" || t == "quit" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		if stmt != "" {
+			runRemote(conn, stmt)
+		}
+		fmt.Print("claims> ")
+	}
+}
+
+// runRemote sends one statement and prints the streamed result.
+func runRemote(conn *client.Conn, stmt string) {
+	t0 := time.Now()
+	rows, err := conn.Query(stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if rows == nil {
+		fmt.Printf("ok (%v)\n", time.Since(t0).Round(time.Microsecond))
+		return
+	}
+	sch := rows.Schema()
+	names := make([]string, len(sch.Cols))
+	for i, col := range sch.Cols {
+		names[i] = col.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	const maxShow = 40
+	shown := 0
+	for rows.Next() {
+		if shown < maxShow {
+			vals := rows.Row()
+			parts := make([]string, len(vals))
+			for j, v := range vals {
+				parts[j] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		shown++
+	}
+	if err := rows.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if extra := int(rows.Total()) - maxShow; extra > 0 {
+		fmt.Printf("... (%d more rows)\n", extra)
+	}
+	fmt.Printf("(%d rows, %v)\n", rows.Total(), time.Since(t0).Round(time.Microsecond))
 }
 
 func runQuery(c *engine.Cluster, q string) {

@@ -50,6 +50,7 @@ func experiments() []entry {
 		{"mem", bench.MemGovernance},
 		{"net", bench.NetFabric},
 		{"obs", bench.ObsOverhead},
+		{"qps", bench.QPS},
 	}
 }
 

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/session"
+	"repro/internal/sse"
+	"repro/internal/types"
+)
+
+func BenchmarkPreparedExecute(b *testing.B) {
+	cat := catalog.New(4)
+	sse.RegisterTables(cat, qpsRows)
+	c := engine.NewCluster(engine.Config{Nodes: 4, CoresPerNode: 2, Mode: engine.EP, FastPath: true}, cat)
+	defer c.Close()
+	if err := sse.Load(c, sse.GenConfig{Rows: qpsRows, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	keyRes, err := c.Run("SELECT sec_code, count(*) FROM trades GROUP BY sec_code")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var secs []int64
+	for _, row := range keyRes.Rows() {
+		secs = append(secs, row[0].I)
+	}
+	sess := session.New(session.Direct{C: c})
+	if _, err := sess.Prepare("lookup", "SELECT acct_id, order_price, trade_volume FROM trades WHERE sec_code = $1"); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	args := []types.Value{types.IntVal(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args[0] = types.IntVal(secs[i%len(secs)])
+		if _, err := sess.Execute(ctx, "lookup", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,10 @@ import "sync"
 // class fall through to plain make and the garbage collector.
 var arenaClasses = [...]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 
+// minArenaBuf is the smallest request worth a pooled class slot;
+// below it GetBuf hands out exact-size unpooled slices.
+const minArenaBuf = 1 << 10
+
 var arenaPools [len(arenaClasses)]sync.Pool
 
 // GetBuf returns a zeroed byte slice of length n, drawn from the
@@ -19,6 +23,12 @@ var arenaPools [len(arenaClasses)]sync.Pool
 func GetBuf(n int) []byte {
 	if n <= 0 {
 		return nil
+	}
+	if n < minArenaBuf {
+		// Tiny buffers (single-tuple filter outputs, small aggregation
+		// results) are cheaper as exact-size garbage than as zeroed
+		// smallest-class arena slots; PutBuf skips them by capacity.
+		return make([]byte, n)
 	}
 	ci := -1
 	for i, c := range arenaClasses {

@@ -7,9 +7,16 @@ import (
 )
 
 func TestArenaGetPutClasses(t *testing.T) {
-	b := GetBuf(1000)
-	if len(b) != 1000 || cap(b) != 4<<10 {
-		t.Fatalf("len=%d cap=%d, want 1000/%d", len(b), cap(b), 4<<10)
+	// Tiny requests bypass the pool: exact size, no class rounding.
+	tiny := GetBuf(100)
+	if len(tiny) != 100 || cap(tiny) >= 4<<10 {
+		t.Fatalf("tiny len=%d cap=%d, want exact-size unpooled", len(tiny), cap(tiny))
+	}
+	PutBuf(tiny) // silently dropped (capacity is no class size)
+
+	b := GetBuf(2000)
+	if len(b) != 2000 || cap(b) != 4<<10 {
+		t.Fatalf("len=%d cap=%d, want 2000/%d", len(b), cap(b), 4<<10)
 	}
 	for i := range b {
 		b[i] = 0xAA

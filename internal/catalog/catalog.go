@@ -50,8 +50,9 @@ func (t *Table) PartCols() []string {
 
 // Catalog is the master node's table registry.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version int64
 	// Nodes is the number of slave nodes data is partitioned over.
 	Nodes int
 }
@@ -73,7 +74,27 @@ func (c *Catalog) Add(t *Table) error {
 		return fmt.Errorf("catalog: table %q already exists", t.Name)
 	}
 	c.tables[key] = t
+	c.version++
 	return nil
+}
+
+// Version returns the catalog's schema version: a counter bumped on
+// every mutation (table registration, explicit BumpVersion). Plan
+// caches key on it, so a plan compiled against an older catalog can
+// never be served after the schema moved on.
+func (c *Catalog) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// BumpVersion invalidates every plan compiled against the current
+// catalog state. Callers that mutate registered tables in place
+// (statistics reloads, schema edits in tests) must call it.
+func (c *Catalog) BumpVersion() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
 }
 
 // MustAdd is Add that panics on error, for setup code.

@@ -26,7 +26,7 @@ func (c *Cluster) ExplainAnalyze(query string) (*Result, *Analysis, error) {
 
 // ExplainAnalyzeScoped is ExplainAnalyze under a caller-owned scope.
 func (c *Cluster) ExplainAnalyzeScoped(query string, sc *telemetry.Scope) (*Result, *Analysis, error) {
-	p, err := plan.Compile(query, c.cat)
+	p, hit, err := c.CompileCached(query)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -34,6 +34,12 @@ func (c *Cluster) ExplainAnalyzeScoped(query string, sc *telemetry.Scope) (*Resu
 	res, err := c.runPlan(context.Background(), p, sc, query, az)
 	if err != nil {
 		return nil, nil, err
+	}
+	if az.an != nil {
+		az.an.CacheState = "miss"
+		if hit {
+			az.an.CacheState = "hit"
+		}
 	}
 	return res, az.an, nil
 }
@@ -233,6 +239,9 @@ type Analysis struct {
 	Nodes int
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
+	// CacheState reports whether the plan came from the plan cache
+	// ("hit" / "miss"); empty when the entry point bypassed the cache.
+	CacheState string
 
 	ops      map[plan.PhysOp]int
 	resultEx int           // the run's derived result-collector exchange id
@@ -405,8 +414,12 @@ func (a *Analysis) selfTime(op plan.PhysOp) time.Duration {
 // per-node section breaking every operator's rows/time/mem down by
 // participant, the cluster view the snapshot shipping exists for.
 func (a *Analysis) Render() string {
-	head := fmt.Sprintf("mode=%s nodes=%d duration=%v\n",
+	head := fmt.Sprintf("mode=%s nodes=%d duration=%v",
 		a.Mode, a.Nodes, a.Duration.Round(time.Microsecond))
+	if a.CacheState != "" {
+		head += " plan-cache=" + a.CacheState
+	}
+	head += "\n"
 	out := head + a.Plan.Render(plan.Annotations{
 		Op: func(op plan.PhysOp) string {
 			rows, blocks, busy := a.OpStats(op)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/network"
+	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
@@ -127,6 +128,23 @@ type Config struct {
 	// than the coordinator's own dataflow, so the wait only covers the
 	// control-plane hop (default 2s).
 	StatsWait time.Duration
+	// PlanCacheSize bounds the cluster's LRU plan cache (normalized
+	// SQL + catalog version -> compiled physical plan), consulted by
+	// Run/RunContext/RunScoped and the prepared-statement path so
+	// repeated statements skip parse+plan entirely. 0 means the
+	// default (256); negative disables caching.
+	PlanCacheSize int
+	// FastPath enables the serial fast-path executor for small
+	// gather-only plans (point lookups): eligible queries run on the
+	// calling goroutine without exchanges, elastic pools or samplers.
+	// Off by default — results are identical but the execution
+	// machinery (and its telemetry) is bypassed, so serving stacks opt
+	// in explicitly.
+	FastPath bool
+	// FastPathRows caps the total catalog-estimated scanned rows of a
+	// fast-path query (default 65536); larger scans take the parallel
+	// dataflow path.
+	FastPathRows int64
 	// RowExec forces row-at-a-time (tuple-per-tuple) expression
 	// evaluation in filters, projections, join key computation and
 	// aggregation, bypassing the vectorized batch kernels. The two paths
@@ -168,6 +186,12 @@ func (c *Config) defaults() {
 	if os.Getenv("CLAIMS_ROWEXEC") != "" {
 		c.RowExec = true
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.FastPathRows <= 0 {
+		c.FastPathRows = 65536
+	}
 }
 
 // Cluster is an in-process cluster: data stores per slave node plus the
@@ -189,6 +213,10 @@ type Cluster struct {
 	// is one data node of a multi-process cluster. Nil for the ordinary
 	// all-in-one-process cluster.
 	dist *distState
+
+	// planCache holds compiled plans keyed on normalized SQL + catalog
+	// version; shared by every execution entry point of the cluster.
+	planCache *plan.Cache
 
 	// leases[n] is node n's core-slot pool (slaves 0..Nodes-1 plus the
 	// master at index Nodes), shared by every concurrent query.
@@ -224,6 +252,11 @@ type Cluster struct {
 // initShared builds the query-independent shared state: core-lease
 // pools and resident schedulers for every node including the master.
 func (c *Cluster) initShared() {
+	size := c.cfg.PlanCacheSize
+	if size < 0 {
+		size = 0
+	}
+	c.planCache = plan.NewCache(size)
 	c.bus = sched.NewMasterBus()
 	c.activeEP = make(map[*telemetry.Scope]struct{})
 	for i := 0; i <= c.cfg.Nodes; i++ {

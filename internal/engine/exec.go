@@ -23,28 +23,32 @@ var querySeq atomic.Int64
 
 // Run compiles and executes a SQL query.
 func (c *Cluster) Run(query string) (*Result, error) {
-	return c.RunScoped(query, newQueryScope())
+	p, _, err := c.CompileCached(query)
+	if err != nil {
+		return nil, err
+	}
+	return c.runAuto(context.Background(), p, nil, query)
 }
 
 // RunContext is Run under a context: cancellation (or deadline expiry)
 // routes into the query's fail-fast teardown, aborting every exchange
 // so no worker stays wedged, and the call returns the context's error.
 func (c *Cluster) RunContext(ctx context.Context, query string) (*Result, error) {
-	p, err := plan.Compile(query, c.cat)
+	p, _, err := c.CompileCached(query)
 	if err != nil {
 		return nil, err
 	}
-	return c.runPlan(ctx, p, newQueryScope(), query, nil)
+	return c.runAuto(ctx, p, nil, query)
 }
 
 // RunScoped compiles and executes a SQL query under the given telemetry
 // scope, so callers can attach sinks before execution starts.
 func (c *Cluster) RunScoped(query string, sc *telemetry.Scope) (*Result, error) {
-	p, err := plan.Compile(query, c.cat)
+	p, _, err := c.CompileCached(query)
 	if err != nil {
 		return nil, err
 	}
-	return c.runPlan(context.Background(), p, sc, query, nil)
+	return c.runAuto(context.Background(), p, sc, query)
 }
 
 // queryScopeSeq numbers the auto-created query scopes of a process.
@@ -250,6 +254,9 @@ func (c *Cluster) runPlan(ctx context.Context, p *plan.Plan, sc *telemetry.Scope
 func (c *Cluster) runPlanOpts(ctx context.Context, p *plan.Plan, sc *telemetry.Scope, sqlText string, az *analyzeState, opts *runOpts) (res *Result, err error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	if p.NumParams > 0 {
+		return nil, fmt.Errorf("engine: plan has %d unbound parameters; use PREPARE/EXECUTE or pass arguments", p.NumParams)
 	}
 	qrec := telemetry.DefaultRegistry().Begin(sc, sqlText)
 	defer func() { telemetry.DefaultRegistry().Finish(qrec, err) }()

@@ -30,11 +30,9 @@ type ContextPool struct {
 
 // NewContextPool creates a pool with the given locality mode.
 func NewContextPool(mode ReuseMode) *ContextPool {
-	return &ContextPool{
-		mode:   mode,
-		byCore: make(map[int][]any),
-		bySock: make(map[int][]any),
-	}
+	// The locality maps are created on first Put: iterators build a
+	// pool unconditionally but many queries never park a context.
+	return &ContextPool{mode: mode}
 }
 
 // Get returns a parked context matching the worker's locality, or nil if
@@ -70,6 +68,10 @@ func (p *ContextPool) Get(ctx *Ctx) any {
 func (p *ContextPool) Put(ctx *Ctx, v any) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.byCore == nil {
+		p.byCore = make(map[int][]any)
+		p.bySock = make(map[int][]any)
+	}
 	switch p.mode {
 	case CoreMode:
 		p.byCore[ctx.Core] = append(p.byCore[ctx.Core], v)

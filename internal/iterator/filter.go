@@ -85,6 +85,18 @@ func (f *Filter) Open(ctx *Ctx) Status {
 	return OK
 }
 
+// newFilterOut starts an output block carrying the input block's
+// stamps, sized for n tuples (at least one; it grows on demand).
+func newFilterOut(sch *types.Schema, in *block.Block, n int, ctx *Ctx) *block.Block {
+	if n < 1 {
+		n = 1
+	}
+	b := block.New(sch, n*sch.Stride(), ctx.Tracker)
+	b.Seq = in.Seq
+	b.Socket = in.Socket
+	return b
+}
+
 // Next pulls child blocks and emits the qualifying tuples.
 func (f *Filter) Next(ctx *Ctx) (*block.Block, Status) {
 	var outB *block.Block
@@ -105,15 +117,13 @@ func (f *Filter) Next(ctx *Ctx) (*block.Block, Status) {
 			}
 			return nil, st
 		}
-		if outB == nil {
-			outB = block.New(f.sch, in.SizeBytes(), ctx.Tracker)
-			outB.Seq = in.Seq
-			outB.Socket = in.Socket
-			target = outB.Cap()/2 + 1
-		}
 		n := in.NumTuples()
 		var kept int
 		if f.RowExec {
+			if outB == nil {
+				outB = newFilterOut(f.sch, in, n, ctx)
+				target = in.Cap()/2 + 1
+			}
 			outB.EnsureRoom(n)
 			for i := 0; i < n; i++ {
 				rec := in.Row(i)
@@ -124,6 +134,13 @@ func (f *Filter) Next(ctx *Ctx) (*block.Block, Status) {
 			}
 		} else {
 			sel = f.bpred.Select(in, nil, sel)
+			if outB == nil {
+				// Size the block to the survivors of this first batch (it
+				// grows on demand after that): a selective filter allocates
+				// tuples' worth of memory, not the input block size.
+				outB = newFilterOut(f.sch, in, len(sel), ctx)
+				target = in.Cap()/2 + 1
+			}
 			outB.AppendSelected(in, sel)
 			kept = len(sel)
 		}

@@ -288,9 +288,6 @@ func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
 		flushed: NewBarrier(),
 		pool:    NewContextPool(CoreMode),
 	}
-	for i := range ha.shards {
-		ha.shards[i].groups = make(map[string]*group)
-	}
 	ha.groupBytes = int64(112 + 56*len(specs) + 32*len(keys))
 	ha.argKerns = make([]expr.BatchExpr, len(specs))
 	for j, s := range specs {
@@ -306,10 +303,27 @@ func NewHashAgg(child Iterator, inSch *types.Schema, keys []expr.Expr,
 		// input (COUNT(*) of nothing is 0): pre-seed the single group.
 		h := expr.Hash64(nil)
 		sh := &ha.shards[h&ha.mask]
-		sh.groups[""] = &group{cells: make([]aggCell, len(specs))}
+		sh.groups = map[string]*group{"": {cells: make([]aggCell, len(specs))}}
 		ha.memGroups.Store(1)
 	}
 	return ha
+}
+
+// Serial reshapes the aggregation to a single shard. Shard fan-out
+// only pays off under concurrent workers; a single-worker driver (the
+// engine's serial fast path) saves the setup cost of 64 shard maps,
+// which dominates a microsecond-scale query. Call before Open.
+func (ha *HashAgg) Serial() {
+	ha.shards = make([]aggShard, 1)
+	ha.mask = 0
+	// Private tables exist to cut shared-table contention; a single
+	// worker has none, so the shared algorithm skips the private
+	// table, its merge pass and the context-pool round trip.
+	ha.algo = SharedAgg
+	if len(ha.keys) == 0 {
+		ha.shards[0].groups = map[string]*group{"": {cells: make([]aggCell, len(ha.specs))}}
+		ha.memGroups.Store(1)
+	}
 }
 
 // Schema returns the aggregation output schema.
@@ -488,6 +502,9 @@ func (ha *HashAgg) updateGlobal(key []byte, h uint64, rec []byte, argVals []type
 			ha.Mem.forceSmall(ha.groupBytes)
 		}
 		g = ha.newGroup(rec)
+		if sh.groups == nil {
+			sh.groups = make(map[string]*group)
+		}
 		sh.groups[string(key)] = g
 		if ha.Mem.enabled() {
 			sh.charged++
@@ -567,6 +584,9 @@ func (ha *HashAgg) flushPrivate(priv *privTable) {
 		sh.mu.Lock()
 		dst, ok := sh.groups[key]
 		if !ok {
+			if sh.groups == nil {
+				sh.groups = make(map[string]*group)
+			}
 			sh.groups[key] = g
 			if ha.Mem.enabled() {
 				sh.charged++
@@ -666,6 +686,9 @@ func (ha *HashAgg) reabsorb(sh *aggShard, idx int) error {
 			}
 			sh.charged++
 			g = ha.newGroup(rec)
+			if sh.groups == nil {
+				sh.groups = make(map[string]*group)
+			}
 			sh.groups[string(key)] = g
 			ha.memGroups.Add(1)
 		}

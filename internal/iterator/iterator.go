@@ -154,9 +154,27 @@ type Barrier struct {
 
 // NewBarrier returns an unpassed barrier with no members.
 func NewBarrier() *Barrier {
-	b := &Barrier{}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	// The cond is created lazily (under mu) on the blocking paths:
+	// barriers a single worker passes through never need one.
+	return &Barrier{}
+}
+
+// signal lazily creates the cond for a caller about to Wait; call
+// with mu held.
+func (b *Barrier) signal() *sync.Cond {
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	return b.cond
+}
+
+// wake wakes blocked waiters, if any ever existed; call with mu held.
+// Waiters create the cond (via signal) before sleeping, so a nil cond
+// means nobody is blocked and there is nothing to allocate or wake.
+func (b *Barrier) wake() {
+	if b.cond != nil {
+		b.cond.Broadcast()
+	}
 }
 
 // register adds a member; it reports false (no-op) when the phase has
@@ -189,7 +207,7 @@ func (b *Barrier) deregister() {
 	b.registered--
 	if b.arrived >= b.registered && b.arrived > 0 {
 		b.passed = true
-		b.cond.Broadcast()
+		b.wake()
 	}
 }
 
@@ -204,11 +222,11 @@ func (b *Barrier) Arrive() {
 	b.arrived++
 	if b.arrived >= b.registered {
 		b.passed = true
-		b.cond.Broadcast()
+		b.wake()
 		return
 	}
 	for !b.passed {
-		b.cond.Wait()
+		b.signal().Wait()
 	}
 }
 

@@ -115,3 +115,58 @@ func shallowStamp(src *block.Block, seq uint64) *block.Block {
 	out.VisitRate = 1.0
 	return &out
 }
+
+// SerialScan reads every block of one or more partitions from a single
+// worker: no per-socket cursor sharding, no barrier, no work stealing.
+// The engine's serial fast path uses it where Scan's multi-worker
+// machinery would be pure construction overhead; for a lone worker the
+// two produce the same stream of stamped blocks.
+type SerialScan struct {
+	parts []*storage.Partition
+	sch   *types.Schema // optional display-name override
+	pi, bi int
+	seq    uint64
+}
+
+// NewSerialScan builds a serial scan over the given partitions (their
+// blocks are drained in order). sch optionally overrides the reported
+// schema with plan-qualified column names.
+func NewSerialScan(parts []*storage.Partition, sch *types.Schema) *SerialScan {
+	return &SerialScan{parts: parts, sch: sch}
+}
+
+// Schema returns the scan output schema.
+func (s *SerialScan) Schema() *types.Schema {
+	if s.sch != nil {
+		return s.sch
+	}
+	return s.parts[0].Schema
+}
+
+// Open implements Iterator.
+func (s *SerialScan) Open(*Ctx) Status { return OK }
+
+// Next implements Iterator.
+func (s *SerialScan) Next(ctx *Ctx) (*block.Block, Status) {
+	if ctx.Term.Requested() {
+		return nil, Terminated
+	}
+	for s.pi < len(s.parts) {
+		blocks := s.parts[s.pi].Blocks
+		if s.bi < len(blocks) {
+			out := shallowStamp(blocks[s.bi], s.seq)
+			s.bi++
+			s.seq++
+			if ctx.OnBlockDone != nil {
+				ctx.OnBlockDone(out.NumTuples())
+			}
+			return out, OK
+		}
+		s.pi++
+		s.bi = 0
+	}
+	return nil, End
+}
+
+// Close implements Iterator.
+func (s *SerialScan) Close() {}

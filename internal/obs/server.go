@@ -173,6 +173,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.family("claims_go_goroutines", "Live goroutines.", "gauge")
 	p.sample("claims_go_goroutines", nil, float64(runtime.NumGoroutine()))
 
+	// Process-cumulative counters (plan-cache hits/misses/evictions,
+	// fast-path queries, protocol requests): one family per counter,
+	// instrument dots sanitized to the Prometheus charset.
+	if s.reg != nil {
+		ctrs := s.reg.Counters()
+		for _, name := range sortedKeys(ctrs) {
+			fam := "claims_" + strings.ReplaceAll(name, ".", "_") + "_total"
+			p.family(fam, "Process-cumulative count of "+name+".", "counter")
+			p.sample(fam, nil, float64(ctrs[name]))
+		}
+	}
+
 	// Histogram families: the registry's process-cumulative histograms
 	// (query latency, admission wait, exchange stall, spill durations),
 	// with live queries' scope histograms merged in. Exposed in the

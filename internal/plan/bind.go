@@ -144,6 +144,9 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 		}
 		return expr.NewCol(idx, sch.Cols[idx].Name), nil
 
+	case *sql.ParamRef:
+		return expr.NewParam(n.N), nil
+
 	case *sql.IntLit:
 		return expr.NewConst(types.IntVal(n.V)), nil
 	case *sql.FloatLit:
@@ -193,6 +196,7 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 			}
 			ops := map[string]expr.CmpOp{"=": expr.EQ, "<>": expr.NE,
 				"<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE}
+			inferParamKinds(sch, l, r)
 			return expr.NewCmp(ops[n.Op], l, r), nil
 		case "+", "-":
 			// Date ± interval with month/year units needs AddMonths.
@@ -222,6 +226,7 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 			}
 			ops := map[string]expr.ArithOp{"+": expr.Add, "-": expr.Sub,
 				"*": expr.Mul, "/": expr.Div}
+			inferParamKinds(sch, l, r)
 			return expr.NewArith(ops[n.Op], l, r), nil
 		}
 		return nil, fmt.Errorf("plan: unsupported operator %q", n.Op)
@@ -245,6 +250,9 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if p, ok := c.(*expr.Param); ok {
+			p.SetKind(types.String)
+		}
 		return expr.NewLike(c, n.Pattern, n.Negate), nil
 
 	case *sql.BetweenExpr:
@@ -260,6 +268,7 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		inferParamKinds(sch, c, lo, hi)
 		return expr.NewBetween(c, lo, hi), nil
 
 	case *sql.InExpr:
@@ -278,6 +287,9 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 				return nil, fmt.Errorf("plan: IN list must be literals")
 			}
 			list = append(list, cst.V)
+		}
+		if p, ok := c.(*expr.Param); ok && len(list) > 0 {
+			p.SetKind(list[0].Kind)
 		}
 		var out expr.Expr = expr.NewIn(c, list)
 		if n.Negate {
@@ -325,6 +337,33 @@ func bindExpr(e sql.Expr, sch *types.Schema) (expr.Expr, error) {
 	return nil, fmt.Errorf("plan: cannot bind %T", e)
 }
 
+// inferParamKinds types parameter slots from their context: a
+// parameter compared with (or spanning, for BETWEEN) a typed
+// expression adopts that expression's kind, so EXECUTE can coerce
+// argument values (dates in particular) before substitution.
+func inferParamKinds(sch *types.Schema, exprs ...expr.Expr) {
+	var kind types.Kind
+	typed := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if _, ok := e.(*expr.Param); ok {
+			continue
+		}
+		kind, typed = e.Kind(sch), true
+		break
+	}
+	if !typed {
+		return
+	}
+	for _, e := range exprs {
+		if p, ok := e.(*expr.Param); ok {
+			p.SetKind(kind)
+		}
+	}
+}
+
 // addMonths shifts a date expression by calendar months.
 type addMonths struct {
 	e      expr.Expr
@@ -345,6 +384,18 @@ func (a *addMonths) Kind(*types.Schema) types.Kind { return types.Date }
 
 func (a *addMonths) String() string {
 	return fmt.Sprintf("(%s %+d months)", a.e, a.months)
+}
+
+// WalkParams implements expr.ParamBinder.
+func (a *addMonths) WalkParams(fn func(*expr.Param)) { expr.WalkParams(a.e, fn) }
+
+// BindParams implements expr.ParamBinder.
+func (a *addMonths) BindParams(vals []types.Value) (expr.Expr, error) {
+	e, err := expr.SubstParams(a.e, vals)
+	if err != nil {
+		return nil, err
+	}
+	return &addMonths{e: e, months: a.months}, nil
 }
 
 // bindOrderBy resolves ORDER BY terms, accepting output aliases

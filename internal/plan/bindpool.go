@@ -1,0 +1,183 @@
+package plan
+
+import (
+	"repro/internal/expr"
+	"repro/internal/iterator"
+	"repro/internal/types"
+)
+
+// Bound-plan pooling. Bind is copy-on-write: every EXECUTE re-clones
+// the operator spine above each parameter slot. At high QPS that clone
+// — a handful of operator nodes, Cmp/Const expressions, and slices —
+// is a measurable slice of a point lookup's total cost. But successive
+// EXECUTEs of one template produce structurally identical clones that
+// differ only in the Const values substituted for the slots. So the
+// template keeps a pool of its own clones: the first EXECUTE binds
+// normally and records where the slot constants landed; later EXECUTEs
+// take a pooled clone and overwrite those Const values in place.
+//
+// In-place rewriting is safe because nothing extracts constants from a
+// bound plan before execution starts — batch kernels are compiled at
+// iterator construction, per execution — and an instance leaves the
+// pool for the duration of its query, so no two executions share one.
+// Instances return to the pool only after a successful run (the engine
+// joins every worker before reporting success); an errored run's
+// instance is dropped, so a teardown path that straggles can never
+// alias a recycled plan.
+
+// boundMeta marks a poolable bound instance: sites[i] lists the Const
+// nodes holding slot $i+1's value.
+type boundMeta struct {
+	sites [][]*expr.Const
+}
+
+// AcquireBound is Bind through the template's instance pool: identical
+// semantics, but the returned plan may be a recycled clone re-armed
+// with the new arguments. Pass it back via ReleaseBound after a
+// successful execution; dropping it (error paths) is always safe.
+func (p *Plan) AcquireBound(args []types.Value) (*Plan, error) {
+	if p.NumParams == 0 || len(args) != p.NumParams {
+		return Bind(p, args) // parameter-free, or Bind's arity error
+	}
+	if v := p.bindPool.Get(); v != nil {
+		b := v.(*Plan)
+		vals, err := coerceArgs(p, args)
+		if err != nil {
+			p.bindPool.Put(b)
+			return nil, err
+		}
+		for slot, sites := range b.bound.sites {
+			for _, c := range sites {
+				c.V = vals[slot]
+			}
+		}
+		return b, nil
+	}
+	b, err := Bind(p, args)
+	if err != nil {
+		return nil, err
+	}
+	meta := &boundMeta{sites: make([][]*expr.Const, p.NumParams)}
+	if collectPlanSites(p, b, meta) {
+		b.bound = meta
+	}
+	return b, nil
+}
+
+// ReleaseBound returns a bound instance to the template's pool. Only
+// instances AcquireBound marked poolable are kept; the template itself
+// (returned when NumParams == 0) and plain Bind results are ignored.
+func (p *Plan) ReleaseBound(b *Plan) {
+	if b == nil || b == p || b.bound == nil {
+		return
+	}
+	p.bindPool.Put(b)
+}
+
+// collectPlanSites walks template and bound plans in lockstep,
+// recording every Const substituted for a slot. False means some
+// subtree could not be tracked (a custom binder node); the instance
+// then stays un-pooled and every EXECUTE for this template pays the
+// full clone — correct, just slower.
+func collectPlanSites(tmpl, bound *Plan, meta *boundMeta) bool {
+	if len(tmpl.Segments) != len(bound.Segments) {
+		return false
+	}
+	ok := true
+	rec := func(slot int, c *expr.Const) {
+		if slot < 1 || slot > len(meta.sites) {
+			ok = false
+			return
+		}
+		meta.sites[slot-1] = append(meta.sites[slot-1], c)
+	}
+	for i := range tmpl.Segments {
+		ts, bs := tmpl.Segments[i], bound.Segments[i]
+		if !collectOpSites(ts.Root, bs.Root, rec) {
+			return false
+		}
+		if ts.Out != nil && bs.Out != nil && !collectExprListSites(ts.Out.PartKeys, bs.Out.PartKeys, rec) {
+			return false
+		}
+	}
+	return ok
+}
+
+// collectOpSites mirrors bindOp's recursion read-only: shared nodes are
+// parameter-free and terminate the walk, rebuilt nodes must pair up by
+// type so their expressions can be walked in lockstep.
+func collectOpSites(tmpl, bound PhysOp, rec func(int, *expr.Const)) bool {
+	if tmpl == bound {
+		return true
+	}
+	switch t := tmpl.(type) {
+	case *PScan:
+		b, ok := bound.(*PScan)
+		return ok && expr.CollectBoundConsts(t.Pred, b.Pred, rec)
+	case *PFilter:
+		b, ok := bound.(*PFilter)
+		return ok && expr.CollectBoundConsts(t.Pred, b.Pred, rec) &&
+			collectOpSites(t.Child, b.Child, rec)
+	case *PProject:
+		b, ok := bound.(*PProject)
+		return ok && collectExprListSites(t.Exprs, b.Exprs, rec) &&
+			collectOpSites(t.Child, b.Child, rec)
+	case *PHashJoin:
+		b, ok := bound.(*PHashJoin)
+		return ok && collectExprListSites(t.BuildKeys, b.BuildKeys, rec) &&
+			collectExprListSites(t.ProbeKeys, b.ProbeKeys, rec) &&
+			collectOpSites(t.Build, b.Build, rec) &&
+			collectOpSites(t.Probe, b.Probe, rec)
+	case *PHashAgg:
+		b, ok := bound.(*PHashAgg)
+		if !ok || len(t.Specs) != len(b.Specs) {
+			return false
+		}
+		for i := range t.Specs {
+			if !expr.CollectBoundConsts(t.Specs[i].Arg, b.Specs[i].Arg, rec) {
+				return false
+			}
+		}
+		return collectExprListSites(t.Keys, b.Keys, rec) &&
+			collectOpSites(t.Child, b.Child, rec)
+	case *PSort:
+		b, ok := bound.(*PSort)
+		return ok && collectSortKeySites(t.Keys, b.Keys, rec) &&
+			collectOpSites(t.Child, b.Child, rec)
+	case *PTopN:
+		b, ok := bound.(*PTopN)
+		return ok && collectSortKeySites(t.Keys, b.Keys, rec) &&
+			collectOpSites(t.Child, b.Child, rec)
+	case *PLimit:
+		b, ok := bound.(*PLimit)
+		return ok && collectOpSites(t.Child, b.Child, rec)
+	case *PMerger:
+		_, ok := bound.(*PMerger)
+		return ok
+	}
+	return false
+}
+
+func collectExprListSites(tmpl, bound []expr.Expr, rec func(int, *expr.Const)) bool {
+	if len(tmpl) != len(bound) {
+		return false
+	}
+	for i := range tmpl {
+		if !expr.CollectBoundConsts(tmpl[i], bound[i], rec) {
+			return false
+		}
+	}
+	return true
+}
+
+func collectSortKeySites(tmpl, bound []iterator.SortKey, rec func(int, *expr.Const)) bool {
+	if len(tmpl) != len(bound) {
+		return false
+	}
+	for i := range tmpl {
+		if !expr.CollectBoundConsts(tmpl[i].E, bound[i].E, rec) {
+			return false
+		}
+	}
+	return true
+}

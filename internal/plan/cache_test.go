@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	p1, p2, p3 := &Plan{}, &Plan{}, &Plan{}
+	c.Put("q1", 0, p1)
+	c.Put("q2", 0, p2)
+	if got, ok := c.Get("q1", 0); !ok || got != p1 {
+		t.Fatal("q1 missing")
+	}
+	c.Put("q3", 0, p3) // evicts q2 (least recently used)
+	if _, ok := c.Get("q2", 0); ok {
+		t.Fatal("q2 survived eviction")
+	}
+	if _, ok := c.Get("q1", 0); !ok {
+		t.Fatal("q1 evicted out of LRU order")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheVersionKeying(t *testing.T) {
+	c := NewCache(8)
+	old := &Plan{}
+	c.Put("q", 1, old)
+	if _, ok := c.Get("q", 2); ok {
+		t.Fatal("plan served across a catalog version bump")
+	}
+	if got, ok := c.Get("q", 1); !ok || got != old {
+		t.Fatal("same-version entry lost")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("q", 0, &Plan{})
+	if _, ok := c.Get("q", 0); ok {
+		t.Fatal("capacity-0 cache stored a plan")
+	}
+	var nilCache *Cache
+	nilCache.Put("q", 0, &Plan{})
+	if _, ok := nilCache.Get("q", 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	_ = nilCache.Stats()
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("q%d", (g+i)%32)
+				if _, ok := c.Get(key, 0); !ok {
+					c.Put(key, 0, &Plan{})
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 16 {
+		t.Fatalf("cache over capacity: %d", c.Len())
+	}
+}

@@ -16,6 +16,12 @@ func Compile(query string, cat *catalog.Catalog) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	return CompileStmt(stmt, cat)
+}
+
+// CompileStmt binds and lowers an already-parsed SELECT — the prepared
+// statement path, where parsing happened once at PREPARE time.
+func CompileStmt(stmt *sql.SelectStmt, cat *catalog.Catalog) (*Plan, error) {
 	logical, err := Build(stmt, cat)
 	if err != nil {
 		return nil, err
@@ -58,6 +64,7 @@ func LowerOpts(root Logical, opts Options) (*Plan, error) {
 	for _, seg := range lw.plan.Segments {
 		annotateVec(seg.Root)
 	}
+	lw.plan.NumParams = countParams(&lw.plan)
 	return &lw.plan, nil
 }
 

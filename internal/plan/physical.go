@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
@@ -163,6 +164,25 @@ type Plan struct {
 	Final *Segment
 	// OutputNames are the result column display names.
 	OutputNames []string
+	// NumParams counts the plan's prepared-statement parameter slots
+	// ($n, so the highest n). A plan with NumParams > 0 is a template:
+	// Bind substitutes constants for the slots before execution, and
+	// the engine refuses to run it unbound.
+	NumParams int
+
+	// paramOnce guards the lazily memoized slot-kind inference
+	// (paramKinds/paramTyped): the kinds are a pure function of the
+	// template, so Bind's argument coercion computes them on the first
+	// EXECUTE and reuses them on every subsequent one.
+	paramOnce  sync.Once
+	paramKinds []types.Kind
+	paramTyped []bool
+
+	// bindPool recycles bound instances of this template between
+	// EXECUTEs (see AcquireBound); bound marks an instance as pooled,
+	// carrying the Const sites to overwrite on reuse.
+	bindPool sync.Pool
+	bound    *boundMeta
 }
 
 // String renders the plan for inspection (the EXPLAIN output).

@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func TestCompileCountsParams(t *testing.T) {
+	p := compile(t, "SELECT count(*) FROM trades WHERE sec_code = $1 AND trade_date = $2")
+	if p.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", p.NumParams)
+	}
+	if compile(t, "SELECT count(*) FROM trades").NumParams != 0 {
+		t.Fatal("parameter-free plan reports parameters")
+	}
+}
+
+func TestBindSubstitutesWithoutMutating(t *testing.T) {
+	p := compile(t, "SELECT count(*) FROM trades WHERE sec_code = $1")
+	before := p.String()
+
+	bound, err := Bind(p, []types.Value{types.IntVal(600036)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound == p {
+		t.Fatal("Bind returned the shared template for a parameterized plan")
+	}
+	if after := p.String(); after != before {
+		t.Fatalf("Bind mutated the template:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if countParams(bound) != 0 {
+		t.Fatalf("bound plan still has parameter slots:\n%s", bound)
+	}
+	if !strings.Contains(bound.String(), "600036") {
+		t.Fatalf("bound plan lost the constant:\n%s", bound)
+	}
+	// Untouched structure is shared, not copied.
+	if bound.Exchanges != nil && len(bound.Exchanges) != len(p.Exchanges) {
+		t.Fatal("exchanges not carried over")
+	}
+}
+
+func TestBindArgChecks(t *testing.T) {
+	p := compile(t, "SELECT count(*) FROM trades WHERE sec_code = $1 AND trade_time < $2")
+	if _, err := Bind(p, []types.Value{types.IntVal(1)}); err == nil {
+		t.Error("short arg list: want error")
+	}
+	if _, err := Bind(p, []types.Value{types.IntVal(1), types.IntVal(2), types.IntVal(3)}); err == nil {
+		t.Error("long arg list: want error")
+	}
+	pf := compile(t, "SELECT count(*) FROM trades")
+	if got, err := Bind(pf, nil); err != nil || got != pf {
+		t.Errorf("parameter-free plan must bind to itself: %v", err)
+	}
+	if _, err := Bind(pf, []types.Value{types.IntVal(1)}); err == nil {
+		t.Error("args for parameter-free plan: want error")
+	}
+}
+
+func TestBindCoercesKinds(t *testing.T) {
+	// $1 compares against a Date column: a string argument in date form
+	// must coerce; garbage must not.
+	p := compile(t, "SELECT count(*) FROM trades WHERE trade_date = $1")
+	bound, err := Bind(p, []types.Value{types.StrVal("2010-10-30")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []types.Kind
+	for _, seg := range bound.Segments {
+		walkOpExprs(seg.Root, func(e expr.Expr) {
+			if c, ok := e.(*expr.Cmp); ok {
+				if cst, ok := c.R.(*expr.Const); ok {
+					kinds = append(kinds, cst.V.Kind)
+				}
+			}
+		})
+	}
+	found := false
+	for _, k := range kinds {
+		if k == types.Date {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("string arg not coerced to date, consts: %v", kinds)
+	}
+	if _, err := Bind(p, []types.Value{types.StrVal("not-a-date")}); err == nil {
+		t.Error("bad date string: want error")
+	}
+
+	// Int argument for a float comparison widens.
+	pf := compile(t, "SELECT count(*) FROM trades WHERE order_price > $1")
+	if _, err := Bind(pf, []types.Value{types.IntVal(10)}); err != nil {
+		t.Errorf("int->float widening failed: %v", err)
+	}
+}
+
+func TestBindSharesParamFreeSubtrees(t *testing.T) {
+	p := compile(t, "SELECT count(*) FROM trades WHERE sec_code = $1")
+	bound, err := Bind(p, []types.Value{types.IntVal(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The master-side segment has no parameters; Bind must share it.
+	shared := 0
+	for i := range p.Segments {
+		if p.Segments[i].Root == bound.Segments[i].Root {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no parameter-free segment root was shared")
+	}
+}

@@ -1,0 +1,261 @@
+package protocol_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// startServer boots a cluster with a trades table and serves it on an
+// ephemeral port.
+func startServer(t *testing.T) (string, *engine.Cluster) {
+	t.Helper()
+	cat := catalog.New(2)
+	sch := types.NewSchema(
+		types.Col("acct_id", types.Int64),
+		types.Col("sec_code", types.Int64),
+		types.Col("trade_volume", types.Float64),
+	)
+	cat.MustAdd(&catalog.Table{Name: "trades", Schema: sch, PartKey: []int{1}})
+	c := engine.NewCluster(engine.Config{Nodes: 2, CoresPerNode: 2, FastPath: true}, cat)
+	t.Cleanup(c.Close)
+	tl, err := c.NewTableLoader("trades")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		r := tl.Row()
+		types.PutValue(r, sch, 0, types.IntVal(int64(i%13)))
+		types.PutValue(r, sch, 1, types.IntVal(int64(i%5)))
+		types.PutValue(r, sch, 2, types.FloatVal(float64(i)))
+		tl.Add()
+	}
+	tl.Close()
+	srv, err := protocol.Serve("127.0.0.1:0", session.Direct{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr(), c
+}
+
+// drain collects a result stream order-insensitively.
+func drain(t *testing.T, rows *client.Rows) (string, uint64) {
+	t.Helper()
+	var out []string
+	for rows.Next() {
+		vals := rows.Row()
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n"), rows.Total()
+}
+
+// TestQueryRoundTrip streams an ad-hoc query through the wire protocol
+// and checks it against the same query run in-process.
+func TestQueryRoundTrip(t *testing.T) {
+	addr, c := startServer(t)
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	q := "SELECT acct_id, sum(trade_volume) AS vol FROM trades GROUP BY acct_id"
+	rows, err := conn.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == nil {
+		t.Fatal("query with a result set returned nil rows")
+	}
+	if got := rows.Schema().Cols[1].Name; got != "vol" {
+		t.Errorf("schema display name = %q, want vol", got)
+	}
+	wire, total := drain(t, rows)
+
+	local, err := c.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp []string
+	for _, vals := range local.Rows() {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.String()
+		}
+		exp = append(exp, strings.Join(parts, "|"))
+	}
+	sort.Strings(exp)
+	if want := strings.Join(exp, "\n"); wire != want {
+		t.Errorf("wire result differs from in-process:\n%s\nvs\n%s", wire, want)
+	}
+	if int(total) != local.NumRows() {
+		t.Errorf("MsgDone total = %d, want %d", total, local.NumRows())
+	}
+}
+
+// TestPrepareExecuteOverWire exercises the binary PREPARE/EXECUTE
+// frames: parameter count, bound execution, deallocate, and the
+// fingerprint-identity with ad-hoc SQL.
+func TestPrepareExecuteOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	n, err := conn.Prepare("lookup", "SELECT acct_id, trade_volume FROM trades WHERE sec_code = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Prepare reported %d params, want 1", n)
+	}
+
+	for _, sec := range []int64{0, 2, 4} {
+		rows, err := conn.Execute("lookup", types.IntVal(sec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := drain(t, rows)
+		adhoc, err := conn.Query(fmt.Sprintf(
+			"SELECT acct_id, trade_volume FROM trades WHERE sec_code = %d", sec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := drain(t, adhoc)
+		if got != want {
+			t.Errorf("sec_code=%d: EXECUTE and ad-hoc differ:\n%s\nvs\n%s", sec, got, want)
+		}
+		if got == "" {
+			t.Errorf("sec_code=%d: empty result", sec)
+		}
+	}
+
+	if err := conn.Deallocate("lookup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Execute("lookup", types.IntVal(0)); err == nil {
+		t.Error("EXECUTE after Deallocate should fail")
+	}
+}
+
+// TestTextualSessionOverWire drives PREPARE/EXECUTE as SQL text through
+// MsgQuery — the path a plain REPL uses.
+func TestTextualSessionOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rows, err := conn.Query("PREPARE c AS SELECT count(*) FROM trades WHERE sec_code = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nil {
+		t.Fatal("PREPARE returned a result set")
+	}
+	rows, err = conn.Query("EXECUTE c (1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := drain(t, rows)
+	if got != "100" {
+		t.Errorf("EXECUTE c (1) = %q, want 100", got)
+	}
+}
+
+// TestStatementErrorKeepsConnection checks the error contract: a bad
+// statement comes back as MsgError and the connection keeps serving.
+func TestStatementErrorKeepsConnection(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Query("SELECT * FROM no_such_table"); err == nil {
+		t.Fatal("query against missing table should fail")
+	}
+	if _, err := conn.Execute("never_prepared"); err == nil {
+		t.Fatal("EXECUTE of unknown statement should fail")
+	}
+
+	// The session survives both failures.
+	rows, err := conn.Query("SELECT count(*) FROM trades")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := drain(t, rows)
+	if got != "500" {
+		t.Errorf("count after errors = %q, want 500", got)
+	}
+}
+
+// TestManyConnections runs concurrent sessions, each preparing its own
+// statement and executing it repeatedly — the high-QPS serving shape.
+func TestManyConnections(t *testing.T) {
+	addr, _ := startServer(t)
+
+	const conns = 8
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		go func(id int) {
+			errs <- func() error {
+				conn, err := client.Dial(addr)
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				if _, err := conn.Prepare("p", "SELECT count(*) FROM trades WHERE sec_code = $1"); err != nil {
+					return err
+				}
+				for j := 0; j < 20; j++ {
+					rows, err := conn.Execute("p", types.IntVal(int64((id+j)%5)))
+					if err != nil {
+						return err
+					}
+					n := 0
+					for rows.Next() {
+						n++
+					}
+					if err := rows.Close(); err != nil {
+						return err
+					}
+					if n != 1 {
+						return fmt.Errorf("conn %d exec %d: %d rows, want 1", id, j, n)
+					}
+				}
+				return nil
+			}()
+		}(i)
+	}
+	for i := 0; i < conns; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/telemetry"
+	"repro/internal/types"
 )
 
 // ErrAdmissionTimeout is returned when a query waited longer than
@@ -88,6 +90,15 @@ func New(c *engine.Cluster, cfg Config) *Server {
 // Cluster returns the served cluster.
 func (s *Server) Cluster() *engine.Cluster { return s.c }
 
+// CompileCached compiles through the cluster's plan cache. Compilation
+// is not admission-controlled — it holds no execution resources.
+func (s *Server) CompileCached(query string) (*plan.Plan, bool, error) {
+	return s.c.CompileCached(query)
+}
+
+// CatalogVersion reports the served cluster's catalog version.
+func (s *Server) CatalogVersion() int64 { return s.c.CatalogVersion() }
+
 // Query admits and executes one SQL query. It blocks in the admission
 // queue when MaxInflight queries are already executing; ctx
 // cancellation applies both while queued and — routed into the
@@ -98,24 +109,51 @@ func (s *Server) Cluster() *engine.Cluster { return s.c }
 // its slot and retries with exponential backoff until QueueTimeout,
 // turning a thundering herd of large queries into an orderly drain.
 func (s *Server) Query(ctx context.Context, sql string) (*engine.Result, error) {
+	return s.serve(ctx, func(ctx context.Context) (*engine.Result, error) {
+		return s.c.RunContext(ctx, sql)
+	})
+}
+
+// QueryBound admits and executes a prepared plan with bound arguments —
+// Query's EXECUTE twin, under the same admission policy and
+// memory-budget retry loop. sqlText labels telemetry and errors.
+func (s *Server) QueryBound(ctx context.Context, p *plan.Plan, args []types.Value, sqlText string) (*engine.Result, error) {
+	return s.serve(ctx, func(ctx context.Context) (*engine.Result, error) {
+		return s.c.RunBound(ctx, p, args, sqlText)
+	})
+}
+
+// serve runs one admitted query, retrying transient memory-budget
+// refusals with exponential backoff until QueueTimeout. One timer is
+// reused across backoff iterations: a per-iteration time.After would
+// leave every expired-but-unfired timer lingering in the runtime heap
+// for its full duration under a thundering herd of large queries.
+func (s *Server) serve(ctx context.Context, run func(context.Context) (*engine.Result, error)) (*engine.Result, error) {
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
 	deadline := time.Now().Add(s.cfg.QueueTimeout)
 	backoff := 5 * time.Millisecond
+	var timer *time.Timer
 	for {
-		res, err := s.c.RunContext(ctx, sql)
+		res, err := run(ctx)
 		if !errors.Is(err, engine.ErrMemoryBudget) {
 			return res, err
 		}
 		if time.Now().Add(backoff).After(deadline) {
 			return nil, err
 		}
+		if timer == nil {
+			timer = time.NewTimer(backoff)
+			defer timer.Stop()
+		} else {
+			timer.Reset(backoff)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		case <-timer.C:
 		}
 		if backoff < 160*time.Millisecond {
 			backoff *= 2

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -242,4 +243,59 @@ func TestMemoryBudgetRetry(t *testing.T) {
 			t.Fatalf("query %d: %v", i, err)
 		}
 	}
+}
+
+// TestGrantTimeoutRace stresses the narrow window where release()
+// grants a waiter's slot at the same moment its queue timeout (or
+// context cancellation) fires. Whichever side wins, the accounting must
+// balance: a granted waiter owns a slot and must release it, an
+// abandoned waiter must not. Run under -race, the test also checks the
+// waiter.granted handshake itself.
+func TestGrantTimeoutRace(t *testing.T) {
+	s := New(nil, Config{MaxInflight: 1, MaxQueue: 256, QueueTimeout: time.Millisecond})
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// A third of the waiters race cancellation against the
+				// grant instead of the timeout.
+				ctx := context.Background()
+				if w%3 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*time.Millisecond)
+					defer cancel()
+				}
+				err := s.admit(ctx)
+				switch {
+				case err == nil:
+					// Slot owned: hold it across a scheduling point so
+					// grants land while other waiters are timing out.
+					runtime.Gosched()
+					s.release()
+				case errors.Is(err, ErrAdmissionTimeout),
+					errors.Is(err, context.DeadlineExceeded),
+					errors.Is(err, context.Canceled),
+					errors.Is(err, ErrQueueFull):
+					// Abandoned: no slot to return.
+				default:
+					t.Errorf("unexpected admit error: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if inflight, queued := s.Stats(); inflight != 0 || queued != 0 {
+		t.Fatalf("after drain: inflight=%d queued=%d, want 0/0 — a grant or abandon leaked a slot", inflight, queued)
+	}
+	// The server still serves: a fresh admit gets the slot immediately.
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatalf("admit after stress: %v", err)
+	}
+	s.release()
 }

@@ -68,6 +68,13 @@ func (l *IntervalLit) String() string {
 	return fmt.Sprintf("INTERVAL '%d' %s", l.N, strings.ToUpper(l.Unit))
 }
 
+// ParamRef is a positional statement parameter ($1, $2, ...), bound to
+// a constant at EXECUTE time. N is 1-based.
+type ParamRef struct{ N int }
+
+func (p *ParamRef) exprNode()      {}
+func (p *ParamRef) String() string { return fmt.Sprintf("$%d", p.N) }
+
 // BinExpr is a binary operator: arithmetic, comparison, AND, OR.
 type BinExpr struct {
 	Op   string // "+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"

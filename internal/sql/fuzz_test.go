@@ -30,6 +30,17 @@ var fuzzSeeds = []string{
 	"SELECT \x00\xff FROM t",
 	"((((((((((",
 	"SELECT * FROM t WHERE a = 'it''s'",
+	`SELECT * FROM t WHERE a = 'back\\slash'`,
+	`SELECT * FROM t WHERE a = 'quote\'inside'`,
+	`SELECT * FROM t WHERE a = 'unknown\descape'`,
+	`SELECT * FROM t WHERE a = '\'`,
+	`SELECT * FROM t WHERE a = '\`,
+	"SELECT * FROM t WHERE a = $1 AND b < $2",
+	"PREPARE q AS SELECT a FROM t WHERE a = $1",
+	"EXECUTE q (42, 'x')",
+	"DEALLOCATE q",
+	"$",
+	"SELECT $ FROM t",
 }
 
 // FuzzParse asserts the full parser is panic-free on arbitrary input and
@@ -42,6 +53,19 @@ func FuzzParse(f *testing.F) {
 		stmt, err := Parse(input)
 		if err == nil && stmt == nil {
 			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		st, err := ParseStatement(input)
+		if err == nil && st == nil {
+			t.Fatalf("ParseStatement(%q) returned nil statement and nil error", input)
+		}
+		if _, err := Normalize(input); err == nil {
+			// Normalization must be idempotent: the canonical form lexes
+			// back to itself.
+			n1, _ := Normalize(input)
+			n2, err := Normalize(n1)
+			if err != nil || n1 != n2 {
+				t.Fatalf("Normalize not idempotent on %q: %q -> %q (%v)", input, n1, n2, err)
+			}
 		}
 	})
 }
@@ -59,6 +83,17 @@ func FuzzLex(f *testing.F) {
 			return
 		}
 		for _, tok := range toks {
+			if tok.pos < 0 || tok.pos > len(input) {
+				t.Fatalf("lex(%q) produced token %q with out-of-range pos %d", input, tok.text, tok.pos)
+			}
+			// Every token's pos points at its first source byte; strings
+			// and params must start on their quote / dollar sign.
+			if tok.kind == tokString && input[tok.pos] != '\'' && input[tok.pos] != '"' {
+				t.Fatalf("lex(%q): string token %q pos %d not at a quote", input, tok.text, tok.pos)
+			}
+			if tok.kind == tokParam && input[tok.pos] != '$' {
+				t.Fatalf("lex(%q): param token %q pos %d not at '$'", input, tok.text, tok.pos)
+			}
 			if tok.text == "" {
 				continue
 			}

@@ -14,6 +14,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
+	tokParam // positional parameter: $1, $2, ...
 	tokOp    // punctuation and operators
 	tokError
 )
@@ -58,20 +59,47 @@ func lex(input string) ([]token, error) {
 			toks = append(toks, token{tokNumber, input[start:i], start})
 		case c == '\'' || c == '"':
 			quote := c
+			start := i
 			i++
 			var sb strings.Builder
 			for i < n && input[i] != quote {
-				if input[i] == '\\' && i+1 < n {
-					i++
+				if input[i] == '\\' {
+					if i+1 >= n {
+						return nil, fmt.Errorf("sql: unterminated string at %d", start)
+					}
+					// Escapes: \\ \' \" map to the bare character; any
+					// other sequence passes through verbatim (backslash
+					// kept), so '\d' survives for downstream consumers
+					// instead of silently collapsing to 'd'.
+					switch input[i+1] {
+					case '\\', '\'', '"':
+						sb.WriteByte(input[i+1])
+					default:
+						sb.WriteByte('\\')
+						sb.WriteByte(input[i+1])
+					}
+					i += 2
+					continue
 				}
 				sb.WriteByte(input[i])
 				i++
 			}
 			if i >= n {
-				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				return nil, fmt.Errorf("sql: unterminated string at %d", start)
 			}
 			i++ // closing quote
-			toks = append(toks, token{tokString, sb.String(), i})
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '$':
+			start := i
+			i++
+			ds := i
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			if i == ds {
+				return nil, fmt.Errorf("sql: expected parameter number after '$' at %d", start)
+			}
+			toks = append(toks, token{tokParam, input[ds:i], start})
 		case strings.ContainsRune("()+-*/,.;", rune(c)):
 			toks = append(toks, token{tokOp, string(c), i})
 			i++

@@ -1,0 +1,47 @@
+package sql
+
+import "strings"
+
+// Normalize renders the statement's canonical token form — the plan
+// cache's key. Whitespace, comments and letter case collapse (the
+// lexer lower-cases identifiers), and string literals are re-quoted
+// with escapes so distinct literals can never collide:
+//
+//	"SELECT  a FROM t -- x"  ->  "select a from t"
+//
+// Inputs that do not lex return an error; callers fall back to the
+// verbatim text (such statements fail to parse anyway).
+func Normalize(input string) (string, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.Grow(len(input))
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			sb.WriteByte('\'')
+			for j := 0; j < len(t.text); j++ {
+				switch t.text[j] {
+				case '\\', '\'':
+					sb.WriteByte('\\')
+				}
+				sb.WriteByte(t.text[j])
+			}
+			sb.WriteByte('\'')
+		case tokParam:
+			sb.WriteByte('$')
+			sb.WriteString(t.text)
+		default:
+			sb.WriteString(t.text)
+		}
+	}
+	return sb.String(), nil
+}

@@ -28,6 +28,98 @@ func Parse(input string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// ParseStatement parses one top-level statement: a SELECT, or one of
+// the session statements PREPARE name AS SELECT ... / EXECUTE name
+// (args...) / DEALLOCATE name.
+func ParseStatement(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	switch t := p.peek(); {
+	case t.kind == tokIdent && t.text == "prepare":
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent || isReserved(name.text) {
+			return nil, p.errf("expected statement name after PREPARE, found %q", name.text)
+		}
+		if err := p.expectKw("as"); err != nil {
+			return nil, err
+		}
+		// The inner statement's text starts at the token after AS; keep
+		// it verbatim so the plan cache can key on it.
+		inner := strings.TrimSpace(input[p.peek().pos:])
+		stmt, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.finish(); err != nil {
+			return nil, err
+		}
+		return &PrepareStmt{Name: name.text, SQL: strings.TrimSuffix(inner, ";"), Stmt: stmt}, nil
+
+	case t.kind == tokIdent && t.text == "execute":
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent || isReserved(name.text) {
+			return nil, p.errf("expected statement name after EXECUTE, found %q", name.text)
+		}
+		var args []Expr
+		if p.acceptOp("(") {
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.finish(); err != nil {
+			return nil, err
+		}
+		return &ExecuteStmt{Name: name.text, Args: args}, nil
+
+	case t.kind == tokIdent && t.text == "deallocate":
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent || isReserved(name.text) {
+			return nil, p.errf("expected statement name after DEALLOCATE, found %q", name.text)
+		}
+		if err := p.finish(); err != nil {
+			return nil, err
+		}
+		return &DeallocateStmt{Name: name.text}, nil
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// finish consumes an optional trailing semicolon and requires EOF.
+func (p *parser) finish() error {
+	if p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return p.errf("trailing input at %q", p.peek().text)
+	}
+	return nil
+}
+
 type parser struct {
 	toks  []token
 	pos   int
@@ -492,6 +584,14 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return &DateLit{Days: days, Raw: t.text}, nil
 		}
 		return &StrLit{V: t.text}, nil
+
+	case tokParam:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter $%s", t.text)
+		}
+		return &ParamRef{N: n}, nil
 
 	case tokOp:
 		if t.text == "(" {

@@ -35,6 +35,11 @@ type Registry struct {
 	// directly via Observe.
 	hists sync.Map // name → *Histogram
 
+	// ctrs are process-cumulative counters (plan-cache hits, protocol
+	// requests, ...): monotone totals exported on /metrics, distinct
+	// from per-query scope counters.
+	ctrs sync.Map // name → *Counter
+
 	// slowMu guards the slow-query log configuration; Finish emits one
 	// JSONL record per query at or over the threshold.
 	slowMu    sync.Mutex
@@ -289,6 +294,33 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}
 	h, _ := r.hists.LoadOrStore(name, NewHistogram(bounds))
 	return h.(*Histogram)
+}
+
+// Counter returns (creating on first use) a process-cumulative
+// counter. Nil-safe: a nil registry returns a throwaway counter so
+// callers need no guard.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	if c, ok := r.ctrs.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := r.ctrs.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
+}
+
+// Counters snapshots every process-cumulative counter. Nil-safe.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	r.ctrs.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	return out
 }
 
 // Observe records one value into a cumulative histogram, choosing the

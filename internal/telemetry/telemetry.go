@@ -146,6 +146,20 @@ const (
 	CtrSchedOverheadNs = "sched.overhead_ns"
 	// CtrSchedDecisions counts applied scheduler moves.
 	CtrSchedDecisions = "sched.decisions"
+	// CtrPlanCacheHits / Misses / Evictions are process-cumulative
+	// plan-cache counters (Registry.Counter); the per-cluster numbers
+	// live on the cache itself.
+	CtrPlanCacheHits      = "plan.cache.hits"
+	CtrPlanCacheMisses    = "plan.cache.misses"
+	CtrPlanCacheEvictions = "plan.cache.evictions"
+	// CtrFastPathQueries counts queries executed on the serial
+	// fast path (the high-QPS serving path) instead of the full
+	// distributed dataflow.
+	CtrFastPathQueries = "engine.fastpath.queries"
+	// CtrProtoRequests / Errors count client-protocol requests served
+	// and requests that returned an error frame.
+	CtrProtoRequests = "proto.requests"
+	CtrProtoErrors   = "proto.errors"
 	// GaugeMemBytes tracks materialized state (staging + operator
 	// arenas); its peak is the Table 4 footprint.
 	GaugeMemBytes = "mem.bytes"
@@ -270,9 +284,10 @@ type Scope struct {
 
 	sinks atomic.Pointer[[]Sink]
 
-	ringMu sync.Mutex
-	ring   []Event
-	ringN  uint64 // events ever appended
+	ringMu  sync.Mutex
+	ring    []Event
+	ringN   uint64 // events ever appended
+	ringSet bool   // a WithRingSize option was applied (0 disables)
 }
 
 // Option configures a Scope.
@@ -291,6 +306,11 @@ func WithRingSize(n int) Option {
 		if n < 0 {
 			n = 0
 		}
+		s.ringSet = true
+		if n == 0 {
+			s.ring = nil
+			return
+		}
 		s.ring = make([]Event, n)
 	}
 }
@@ -305,10 +325,12 @@ func NewScope(name string, opts ...Option) *Scope {
 	s := &Scope{
 		name:  name,
 		start: time.Now(),
-		ring:  make([]Event, defaultRingSize),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if !s.ringSet {
+		s.ring = make([]Event, defaultRingSize)
 	}
 	if defaultSpans.Load() {
 		s.spansOn.Store(true)
